@@ -1,0 +1,135 @@
+package digfl_test
+
+// One benchmark per table and figure of the paper's evaluation (Sec. V).
+// Each bench regenerates its artifact through the internal/experiments
+// runner and reports the headline quantities (PCC, relative error, accuracy
+// lift, cost ratios) as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced rows next to the usual ns/op. Benches honour
+// -short / testing.Short() by running the reduced QuickOpts configuration;
+// full runs use a moderate scale that keeps the 2^n retraining ground truth
+// tractable on a laptop.
+
+import (
+	"io"
+	"testing"
+
+	"digfl/internal/experiments"
+)
+
+func benchOpts(b *testing.B) experiments.Opts {
+	if testing.Short() {
+		return experiments.QuickOpts()
+	}
+	o := experiments.DefaultOpts()
+	o.Scale = 0.5 // full paper-scale sweeps are CLI territory (digfl-bench)
+	return o
+}
+
+// BenchmarkFig2TableII regenerates the second-term ablation: per-epoch φ vs
+// φ̂ curves (Fig. 2) and the 14-dataset relative-error table (Table II).
+func BenchmarkFig2TableII(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.SecondTerm(o)
+		res.Render(io.Discard)
+		b.ReportMetric(res.MaxRelErr(), "maxRelErr")
+		b.ReportMetric(float64(len(res.Rows)), "datasets")
+	}
+}
+
+// BenchmarkFig3 regenerates the HFL estimated-vs-actual study: PCC per
+// dataset and the cost gap between DIG-FL and 2^n retraining.
+func BenchmarkFig3(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.HFLvsActual(o)
+		res.Render(io.Discard)
+		var pccSum float64
+		var speedup float64
+		for name, pcc := range res.PCC {
+			pccSum += pcc
+			speedup += res.CostActual[name].Seconds() / res.CostDIGFL[name].Seconds()
+		}
+		n := float64(len(res.PCC))
+		b.ReportMetric(pccSum/n, "meanPCC")
+		b.ReportMetric(speedup/n, "speedup")
+	}
+}
+
+// BenchmarkTableIII regenerates the VFL estimated-vs-actual table: PCC and
+// T_DIG-FL vs T_Actual on the ten tabular datasets.
+func BenchmarkTableIII(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.VFLvsActual(o)
+		res.Render(io.Discard)
+		b.ReportMetric(res.MeanPCC("VFL-LinReg"), "linregPCC")
+		b.ReportMetric(res.MeanPCC("VFL-LogReg"), "logregPCC")
+		var speedup float64
+		for _, row := range res.Rows {
+			speedup += row.TActual / row.TDIGFL
+		}
+		b.ReportMetric(speedup/float64(len(res.Rows)), "speedup")
+	}
+}
+
+// BenchmarkFig4TableIV regenerates the HFL method comparison (DIG-FL vs
+// TMC-Shapley, GT-Shapley, MR, IM).
+func BenchmarkFig4TableIV(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.HFLComparison(o)
+		res.Render(io.Discard)
+		b.ReportMetric(res.MeanPCC("DIG-FL"), "DIG-FL")
+		b.ReportMetric(res.MeanPCC("TMC-shapley"), "TMC")
+		b.ReportMetric(res.MeanPCC("GT-shapley"), "GT")
+		b.ReportMetric(res.MeanPCC("MR"), "MR")
+		b.ReportMetric(res.MeanPCC("IM"), "IM")
+	}
+}
+
+// BenchmarkFig5TableV regenerates the VFL method comparison (DIG-FL vs
+// TMC-Shapley and GT-Shapley).
+func BenchmarkFig5TableV(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.VFLComparison(o)
+		res.Render(io.Discard)
+		b.ReportMetric(res.MeanPCC("DIG-FL"), "DIG-FL")
+		b.ReportMetric(res.MeanPCC("TMC-shapley"), "TMC")
+		b.ReportMetric(res.MeanPCC("GT-shapley"), "GT")
+	}
+}
+
+// BenchmarkFig6 regenerates the per-epoch estimated-vs-actual comparison.
+func BenchmarkFig6(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.PerEpoch(o)
+		res.Render(io.Discard)
+		var pccSum float64
+		for _, pcc := range res.PCC {
+			pccSum += pcc
+		}
+		b.ReportMetric(pccSum/float64(len(res.PCC)), "meanPCC")
+	}
+}
+
+// BenchmarkFig7 regenerates the reweight-mechanism study on both corruption
+// types, reporting the accuracy lift at the heaviest corruption level.
+func BenchmarkFig7(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		nonIID := experiments.Reweight("CIFAR10", experiments.NonIID, o)
+		mislabeled := experiments.Reweight("MOTOR", experiments.Mislabeled, o)
+		nonIID.Render(io.Discard)
+		mislabeled.Render(io.Discard)
+		lastN := nonIID.Points[len(nonIID.Points)-1]
+		lastM := mislabeled.Points[len(mislabeled.Points)-1]
+		b.ReportMetric(lastN.ReweighAcc-lastN.PlainAcc, "nonIIDLift")
+		b.ReportMetric(lastM.ReweighAcc-lastM.PlainAcc, "mislabelLift")
+	}
+}

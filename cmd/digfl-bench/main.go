@@ -1,0 +1,189 @@
+// Command digfl-bench regenerates the tables and figures of the DIG-FL
+// paper's evaluation section on the synthetic simulator.
+//
+// Usage:
+//
+//	digfl-bench -exp all            # every table and figure
+//	digfl-bench -exp fig3 -scale 1  # one experiment at full simulator scale
+//	digfl-bench -list               # list experiment ids
+//
+// Experiment ids map one-to-one to the paper's artifacts; fig2/table2,
+// fig4/table4 and fig5/table5 are aliases for the runners that produce both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"digfl/internal/experiments"
+)
+
+type runner struct {
+	ids  []string
+	desc string
+	run  func(o experiments.Opts) []result
+}
+
+// result pairs the human rendering with the CSV tables.
+type result struct {
+	render func(w *os.File)
+	tables map[string][][]string
+}
+
+func runners() []runner {
+	return []runner{
+		{
+			ids:  []string{"fig2", "table2"},
+			desc: "second-term ablation: per-epoch phi vs phi-hat, 14 datasets",
+			run: func(o experiments.Opts) []result {
+				r := experiments.SecondTerm(o)
+				return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+			},
+		},
+		{
+			ids:  []string{"fig3"},
+			desc: "HFL: DIG-FL vs actual Shapley (PCC + cost)",
+			run: func(o experiments.Opts) []result {
+				r := experiments.HFLvsActual(o)
+				return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+			},
+		},
+		{
+			ids:  []string{"table3"},
+			desc: "VFL: DIG-FL vs actual Shapley on 10 tabular datasets",
+			run: func(o experiments.Opts) []result {
+				r := experiments.VFLvsActual(o)
+				return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+			},
+		},
+		{
+			ids:  []string{"fig4", "table4"},
+			desc: "HFL comparison: DIG-FL vs TMC / GT / MR / IM",
+			run: func(o experiments.Opts) []result {
+				r := experiments.HFLComparison(o)
+				return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+			},
+		},
+		{
+			ids:  []string{"fig5", "table5"},
+			desc: "VFL comparison: DIG-FL vs TMC / GT",
+			run: func(o experiments.Opts) []result {
+				r := experiments.VFLComparison(o)
+				return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+			},
+		},
+		{
+			ids:  []string{"fig6"},
+			desc: "per-epoch estimated vs actual Shapley (HFL)",
+			run: func(o experiments.Opts) []result {
+				r := experiments.PerEpoch(o)
+				return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+			},
+		},
+		{
+			ids:  []string{"fig7"},
+			desc: "reweight mechanism: accuracy vs m and convergence curves",
+			run: func(o experiments.Opts) []result {
+				a := experiments.Reweight("CIFAR10", experiments.NonIID, o)
+				b := experiments.Reweight("MOTOR", experiments.Mislabeled, o)
+				return []result{
+					{render: func(w *os.File) { a.Render(w) }, tables: a.Tables()},
+					{render: func(w *os.File) { b.Render(w) }, tables: b.Tables()},
+				}
+			},
+		},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
+	seed := flag.Int64("seed", 42, "random seed")
+	csvDir := flag.String("csv", "", "also write each table/figure's data as CSV into this directory")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	rs := runners()
+	if *list {
+		for _, r := range rs {
+			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
+		}
+		return
+	}
+	o := experiments.Opts{Scale: *scale, Seed: *seed}
+	if o.Scale <= 0 || o.Scale > 1 {
+		fmt.Fprintf(os.Stderr, "digfl-bench: -scale must be in (0,1], got %v\n", o.Scale)
+		os.Exit(2)
+	}
+	emit := func(r runner) {
+		for _, res := range r.run(o) {
+			res.render(os.Stdout)
+			if *csvDir != "" {
+				if err := writeTables(*csvDir, res.tables); err != nil {
+					fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	if *exp == "all" {
+		for _, r := range rs {
+			emit(r)
+		}
+		return
+	}
+	for _, r := range rs {
+		if contains(r.ids, *exp) {
+			emit(r)
+			return
+		}
+	}
+	var known []string
+	for _, r := range rs {
+		known = append(known, r.ids...)
+	}
+	sort.Strings(known)
+	fmt.Fprintf(os.Stderr, "digfl-bench: unknown experiment %q (known: %v)\n", *exp, known)
+	os.Exit(2)
+}
+
+// writeTables dumps each named table as <dir>/<stem>.csv.
+func writeTables(dir string, tables map[string][][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for stem, rows := range tables {
+		f, err := os.Create(filepath.Join(dir, stem+".csv"))
+		if err != nil {
+			return err
+		}
+		err = experiments.WriteCSV(f, rows)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func join(ids []string) string {
+	s := ids[0]
+	for _, id := range ids[1:] {
+		s += "/" + id
+	}
+	return s
+}
+
+func contains(ids []string, want string) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+// Package digfl is an open-source Go implementation of DIG-FL — "Efficient
+// Participant Contribution Evaluation for Horizontal and Vertical Federated
+// Learning" (Wang et al., ICDE 2022).
+//
+// DIG-FL estimates every participant's Shapley value from the training log
+// alone — no model retraining, no access to local data — for both horizontal
+// (HFL) and vertical (VFL) federated learning, and uses the per-epoch
+// contributions to reweight participants during training.
+//
+// This root package is a facade re-exporting the user-facing API; the
+// implementation lives in the internal packages:
+//
+//	internal/core        DIG-FL estimators and the reweight mechanism
+//	internal/hfl         horizontal FL substrate (FedSGD / FedAvg-style)
+//	internal/vfl         vertical FL substrate (plaintext + Paillier protocol)
+//	internal/nn          models with hand-derived gradients and HVPs
+//	internal/dataset     synthetic data generators, partitioners, corruptions
+//	internal/shapley     exact Shapley, TMC-Shapley, GT-Shapley
+//	internal/baselines   MR, OR and IM comparison methods
+//	internal/paillier    additively homomorphic encryption
+//	internal/metrics     PCC, cost accounting
+//	internal/experiments one runner per paper table/figure
+//
+// A minimal HFL session:
+//
+//	tr := &digfl.HFLTrainer{
+//		Model: digfl.NewSoftmaxRegression(dim, classes),
+//		Parts: parts, Val: val,
+//		Cfg:   digfl.HFLConfig{Epochs: 30, LR: 0.1, KeepLog: true},
+//	}
+//	res := tr.Run()
+//	attr := digfl.EstimateHFL(res.Log, len(parts), digfl.ResourceSaving, nil)
+//	fmt.Println(attr.Totals) // estimated Shapley value per participant
+package digfl
+
+import (
+	"digfl/internal/baselines"
+	"digfl/internal/core"
+	"digfl/internal/dataset"
+	"digfl/internal/hfl"
+	"digfl/internal/logio"
+	"digfl/internal/metrics"
+	"digfl/internal/nn"
+	"digfl/internal/robust"
+	"digfl/internal/shapley"
+	"digfl/internal/vfl"
+)
+
+// Core DIG-FL types (internal/core).
+type (
+	// Mode selects the interactive (Algorithm 1) or resource-saving
+	// (Algorithm 2) estimator variant.
+	Mode = core.Mode
+	// Attribution is a DIG-FL result: per-epoch contributions and the
+	// aggregated Shapley estimate.
+	Attribution = core.Attribution
+	// HFLEstimator is the online horizontal estimator.
+	HFLEstimator = core.HFLEstimator
+	// VFLEstimator is the online vertical estimator.
+	VFLEstimator = core.VFLEstimator
+	// HFLReweighter plugs per-epoch contributions into HFL aggregation.
+	HFLReweighter = core.HFLReweighter
+	// VFLReweighter plugs per-epoch contributions into VFL block weighting.
+	VFLReweighter = core.VFLReweighter
+	// HVPProvider supplies per-participant Hessian-vector products.
+	HVPProvider = core.HVPProvider
+	// RoundInfo is the participant-visible broadcast used for local
+	// per-sample attribution.
+	RoundInfo = core.RoundInfo
+)
+
+// Estimator modes.
+const (
+	// ResourceSaving is Algorithm 2: first-order only, zero extra cost.
+	ResourceSaving = core.ResourceSaving
+	// Interactive is Algorithm 1: keeps the Hessian correction term.
+	Interactive = core.Interactive
+)
+
+// Core constructors and functions.
+var (
+	// NewHFLEstimator creates an online horizontal estimator.
+	NewHFLEstimator = core.NewHFLEstimator
+	// NewVFLEstimator creates an online vertical estimator.
+	NewVFLEstimator = core.NewVFLEstimator
+	// EstimateHFL replays a retained HFL training log.
+	EstimateHFL = core.EstimateHFL
+	// EstimateVFL replays a retained VFL training log.
+	EstimateVFL = core.EstimateVFL
+	// LocalHVP builds an HVPProvider from a model and participant data.
+	LocalHVP = core.LocalHVP
+	// TrainHVP builds a full-model HVP for the interactive VFL estimator.
+	TrainHVP = core.TrainHVP
+	// ReweightWeights rectifies per-epoch contributions into aggregation
+	// weights (Eq. 17).
+	ReweightWeights = core.Weights
+	// RankParticipants orders participant indices by descending contribution.
+	RankParticipants = core.Rank
+	// SelectTopK picks the k highest-contribution participants.
+	SelectTopK = core.SelectTopK
+	// PaymentShares converts totals into a fair reward split.
+	PaymentShares = core.PaymentShares
+	// SampleContributions decomposes a participant's contribution across
+	// its individual samples (local model debugging).
+	SampleContributions = core.SampleContributions
+	// AccumulateSampleContributions sums sample contributions over a run.
+	AccumulateSampleContributions = core.AccumulateSampleContributions
+)
+
+// Federated substrates.
+type (
+	// HFLTrainer runs horizontal FedSGD/FedAvg-style training.
+	HFLTrainer = hfl.Trainer
+	// HFLConfig holds horizontal training hyperparameters.
+	HFLConfig = hfl.Config
+	// HFLEpoch is one horizontal training-log record.
+	HFLEpoch = hfl.Epoch
+	// HFLResult is a horizontal run outcome.
+	HFLResult = hfl.Result
+	// VFLTrainer runs vertical training.
+	VFLTrainer = vfl.Trainer
+	// VFLConfig holds vertical training hyperparameters.
+	VFLConfig = vfl.Config
+	// VFLEpoch is one vertical training-log record.
+	VFLEpoch = vfl.Epoch
+	// VFLProblem is a vertically partitioned learning task.
+	VFLProblem = vfl.Problem
+	// VFLResult is a vertical run outcome.
+	VFLResult = vfl.Result
+	// SecureConfig parameterizes the Paillier-encrypted VFL protocol.
+	SecureConfig = vfl.SecureConfig
+	// SecureResult is the two-party encrypted protocol outcome.
+	SecureResult = vfl.SecureResult
+	// SecureNResult is the n-party encrypted protocol outcome.
+	SecureNResult = vfl.SecureNResult
+)
+
+// Vertical model kinds.
+const (
+	// VFLLinReg is vertical linear regression (the running example).
+	VFLLinReg = vfl.LinReg
+	// VFLLogReg is vertical logistic regression.
+	VFLLogReg = vfl.LogReg
+)
+
+// Secure protocol entry points (Algorithm 3).
+var (
+	// RunSecure executes the Paillier-encrypted two-party vertical protocol
+	// for the problem's model kind (exact MSE gradient for linear
+	// regression, Taylor-approximated cross-entropy for logistic).
+	RunSecure = vfl.RunSecure
+	// RunSecureLinReg is RunSecure restricted to the paper's
+	// linear-regression running example.
+	RunSecureLinReg = vfl.RunSecureLinReg
+	// RunSecureN generalizes the protocol to any number of parties.
+	RunSecureN = vfl.RunSecureN
+)
+
+// Models (internal/nn).
+type (
+	// Model is the common parametric-model interface.
+	Model = nn.Model
+	// Classifier adds Predict to Model.
+	Classifier = nn.Classifier
+)
+
+// Model constructors.
+var (
+	// NewLinearRegression builds least-squares regression.
+	NewLinearRegression = nn.NewLinearRegression
+	// NewLogisticRegression builds binary logistic regression.
+	NewLogisticRegression = nn.NewLogisticRegression
+	// NewSoftmaxRegression builds multinomial logistic regression.
+	NewSoftmaxRegression = nn.NewSoftmaxRegression
+	// NewMLP builds a one-hidden-layer perceptron.
+	NewMLP = nn.NewMLP
+	// NewCNN builds the small convolutional classifier.
+	NewCNN = nn.NewCNN
+	// HFLAccuracy evaluates a classifier on a dataset.
+	HFLAccuracy = hfl.Accuracy
+)
+
+// Data handling (internal/dataset).
+type (
+	// Dataset is a design matrix with labels.
+	Dataset = dataset.Dataset
+	// Block is a contiguous feature range owned by a VFL participant.
+	Block = dataset.Block
+	// NonIIDConfig controls class-restricted horizontal partitioning.
+	NonIIDConfig = dataset.NonIIDConfig
+)
+
+// Dataset generator configurations.
+type (
+	// ImageConfig parameterizes the class-prototype image generator.
+	ImageConfig = dataset.ImageConfig
+	// TabularConfig parameterizes the planted-ground-truth tabular generator.
+	TabularConfig = dataset.TabularConfig
+)
+
+// Dataset tasks.
+const (
+	// Regression marks continuous-target datasets.
+	Regression = dataset.Regression
+	// Classification marks integer-label datasets.
+	Classification = dataset.Classification
+)
+
+// Dataset helpers.
+var (
+	// SynthImages samples a synthetic image-classification dataset.
+	SynthImages = dataset.SynthImages
+	// SynthTabular samples a synthetic tabular dataset.
+	SynthTabular = dataset.SynthTabular
+	// MNISTLike, CIFARLike, MOTORLike and REALLike are the paper-dataset
+	// stand-ins used throughout the experiments.
+	MNISTLike = dataset.MNISTLike
+	// CIFARLike is the noisier 10-class image preset.
+	CIFARLike = dataset.CIFARLike
+	// MOTORLike is the binary image preset.
+	MOTORLike = dataset.MOTORLike
+	// REALLike is the crawled-images preset.
+	REALLike = dataset.REALLike
+	// PartitionIID deals a dataset evenly to n participants.
+	PartitionIID = dataset.PartitionIID
+	// PartitionNonIID creates the paper's non-IID participant mix.
+	PartitionNonIID = dataset.PartitionNonIID
+	// VerticalBlocks splits features into contiguous per-party blocks.
+	VerticalBlocks = dataset.VerticalBlocks
+	// Mislabel corrupts a fraction of classification labels uniformly.
+	Mislabel = dataset.Mislabel
+	// FlipLabels corrupts labels with a targeted (y+1 mod C) flip.
+	FlipLabels = dataset.FlipLabels
+	// ScrambleFeatures destroys feature-target relationships while keeping
+	// marginals, planting low-contribution VFL parties.
+	ScrambleFeatures = dataset.ScrambleFeatures
+)
+
+// Shapley machinery (internal/shapley) and comparison baselines.
+type (
+	// Utility is a coalition value function.
+	Utility = shapley.Utility
+	// TMCConfig controls Truncated Monte Carlo Shapley.
+	TMCConfig = shapley.TMCConfig
+	// GTConfig controls group-testing Shapley.
+	GTConfig = shapley.GTConfig
+)
+
+// Robust-aggregation baselines (extension: hfl.Aggregator plugins that
+// contrast with the reweight mechanism beyond the honest-majority regime).
+type (
+	// MedianAggregator is coordinate-wise median aggregation.
+	MedianAggregator = robust.Median
+	// TrimmedMeanAggregator is coordinate-wise trimmed-mean aggregation.
+	TrimmedMeanAggregator = robust.TrimmedMean
+)
+
+// Training-log persistence: archive logs during training and evaluate
+// contributions offline.
+var (
+	// WriteHFLLog serializes an HFL training log as line-delimited JSON.
+	WriteHFLLog = logio.WriteHFL
+	// ReadHFLLog deserializes an HFL training log.
+	ReadHFLLog = logio.ReadHFL
+	// WriteVFLLog serializes a VFL training log.
+	WriteVFLLog = logio.WriteVFL
+	// ReadVFLLog deserializes a VFL training log.
+	ReadVFLLog = logio.ReadVFL
+)
+
+// Shapley and baseline functions.
+var (
+	// ExactShapley enumerates all 2^n coalitions.
+	ExactShapley = shapley.Exact
+	// TMCShapley is the truncated Monte Carlo estimator.
+	TMCShapley = shapley.TMC
+	// GTShapley is the group-testing estimator.
+	GTShapley = shapley.GT
+	// MR is the multi-round reconstruction baseline.
+	MR = baselines.MR
+	// IM is the update-projection baseline.
+	IM = baselines.IM
+	// Pearson is the correlation metric the paper reports.
+	Pearson = metrics.Pearson
+)

@@ -1,0 +1,99 @@
+package digfl_test
+
+import (
+	"math"
+	"testing"
+
+	"digfl"
+	"digfl/internal/tensor"
+)
+
+// TestFacadeEndToEndHFL exercises the public API exactly as the README
+// quickstart does: build data, train, estimate contributions, reweight.
+func TestFacadeEndToEndHFL(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	full := quickstartData(800, 1)
+	train, val := full.Split(0.2, rng)
+	parts := digfl.PartitionIID(train, 4, rng)
+	parts[3] = digfl.Mislabel(parts[3], 0.8, rng)
+
+	tr := &digfl.HFLTrainer{
+		Model: digfl.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: parts,
+		Val:   val,
+		Cfg:   digfl.HFLConfig{Epochs: 15, LR: 0.3, KeepLog: true},
+	}
+	res := tr.Run()
+	attr := digfl.EstimateHFL(res.Log, 4, digfl.ResourceSaving, nil)
+	if len(attr.Totals) != 4 {
+		t.Fatalf("got %d totals", len(attr.Totals))
+	}
+	for i := 0; i < 3; i++ {
+		if attr.Totals[3] >= attr.Totals[i] {
+			t.Fatalf("mislabeled participant should rank last: %v", attr.Totals)
+		}
+	}
+	// Reweighted training via the facade.
+	tr2 := &digfl.HFLTrainer{
+		Model:      digfl.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts:      parts,
+		Val:        val,
+		Cfg:        digfl.HFLConfig{Epochs: 15, LR: 0.3},
+		Reweighter: &digfl.HFLReweighter{},
+	}
+	if acc := digfl.HFLAccuracy(tr2.Run().Model, val); acc < 0.5 {
+		t.Fatalf("reweighted accuracy %v too low", acc)
+	}
+}
+
+func TestFacadeEndToEndVFL(t *testing.T) {
+	full := vflData(300, 2)
+	train, val := full.Split(0.2, tensor.NewRNG(2))
+	prob := &digfl.VFLProblem{
+		Train:  train,
+		Val:    val,
+		Blocks: digfl.VerticalBlocks(train.Dim(), 3),
+		Kind:   digfl.VFLLinReg,
+	}
+	tr := &digfl.VFLTrainer{Problem: prob, Cfg: digfl.VFLConfig{Epochs: 25, LR: 0.05, KeepLog: true}}
+	res := tr.Run()
+	attr := digfl.EstimateVFL(res.Log, prob.Blocks, digfl.ResourceSaving, nil)
+	actual := digfl.ExactShapley(3, func(s []int) float64 { return tr.Utility(s) })
+	if pcc := digfl.Pearson(attr.Totals, actual); pcc < 0.8 {
+		t.Fatalf("facade VFL PCC %.3f", pcc)
+	}
+}
+
+// quickstartData builds the image dataset the quickstart example uses.
+func quickstartData(n int, seed int64) digfl.Dataset {
+	return digfl.MNISTLike(n, seed)
+}
+
+// vflData builds a tabular regression dataset with noise features at the end.
+func vflData(n int, seed int64) digfl.Dataset {
+	return digfl.SynthTabular(digfl.TabularConfig{
+		Name: "facade", N: n, D: 6, Task: digfl.Regression,
+		Informative: 4, Noise: 0.2, Seed: seed,
+	})
+}
+
+func TestFacadeShapleyTools(t *testing.T) {
+	u := func(s []int) float64 { return float64(len(s)) }
+	exact := digfl.ExactShapley(3, u)
+	for _, v := range exact {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("exact = %v", exact)
+		}
+	}
+	tmc, _ := digfl.TMCShapley(3, u, digfl.TMCConfig{MaxEvals: 100, RNG: tensor.NewRNG(3)})
+	gt, _ := digfl.GTShapley(3, u, digfl.GTConfig{Samples: 2000, RNG: tensor.NewRNG(4)})
+	for i := 0; i < 3; i++ {
+		if math.Abs(tmc[i]-1) > 0.2 || math.Abs(gt[i]-1) > 0.3 {
+			t.Fatalf("tmc=%v gt=%v", tmc, gt)
+		}
+	}
+	w := digfl.ReweightWeights([]float64{1, -1, 3})
+	if math.Abs(w[0]-0.25) > 1e-12 || w[1] != 0 || math.Abs(w[2]-0.75) > 1e-12 {
+		t.Fatalf("weights = %v", w)
+	}
+}

@@ -1,0 +1,55 @@
+package digfl_test
+
+import (
+	"fmt"
+
+	"digfl"
+	"digfl/internal/tensor"
+)
+
+// Example demonstrates the core DIG-FL workflow: train a federation, then
+// estimate every participant's Shapley value from the training log alone.
+func Example() {
+	rng := tensor.NewRNG(3)
+	full := digfl.MNISTLike(800, 3)
+	train, val := full.Split(0.2, rng)
+	parts := digfl.PartitionIID(train, 3, rng)
+	parts[1] = digfl.Mislabel(parts[1], 0.9, rng)
+
+	tr := &digfl.HFLTrainer{
+		Model: digfl.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: parts,
+		Val:   val,
+		Cfg:   digfl.HFLConfig{Epochs: 10, LR: 0.3, KeepLog: true},
+	}
+	res := tr.Run()
+	attr := digfl.EstimateHFL(res.Log, 3, digfl.ResourceSaving, nil)
+
+	order := digfl.RankParticipants(attr.Totals)
+	fmt.Printf("lowest-contribution participant: p%d\n", order[len(order)-1])
+	// Output:
+	// lowest-contribution participant: p1
+}
+
+// ExampleReweightWeights shows Eq. 17: rectified, normalized per-epoch
+// contributions become aggregation weights.
+func ExampleReweightWeights() {
+	fmt.Println(digfl.ReweightWeights([]float64{3, -1, 1}))
+	// Output:
+	// [0.75 0 0.25]
+}
+
+// ExampleExactShapley computes the exact Shapley value of a tiny additive
+// game.
+func ExampleExactShapley() {
+	utility := func(s []int) float64 {
+		var v float64
+		for _, i := range s {
+			v += float64(i + 1) // participant i is worth i+1
+		}
+		return v
+	}
+	fmt.Println(digfl.ExactShapley(3, utility))
+	// Output:
+	// [1 2 3]
+}

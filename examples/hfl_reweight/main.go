@@ -1,0 +1,65 @@
+// hfl_reweight: a federation where 4 of 5 participants hold 90% mislabeled
+// data — the paper's ">80% low-quality participants" regime (Fig. 7). Plain
+// FedSGD struggles; the DIG-FL reweight mechanism identifies the corrupted
+// participants every epoch and down-weights them, recovering most of the
+// accuracy and stabilizing convergence.
+//
+//	go run ./examples/hfl_reweight
+package main
+
+import (
+	"fmt"
+
+	"digfl"
+	"digfl/internal/tensor"
+)
+
+func main() {
+	rng := tensor.NewRNG(11)
+
+	// A noisy 10-class task: hard enough that corrupted gradients genuinely
+	// slow learning.
+	full := digfl.SynthImages(digfl.ImageConfig{
+		Name: "sensor-images", N: 2500, Side: 8, Classes: 10, Noise: 1.6, Seed: 11,
+	})
+	train, val := full.Split(0.1, rng)
+	parts := digfl.PartitionIID(train, 5, rng)
+	for i := 1; i < 5; i++ {
+		parts[i] = digfl.Mislabel(parts[i], 0.9, rng.Split(int64(i)))
+	}
+	fmt.Println("federation: 1 clean participant, 4 participants with 90% mislabeled data")
+
+	train5 := func(rw *digfl.HFLReweighter) []float64 {
+		tr := &digfl.HFLTrainer{
+			Model: digfl.NewSoftmaxRegression(train.Dim(), train.Classes),
+			Parts: parts,
+			Val:   val,
+			Cfg:   digfl.HFLConfig{Epochs: 25, LR: 0.3},
+		}
+		if rw != nil {
+			tr.Reweighter = rw
+		}
+		var accs []float64
+		tr.Observer = func(ep *digfl.HFLEpoch) {
+			probe := tr.Model.Clone()
+			probe.SetParams(ep.Theta)
+			accs = append(accs, digfl.HFLAccuracy(probe, val))
+		}
+		res := tr.Run()
+		return append(accs, digfl.HFLAccuracy(res.Model, val))
+	}
+
+	plain := train5(nil)
+	reweighted := train5(&digfl.HFLReweighter{})
+
+	fmt.Println("\nvalidation accuracy per epoch:")
+	fmt.Printf("  %-6s %10s %10s\n", "epoch", "FedSGD", "DIG-FL rw")
+	for t := 0; t < len(plain); t += 4 {
+		fmt.Printf("  %-6d %9.1f%% %9.1f%%\n", t, 100*plain[t], 100*reweighted[t])
+	}
+	last := len(plain) - 1
+	fmt.Printf("\nfinal accuracy: plain %.1f%% -> reweighted %.1f%%\n",
+		100*plain[last], 100*reweighted[last])
+	fmt.Println("(the reweight mechanism rectifies per-epoch contributions into")
+	fmt.Println(" aggregation weights, Eq. 17-18 of the paper)")
+}

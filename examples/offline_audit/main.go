@@ -1,0 +1,79 @@
+// offline_audit: separate training from contribution accounting. The
+// coordinator archives the training log (the paper's Λ_t plus the
+// validation gradients — exactly what the server already observes, so the
+// archive adds no privacy exposure under the level-2 definition). Later —
+// possibly on another machine, for an audit or a payout dispute — the log
+// is reloaded and contributions are recomputed, bit-for-bit identical to
+// the live estimate, and converted into payment shares.
+//
+//	go run ./examples/offline_audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"digfl"
+	"digfl/internal/tensor"
+)
+
+func main() {
+	rng := tensor.NewRNG(17)
+	full := digfl.MNISTLike(1500, 17)
+	train, val := full.Split(0.1, rng)
+	parts := digfl.PartitionIID(train, 4, rng)
+	parts[2] = digfl.Mislabel(parts[2], 0.7, rng)
+
+	// --- Day 1: the training run. The server keeps the log and archives it.
+	tr := &digfl.HFLTrainer{
+		Model: digfl.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: parts,
+		Val:   val,
+		Cfg:   digfl.HFLConfig{Epochs: 15, LR: 0.3, KeepLog: true},
+	}
+	res := tr.Run()
+	live := digfl.EstimateHFL(res.Log, len(parts), digfl.ResourceSaving, nil)
+
+	path := filepath.Join(os.TempDir(), "digfl-audit.log.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := digfl.WriteHFLLog(f, res.Log); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("training done; archived %d epochs to %s (%.1f MB)\n",
+		len(res.Log), path, float64(info.Size())/1e6)
+
+	// --- Day 30: the audit. Reload the archive and recompute.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	replayed, err := digfl.ReadHFLLog(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit := digfl.EstimateHFL(replayed, len(parts), digfl.ResourceSaving, nil)
+
+	fmt.Println("\ncontribution audit (live vs replayed):")
+	fmt.Printf("  %-4s %12s %12s %8s\n", "id", "live", "replayed", "share")
+	shares := digfl.ReweightWeights(audit.Totals)
+	identical := true
+	for i := range audit.Totals {
+		if audit.Totals[i] != live.Totals[i] {
+			identical = false
+		}
+		fmt.Printf("  p%-3d %12.5f %12.5f %7.1f%%\n",
+			i, live.Totals[i], audit.Totals[i], 100*shares[i])
+	}
+	fmt.Printf("\nbit-identical to the live estimate: %v\n", identical)
+	_ = os.Remove(path)
+}

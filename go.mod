@@ -1,0 +1,3 @@
+module digfl
+
+go 1.22

@@ -1,0 +1,172 @@
+// Package baselines implements the HFL contribution-evaluation methods the
+// paper compares DIG-FL against in Sec. V-D:
+//
+//   - MR — the Multi-Rounds reconstruction algorithm of Song et al. ("Profit
+//     allocation for federated learning", IEEE Big Data 2019): in every round
+//     the exact Shapley value is computed over the 2^n models reconstructible
+//     from the uploaded gradients, then aggregated across rounds. No
+//     retraining, but exponentially many validation evaluations per round.
+//   - OR — Song et al.'s One-Round variant, which reconstructs coalition
+//     models only from the final round's accumulated updates.
+//   - IM — the influence-measure heuristic of Zhang et al. (WWW'21): each
+//     participant's contribution is the projection of its local updates onto
+//     the final global update direction. Cheap, not a Shapley value.
+//
+// All three consume the same hfl training log DIG-FL uses, so comparisons
+// are apples-to-apples on a single training run.
+package baselines
+
+import (
+	"fmt"
+
+	"digfl/internal/hfl"
+	"digfl/internal/nn"
+	"digfl/internal/shapley"
+	"digfl/internal/tensor"
+)
+
+// ValLoss evaluates loss^v at given parameters using a scratch model clone.
+type ValLoss func(theta []float64) float64
+
+// NewValLoss builds a ValLoss from a model prototype and validation data.
+func NewValLoss(model nn.Model, valX *tensor.Matrix, valY []float64) ValLoss {
+	m := model.Clone()
+	return func(theta []float64) float64 {
+		m.SetParams(theta)
+		return m.Loss(valX, valY)
+	}
+}
+
+// MRResult carries the MR estimate together with its cost counters.
+type MRResult struct {
+	// Shapley[i] is the aggregated per-round Shapley value.
+	Shapley []float64
+	// PerRound[t][i] is the exact round-t Shapley value under the
+	// reconstruction utility (also the Fig. 6 per-epoch "actual" series).
+	PerRound [][]float64
+	// Evals counts validation-loss evaluations (2^n per round).
+	Evals int64
+}
+
+// MR implements the Multi-Rounds reconstruction algorithm. For round t and
+// coalition S it reconstructs θ_t(S) = θ_{t-1} − (1/|S|)·Σ_{i∈S} δ_{t,i} and
+// uses U_t(S) = loss^v(θ_{t-1}) − loss^v(θ_t(S)) as the round utility.
+func MR(log []*hfl.Epoch, valLoss ValLoss) *MRResult {
+	if len(log) == 0 {
+		panic("baselines: MR needs a non-empty training log")
+	}
+	n := len(log[0].Deltas)
+	if n > 20 {
+		panic(fmt.Sprintf("baselines: MR is exponential in participants, %d is too many", n))
+	}
+	res := &MRResult{Shapley: make([]float64, n)}
+	for _, ep := range log {
+		base := valLoss(ep.Theta)
+		res.Evals++
+		u := func(subset []int) float64 {
+			if len(subset) == 0 {
+				return 0
+			}
+			theta := tensor.Clone(ep.Theta)
+			inv := 1 / float64(len(subset))
+			for _, i := range subset {
+				tensor.AXPY(-inv, ep.Deltas[i], theta)
+			}
+			res.Evals++
+			return base - valLoss(theta)
+		}
+		round := shapley.Exact(n, u)
+		res.PerRound = append(res.PerRound, round)
+		for i, v := range round {
+			res.Shapley[i] += v
+		}
+	}
+	return res
+}
+
+// ORResult carries the OR estimate and its cost.
+type ORResult struct {
+	Shapley []float64
+	Evals   int64
+}
+
+// OR implements the One-Round reconstruction algorithm: coalition models are
+// reconstructed from the initial model and each participant's *accumulated*
+// updates over the whole training, then scored once.
+func OR(log []*hfl.Epoch, valLoss ValLoss) *ORResult {
+	if len(log) == 0 {
+		panic("baselines: OR needs a non-empty training log")
+	}
+	n := len(log[0].Deltas)
+	if n > 20 {
+		panic(fmt.Sprintf("baselines: OR is exponential in participants, %d is too many", n))
+	}
+	p := len(log[0].Theta)
+	acc := make([][]float64, n)
+	for i := range acc {
+		acc[i] = make([]float64, p)
+		for _, ep := range log {
+			tensor.AXPY(1, ep.Deltas[i], acc[i])
+		}
+	}
+	theta0 := log[0].Theta
+	res := &ORResult{}
+	base := valLoss(theta0)
+	res.Evals++
+	u := func(subset []int) float64 {
+		if len(subset) == 0 {
+			return 0
+		}
+		theta := tensor.Clone(theta0)
+		inv := 1 / float64(len(subset))
+		for _, i := range subset {
+			tensor.AXPY(-inv, acc[i], theta)
+		}
+		res.Evals++
+		return base - valLoss(theta)
+	}
+	res.Shapley = shapley.Exact(n, u)
+	return res
+}
+
+// IM implements the influence-measure heuristic: the contribution of
+// participant i is Σ_t ⟨δ_{t,i}, u⟩ / ‖u‖ where u = θ_0 − θ_τ is the total
+// global update direction — the projection of local work onto where the
+// model actually went.
+func IM(log []*hfl.Epoch) []float64 {
+	if len(log) == 0 {
+		panic("baselines: IM needs a non-empty training log")
+	}
+	n := len(log[0].Deltas)
+	p := len(log[0].Theta)
+	// Total global movement: sum of aggregated updates.
+	u := make([]float64, p)
+	for _, ep := range log {
+		w := ep.Weights
+		for i, d := range ep.Deltas {
+			wi := 1 / float64(n)
+			if w != nil {
+				wi = w[i]
+			}
+			tensor.AXPY(wi, d, u)
+		}
+	}
+	norm := tensor.Norm2(u)
+	out := make([]float64, n)
+	if norm == 0 {
+		return out
+	}
+	for _, ep := range log {
+		for i, d := range ep.Deltas {
+			out[i] += tensor.Dot(d, u) / norm
+		}
+	}
+	return out
+}
+
+// MRBudget returns the number of validation evaluations MR spends on a
+// τ-round, n-participant log: τ·2^n (the 2^n−1 non-empty coalitions plus the
+// base loss, per round; the empty coalition costs nothing).
+func MRBudget(rounds, n int) int64 {
+	return int64(rounds) * (int64(1) << uint(n))
+}

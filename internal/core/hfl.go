@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"digfl/internal/dataset"
+	"digfl/internal/hfl"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// HVPProvider supplies the Hessian-vector products Algorithm 1 needs: given
+// the broadcast model θ_{t-1}, a participant index, and a vector v, it
+// returns Ĥ_i(θ_{t-1})·v computed on that participant's local data — the
+// per-participant estimator whose mean is unbiased for H̄·v (Sec. III-A).
+type HVPProvider func(theta []float64, participant int, v []float64) []float64
+
+// LocalHVP builds an HVPProvider from a model prototype and the
+// participants' datasets, using the exact Hessian when the model implements
+// nn.HVPer and a central finite difference otherwise.
+func LocalHVP(model nn.Model, parts []dataset.Dataset) HVPProvider {
+	m := model.Clone()
+	return func(theta []float64, participant int, v []float64) []float64 {
+		m.SetParams(theta)
+		p := parts[participant]
+		return nn.HVP(m, p.X, p.Y, v)
+	}
+}
+
+// HFLEstimator implements DIG-FL for horizontal FL: Algorithm 1
+// (Interactive) or Algorithm 2 (ResourceSaving). Feed it every training
+// epoch through Observe, in order; read the result from Attribution.
+type HFLEstimator struct {
+	n, p int
+	mode Mode
+	hvp  HVPProvider
+	// deltaGSum[i] = Σ_{j≤t} ΔG_j^{-i} (Interactive mode only).
+	deltaGSum [][]float64
+	attr      *Attribution
+	lastEpoch int
+}
+
+// NewHFLEstimator creates an estimator for n participants and p model
+// parameters. Interactive mode requires an HVPProvider.
+func NewHFLEstimator(n, p int, mode Mode, hvp HVPProvider) *HFLEstimator {
+	if n <= 0 || p <= 0 {
+		panic(fmt.Sprintf("core: invalid estimator shape n=%d p=%d", n, p))
+	}
+	if mode == Interactive && hvp == nil {
+		panic("core: Interactive mode requires an HVPProvider")
+	}
+	e := &HFLEstimator{n: n, p: p, mode: mode, hvp: hvp, attr: newAttribution(n)}
+	if mode == Interactive {
+		e.deltaGSum = make([][]float64, n)
+		for i := range e.deltaGSum {
+			e.deltaGSum[i] = make([]float64, p)
+		}
+	}
+	return e
+}
+
+// Observe ingests one training epoch and returns the per-epoch contributions
+// φ_{t,i}. Epochs must arrive in order starting at 1.
+func (e *HFLEstimator) Observe(ep *hfl.Epoch) []float64 {
+	if ep.T != e.lastEpoch+1 {
+		panic(fmt.Sprintf("core: epoch %d observed after %d", ep.T, e.lastEpoch))
+	}
+	e.lastEpoch = ep.T
+	checkDim("deltas", len(ep.Deltas), e.n)
+	checkDim("valGrad", len(ep.ValGrad), e.p)
+
+	phi := make([]float64, e.n)
+	inv := 1 / float64(e.n)
+	for i, delta := range ep.Deltas {
+		checkDim("delta", len(delta), e.p)
+		// First term of Eq. 19: (1/n)·∇loss^v(θ_{t-1})·δ_{t,i}.
+		phi[i] = inv * tensor.Dot(ep.ValGrad, delta)
+		if e.mode != Interactive {
+			continue
+		}
+		// Second-order correction: Ω_t^{-i} = Ĥ_i(θ_{t-1})·Σ_{j<t}ΔG_j^{-i}.
+		omega := e.hvp(ep.Theta, i, e.deltaGSum[i])
+		checkDim("hvp result", len(omega), e.p)
+		phi[i] += ep.LR * tensor.Dot(ep.ValGrad, omega)
+		// Advance the recursion: ΔG_t^{-i} = −(1/n)·δ_{t,i} − α_t·Ω_t^{-i}.
+		tensor.AXPY(-inv, delta, e.deltaGSum[i])
+		tensor.AXPY(-ep.LR, omega, e.deltaGSum[i])
+	}
+	e.attr.record(phi)
+	return phi
+}
+
+// Attribution returns the accumulated estimate. The returned value is live;
+// it reflects all epochs observed so far.
+func (e *HFLEstimator) Attribution() *Attribution { return e.attr }
+
+// EstimateHFL replays a retained training log through a fresh estimator —
+// the offline path when the log was captured with Config.KeepLog.
+func EstimateHFL(log []*hfl.Epoch, n int, mode Mode, hvp HVPProvider) *Attribution {
+	if len(log) == 0 {
+		panic("core: empty training log")
+	}
+	e := NewHFLEstimator(n, len(log[0].ValGrad), mode, hvp)
+	for _, ep := range log {
+		e.Observe(ep)
+	}
+	return e.Attribution()
+}
+
+// HFLReweighter plugs DIG-FL's per-epoch contributions into the hfl
+// trainer's aggregation (Sec. III-C): each round it computes the
+// resource-saving contributions from the round's log record and converts
+// them to weights with Eq. 17.
+type HFLReweighter struct {
+	// Estimator, when non-nil, also accumulates the per-epoch contributions
+	// so a single pass yields both the reweighted model and the attribution.
+	Estimator *HFLEstimator
+}
+
+// Weights implements hfl.Reweighter.
+func (r *HFLReweighter) Weights(ep *hfl.Epoch) []float64 {
+	var phi []float64
+	if r.Estimator != nil {
+		phi = r.Estimator.Observe(ep)
+	} else {
+		n := len(ep.Deltas)
+		phi = make([]float64, n)
+		inv := 1 / float64(n)
+		for i, delta := range ep.Deltas {
+			phi[i] = inv * tensor.Dot(ep.ValGrad, delta)
+		}
+	}
+	return Weights(phi)
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// RoundInfo is the per-round broadcast a participant needs for local sample
+// attribution: the global model θ_{t-1}, the server-published validation
+// gradient, and the learning rate. It is the participant-visible slice of
+// an hfl.Epoch.
+type RoundInfo struct {
+	Theta   []float64
+	ValGrad []float64
+	LR      float64
+}
+
+// SampleContributions decomposes one participant's per-epoch DIG-FL
+// contribution across its individual training samples:
+//
+//	φ_{t,i} = Σ_s φ_{t,i,s},   φ_{t,i,s} = (α_t / (n·m_i)) · ∇loss^v(θ_{t-1}) · ∇loss(s, θ_{t-1})
+//
+// because the local update is the mean of per-sample gradients. The
+// decomposition runs locally at the participant (it needs the raw samples),
+// which is exactly where it is useful: a participant whose aggregate
+// contribution is low can trace the damage to specific samples — the
+// federated model-debugging use case the paper's introduction motivates
+// (benefit (1), and the companion work of Li et al., ICDE'21, cited as [16]).
+//
+// model is used as a scratch prototype and n is the participant count.
+func SampleContributions(model nn.Model, ds dataset.Dataset, round RoundInfo, n int) []float64 {
+	checkDim("theta", len(round.Theta), model.NumParams())
+	checkDim("valGrad", len(round.ValGrad), model.NumParams())
+	m := model.Clone()
+	m.SetParams(round.Theta)
+	out := make([]float64, ds.Len())
+	scale := round.LR / (float64(n) * float64(ds.Len()))
+	row := tensor.NewMatrix(1, ds.Dim())
+	y := make([]float64, 1)
+	for s := 0; s < ds.Len(); s++ {
+		copy(row.Row(0), ds.X.Row(s))
+		y[0] = ds.Y[s]
+		g := m.Grad(row, y)
+		out[s] = scale * tensor.Dot(round.ValGrad, g)
+	}
+	return out
+}
+
+// AccumulateSampleContributions sums per-sample contributions across the
+// rounds of a whole training run — the sample-granularity analogue of
+// Attribution.Totals.
+func AccumulateSampleContributions(model nn.Model, ds dataset.Dataset, rounds []RoundInfo, n int) []float64 {
+	totals := make([]float64, ds.Len())
+	for _, round := range rounds {
+		phi := SampleContributions(model, ds, round, n)
+		for s, v := range phi {
+			totals[s] += v
+		}
+	}
+	return totals
+}

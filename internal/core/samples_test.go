@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"digfl/internal/dataset"
+	"digfl/internal/hfl"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// Per-sample contributions must sum exactly to the participant's per-epoch
+// contribution (the mean-of-gradients identity).
+func TestSampleContributionsSumToParticipantPhi(t *testing.T) {
+	tr, _ := hflSetup(51, 3)
+	res := tr.Run()
+	attr := EstimateHFL(res.Log, 5, ResourceSaving, nil)
+	for ti, ep := range res.Log {
+		for i := range tr.Parts {
+			phi := SampleContributions(tr.Model, tr.Parts[i],
+				RoundInfo{Theta: ep.Theta, ValGrad: ep.ValGrad, LR: ep.LR}, 5)
+			if got, want := tensor.Sum(phi), attr.PerEpoch[ti][i]; math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("epoch %d participant %d: Σ samples %v vs φ %v", ti+1, i, got, want)
+			}
+		}
+	}
+}
+
+// Mislabeled samples inside a participant's shard must sink to the bottom of
+// the sample ranking — the model-debugging use case.
+func TestSampleContributionsIsolateMislabeledSamples(t *testing.T) {
+	rng := tensor.NewRNG(52)
+	full := dataset.MNISTLike(500, 52)
+	train, val := full.Split(0.2, rng)
+	parts := dataset.PartitionIID(train, 2, rng)
+	// Corrupt exactly the first half of participant 0's shard.
+	shard := parts[0]
+	nBad := shard.Len() / 2
+	for s := 0; s < nBad; s++ {
+		orig := int(shard.Y[s])
+		shard.Y[s] = float64((orig + 1 + rng.Intn(shard.Classes-1)) % shard.Classes)
+	}
+	tr := &hfl.Trainer{
+		Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: parts,
+		Val:   val,
+		Cfg:   hfl.Config{Epochs: 8, LR: 0.3, KeepLog: true},
+	}
+	res := tr.Run()
+
+	rounds := make([]RoundInfo, len(res.Log))
+	for i, ep := range res.Log {
+		rounds[i] = RoundInfo{Theta: ep.Theta, ValGrad: ep.ValGrad, LR: ep.LR}
+	}
+	totals := AccumulateSampleContributions(tr.Model, shard, rounds, 2)
+
+	// Rank samples; the corrupted half should dominate the bottom ranks.
+	order := make([]int, len(totals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return totals[order[a]] < totals[order[b]] })
+	badInBottom := 0
+	for _, s := range order[:nBad] {
+		if s < nBad {
+			badInBottom++
+		}
+	}
+	if frac := float64(badInBottom) / float64(nBad); frac < 0.8 {
+		t.Fatalf("only %.0f%% of mislabeled samples in the bottom half of the ranking", 100*frac)
+	}
+}
+
+func TestSampleContributionsValidatesShapes(t *testing.T) {
+	model := nn.NewSoftmaxRegression(4, 2)
+	ds := dataset.SynthTabular(dataset.TabularConfig{
+		Name: "t", N: 10, D: 4, Task: dataset.Classification, Informative: 2, Noise: 0.1, Seed: 1,
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleContributions(model, ds, RoundInfo{Theta: []float64{1}, ValGrad: []float64{1}, LR: 0.1}, 2)
+}

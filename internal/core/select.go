@@ -1,0 +1,34 @@
+package core
+
+import "sort"
+
+// Rank returns participant indices ordered by descending contribution — the
+// ranking used for budget-constrained participant selection (one of the
+// applications Sec. II-F lists).
+func Rank(phi []float64) []int {
+	order := make([]int, len(phi))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return phi[order[a]] > phi[order[b]] })
+	return order
+}
+
+// SelectTopK returns the k highest-contribution participants (all of them
+// when k exceeds the population).
+func SelectTopK(phi []float64, k int) []int {
+	if k < 0 {
+		k = 0
+	}
+	order := Rank(phi)
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// PaymentShares converts total contributions into a fair payment split: the
+// rectified, normalized shares of Eq. 17 applied to whole-training totals.
+// It is the contribution-based reward allocation the paper motivates for
+// commercial FL.
+func PaymentShares(phi []float64) []float64 { return Weights(phi) }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRank(t *testing.T) {
+	order := Rank([]float64{0.1, 0.9, -0.5, 0.4})
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("Rank = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRankStableOnTies(t *testing.T) {
+	order := Rank([]float64{0.5, 0.5, 0.5})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties must keep input order: %v", order)
+		}
+	}
+}
+
+func TestSelectTopK(t *testing.T) {
+	phi := []float64{0.1, 0.9, -0.5, 0.4}
+	if got := SelectTopK(phi, 2); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("top-2 = %v", got)
+	}
+	if got := SelectTopK(phi, 99); len(got) != 4 {
+		t.Fatalf("overlarge k must clamp: %v", got)
+	}
+	if got := SelectTopK(phi, -1); len(got) != 0 {
+		t.Fatalf("negative k must clamp to empty: %v", got)
+	}
+}
+
+// Property: Rank returns a permutation and contributions are non-increasing
+// along it.
+func TestRankPermutationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		order := Rank(raw)
+		if len(order) != len(raw) {
+			return false
+		}
+		seen := make([]bool, len(raw))
+		for _, i := range order {
+			if i < 0 || i >= len(raw) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for k := 1; k < len(order); k++ {
+			if raw[order[k-1]] < raw[order[k]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaymentShares(t *testing.T) {
+	shares := PaymentShares([]float64{3, 1, -2})
+	if math.Abs(shares[0]-0.75) > 1e-12 || math.Abs(shares[1]-0.25) > 1e-12 || shares[2] != 0 {
+		t.Fatalf("shares = %v", shares)
+	}
+}

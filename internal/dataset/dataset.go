@@ -1,0 +1,97 @@
+// Package dataset provides the synthetic data generators, horizontal
+// partitioners, vertical feature splitters, and corruption operators used by
+// the DIG-FL experiments. The generators stand in for the paper's 14 public
+// datasets (see DESIGN.md §5): Gaussian class-prototype images replace
+// MNIST/CIFAR10/MOTOR/REAL, and planted linear/logistic ground truths
+// replace the ten UCI/Kaggle tabular datasets.
+package dataset
+
+import (
+	"fmt"
+
+	"digfl/internal/tensor"
+)
+
+// Task distinguishes regression from classification datasets.
+type Task int
+
+const (
+	// Regression datasets have continuous targets.
+	Regression Task = iota
+	// Classification datasets have integer class labels stored as float64.
+	Classification
+)
+
+// Dataset is a design matrix with labels. For classification, Y holds class
+// indices as float64 and Classes > 0; for regression Classes == 0.
+type Dataset struct {
+	Name    string
+	X       *tensor.Matrix
+	Y       []float64
+	Classes int
+}
+
+// Task returns the dataset's task kind.
+func (d Dataset) Task() Task {
+	if d.Classes > 0 {
+		return Classification
+	}
+	return Regression
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return d.X.Rows }
+
+// Dim returns the number of features.
+func (d Dataset) Dim() int { return d.X.Cols }
+
+// Subset returns a new dataset containing the given rows, copying the data.
+func (d Dataset) Subset(idx []int) Dataset {
+	y := make([]float64, len(idx))
+	for k, i := range idx {
+		y[k] = d.Y[i]
+	}
+	return Dataset{Name: d.Name, X: d.X.SelectRows(idx), Y: y, Classes: d.Classes}
+}
+
+// Clone deep-copies the dataset.
+func (d Dataset) Clone() Dataset {
+	return Dataset{Name: d.Name, X: d.X.Clone(), Y: tensor.Clone(d.Y), Classes: d.Classes}
+}
+
+// Split shuffles the dataset and splits off a validation fraction, the
+// server-held high-quality validation set the paper assumes (Sec. II-A).
+func (d Dataset) Split(valFrac float64, rng *tensor.RNG) (train, val Dataset) {
+	if valFrac < 0 || valFrac >= 1 {
+		panic(fmt.Sprintf("dataset: invalid validation fraction %v", valFrac))
+	}
+	perm := rng.Perm(d.Len())
+	nVal := int(float64(d.Len()) * valFrac)
+	val = d.Subset(perm[:nVal])
+	train = d.Subset(perm[nVal:])
+	return
+}
+
+// Concat appends the rows of o to d, returning a new dataset. The datasets
+// must agree on dimensionality and class count.
+func (d Dataset) Concat(o Dataset) Dataset {
+	if d.Dim() != o.Dim() || d.Classes != o.Classes {
+		panic("dataset: Concat shape/class mismatch")
+	}
+	x := tensor.NewMatrix(d.Len()+o.Len(), d.Dim())
+	copy(x.Data[:len(d.X.Data)], d.X.Data)
+	copy(x.Data[len(d.X.Data):], o.X.Data)
+	y := make([]float64, 0, d.Len()+o.Len())
+	y = append(y, d.Y...)
+	y = append(y, o.Y...)
+	return Dataset{Name: d.Name, X: x, Y: y, Classes: d.Classes}
+}
+
+// Labels returns the labels as ints (classification only).
+func (d Dataset) Labels() []int {
+	out := make([]int, len(d.Y))
+	for i, v := range d.Y {
+		out[i] = int(v)
+	}
+	return out
+}

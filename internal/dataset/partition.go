@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"digfl/internal/tensor"
+)
+
+// PartitionIID shuffles the dataset and deals it evenly to n participants.
+func PartitionIID(d Dataset, n int, rng *tensor.RNG) []Dataset {
+	if n <= 0 || n > d.Len() {
+		panic(fmt.Sprintf("dataset: cannot split %d samples across %d participants", d.Len(), n))
+	}
+	perm := rng.Perm(d.Len())
+	out := make([]Dataset, n)
+	for i := 0; i < n; i++ {
+		lo := i * d.Len() / n
+		hi := (i + 1) * d.Len() / n
+		out[i] = d.Subset(perm[lo:hi])
+		out[i].Name = fmt.Sprintf("%s/part%d", d.Name, i)
+	}
+	return out
+}
+
+// NonIIDConfig controls the paper's non-IID HFL setting (Sec. V-C1): the
+// first n−m participants receive IID shards covering all classes; the last m
+// participants receive shards restricted to a random strict subset of the
+// classes ("1 to 9 categories out of 10").
+type NonIIDConfig struct {
+	N int // participants
+	M int // low-quality (non-IID) participants, the last M of the N
+	// MaxClasses bounds how many classes a non-IID participant may hold;
+	// 0 means Classes−1.
+	MaxClasses int
+}
+
+// PartitionNonIID implements NonIIDConfig. Every participant receives
+// roughly Len/N samples.
+func PartitionNonIID(d Dataset, cfg NonIIDConfig, rng *tensor.RNG) []Dataset {
+	if d.Classes < 2 {
+		panic("dataset: PartitionNonIID needs a classification dataset")
+	}
+	if cfg.M < 0 || cfg.M > cfg.N || cfg.N <= 0 {
+		panic(fmt.Sprintf("dataset: invalid non-IID config %+v", cfg))
+	}
+	maxClasses := cfg.MaxClasses
+	if maxClasses <= 0 || maxClasses >= d.Classes {
+		maxClasses = d.Classes - 1
+	}
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		c := int(y)
+		byClass[c] = append(byClass[c], i)
+	}
+	for c := range byClass {
+		shuffle(byClass[c], rng)
+	}
+	per := d.Len() / cfg.N
+	take := func(classes []int, want int) []int {
+		idx := make([]int, 0, want)
+		for len(idx) < want {
+			progress := false
+			for _, c := range classes {
+				if len(idx) == want {
+					break
+				}
+				if len(byClass[c]) > 0 {
+					idx = append(idx, byClass[c][0])
+					byClass[c] = byClass[c][1:]
+					progress = true
+				}
+			}
+			if !progress {
+				break // the chosen classes ran dry; accept a smaller shard
+			}
+		}
+		return idx
+	}
+	all := make([]int, d.Classes)
+	for c := range all {
+		all[c] = c
+	}
+	out := make([]Dataset, cfg.N)
+	// IID participants draw first, round-robin across all classes, so each
+	// one sees every class; non-IID participants then draw from the classes
+	// with the most remaining samples.
+	for i := 0; i < cfg.N-cfg.M; i++ {
+		idx := take(all, per)
+		out[i] = d.Subset(idx)
+		out[i].Name = fmt.Sprintf("%s/iid%d", d.Name, i)
+	}
+	for i := cfg.N - cfg.M; i < cfg.N; i++ {
+		k := 1 + rng.Intn(maxClasses)
+		richest := richestClasses(byClass, k, rng)
+		idx := take(richest, per)
+		out[i] = d.Subset(idx)
+		out[i].Name = fmt.Sprintf("%s/noniid%d", d.Name, i)
+	}
+	return out
+}
+
+// richestClasses returns the k classes with the most remaining samples,
+// breaking ties randomly, so non-IID shards stay close to their target size.
+func richestClasses(byClass [][]int, k int, rng *tensor.RNG) []int {
+	order := rng.Perm(len(byClass))
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(byClass[order[a]]) > len(byClass[order[b]])
+	})
+	return order[:k]
+}
+
+func shuffle(idx []int, rng *tensor.RNG) {
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// Block is a contiguous range of feature coordinates [Lo, Hi) owned by one
+// VFL participant.
+type Block struct{ Lo, Hi int }
+
+// Size returns the number of features in the block.
+func (b Block) Size() int { return b.Hi - b.Lo }
+
+// VerticalBlocks splits d feature coordinates into n contiguous blocks of
+// near-equal size, the per-participant feature partition used by the VFL
+// simulator and by the diag(v̄_z) masking in Lemma 2.
+func VerticalBlocks(d, n int) []Block {
+	if n <= 0 || n > d {
+		panic(fmt.Sprintf("dataset: cannot split %d features across %d parties", d, n))
+	}
+	blocks := make([]Block, n)
+	for i := 0; i < n; i++ {
+		blocks[i] = Block{Lo: i * d / n, Hi: (i + 1) * d / n}
+	}
+	return blocks
+}
+
+// ClassHistogram returns the per-class sample counts of a classification
+// dataset (used by tests and diagnostics).
+func ClassHistogram(d Dataset) []int {
+	h := make([]int, d.Classes)
+	for _, y := range d.Y {
+		h[int(y)]++
+	}
+	return h
+}
+
+// DistinctClasses returns the sorted list of classes present in d.
+func DistinctClasses(d Dataset) []int {
+	seen := map[int]bool{}
+	for _, y := range d.Y {
+		seen[int(y)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

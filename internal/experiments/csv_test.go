@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"digfl/internal/metrics"
+)
+
+// checkTables asserts every table has a header and rectangular rows.
+func checkTables(t *testing.T, tables map[string][][]string, wantNames ...string) {
+	t.Helper()
+	for _, name := range wantNames {
+		rows, ok := tables[name]
+		if !ok {
+			t.Fatalf("missing table %q (have %v)", name, keys(tables))
+		}
+		if len(rows) < 2 {
+			t.Fatalf("table %q has no data rows", name)
+		}
+		width := len(rows[0])
+		for i, row := range rows {
+			if len(row) != width {
+				t.Fatalf("table %q row %d has %d cells, want %d", name, i, len(row), width)
+			}
+		}
+	}
+}
+
+func keys(m map[string][][]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSecondTermTables(t *testing.T) {
+	res := SecondTerm(QuickOpts())
+	tables := res.Tables()
+	checkTables(t, tables, "table2", "fig2_hfl", "fig2_vfl")
+	if got := len(tables["table2"]) - 1; got != 14 {
+		t.Fatalf("table2 has %d data rows, want 14", got)
+	}
+}
+
+func TestReweightTables(t *testing.T) {
+	res := Reweight("MOTOR", Mislabeled, QuickOpts())
+	tables := res.Tables()
+	checkTables(t, tables, "fig7_MOTOR_points", "fig7_MOTOR_curves")
+	// Points rows must parse back to the result values.
+	for i, p := range res.Points {
+		row := tables["fig7_MOTOR_points"][i+1]
+		if row[2] != strconv.Itoa(p.M) {
+			t.Fatalf("row %d m = %s, want %d", i, row[2], p.M)
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || v < p.PlainAcc-1e-6 || v > p.PlainAcc+1e-6 {
+			t.Fatalf("row %d plain = %s, want ≈%v", i, row[3], p.PlainAcc)
+		}
+	}
+}
+
+func TestComparisonAndActualTables(t *testing.T) {
+	vfl := VFLvsActual(QuickOpts())
+	checkTables(t, vfl.Tables(), "table3")
+	cmp := VFLComparison(QuickOpts())
+	checkTables(t, cmp.Tables(), "table5")
+	// HFL comparison table stem differs.
+	hflCmp := &ComparisonResult{Kind: "HFL", Rows: []ComparisonRow{{
+		Dataset: "X", N: 5,
+		Scores: map[string]MethodScore{"DIG-FL": {PCC: 1, Cost: metrics.Cost{}}},
+	}}}
+	checkTables(t, hflCmp.Tables(), "table4")
+}
+
+func TestPerEpochAndFig3Tables(t *testing.T) {
+	pe := PerEpoch(QuickOpts())
+	checkTables(t, pe.Tables(), "fig6")
+	ha := HFLvsActual(QuickOpts())
+	checkTables(t, ha.Tables(), "fig3_scatter", "fig3_summary")
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]string{{"a", "b"}, {"1", "2"}}
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	if got != "a,b\n1,2" {
+		t.Fatalf("csv = %q", got)
+	}
+}

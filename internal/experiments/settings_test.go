@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+
+	"digfl/internal/dataset"
+)
+
+func TestOptsScalingFloors(t *testing.T) {
+	o := Opts{Scale: 0.01, Seed: 1}
+	if got := o.samples(2500); got != 300 {
+		t.Fatalf("samples floor = %d, want 300", got)
+	}
+	if got := o.epochs(25); got != 5 {
+		t.Fatalf("epochs floor = %d, want 5", got)
+	}
+	full := Opts{Scale: 1, Seed: 1}
+	if full.samples(2500) != 2500 || full.epochs(25) != 25 {
+		t.Fatal("full scale must pass through")
+	}
+}
+
+func TestCorruptionString(t *testing.T) {
+	if Mislabeled.String() != "mislabeled" || NonIID.String() != "non-IID" {
+		t.Fatal("corruption strings wrong")
+	}
+}
+
+func TestBuildHFLMislabeled(t *testing.T) {
+	s := HFLSetting{
+		Dataset: "MNIST", N: 4, M: 2, Corruption: Mislabeled, MislabelFrac: 0.5,
+		Samples: 400, Epochs: 3, LR: 0.1, Seed: 9,
+	}
+	tr := BuildHFL(s)
+	if len(tr.Parts) != 4 {
+		t.Fatalf("got %d participants", len(tr.Parts))
+	}
+	if tr.Cfg.Epochs != 3 || tr.Cfg.LR != 0.1 {
+		t.Fatal("config not wired")
+	}
+	// The last two participants must carry corrupted names from Mislabel.
+	for i := 2; i < 4; i++ {
+		if got := tr.Parts[i].Name; got == "" || got == tr.Parts[0].Name {
+			t.Fatalf("participant %d should be a mislabeled shard, name %q", i, got)
+		}
+	}
+	// Deterministic rebuild.
+	tr2 := BuildHFL(s)
+	if tr.Parts[0].Y[0] != tr2.Parts[0].Y[0] {
+		t.Fatal("BuildHFL must be deterministic for a fixed setting")
+	}
+}
+
+func TestBuildHFLNonIIDRespectsMaxClasses(t *testing.T) {
+	s := HFLSetting{
+		Dataset: "MNIST", N: 4, M: 2, Corruption: NonIID, MaxClasses: 2,
+		LocalSteps: 3, Samples: 1000, Epochs: 3, LR: 0.1, Seed: 10,
+	}
+	tr := BuildHFL(s)
+	if tr.Cfg.LocalSteps != 3 {
+		t.Fatal("LocalSteps not wired")
+	}
+	for i := 2; i < 4; i++ {
+		if got := len(dataset.DistinctClasses(tr.Parts[i])); got > 2 {
+			t.Fatalf("non-IID participant %d holds %d classes, max 2", i, got)
+		}
+	}
+}
+
+func TestBuildHFLUnknownCorruptionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildHFL(HFLSetting{Dataset: "MNIST", N: 2, Corruption: Corruption(9),
+		Samples: 300, Epochs: 1, LR: 0.1})
+}
+
+func TestCommModels(t *testing.T) {
+	// 2 retrains × 3 epochs × 4 participants × 2·10 floats.
+	if got := hflCommFloats(2, 3, 4, 10); got != 480 {
+		t.Fatalf("hflCommFloats = %d", got)
+	}
+	// 2 retrains × 3 epochs × 4 parties × 2·50 samples.
+	if got := vflCommFloats(2, 3, 4, 50); got != 2400 {
+		t.Fatalf("vflCommFloats = %d", got)
+	}
+}
+
+func TestFig3SettingsShape(t *testing.T) {
+	full := fig3Settings(Opts{Scale: 1, Seed: 1})
+	if len(full) != 4+15 {
+		t.Fatalf("full sweep has %d settings", len(full))
+	}
+	quick := fig3Settings(QuickOpts())
+	if len(quick) >= len(full) {
+		t.Fatal("quick sweep must be thinner")
+	}
+	for _, s := range full {
+		if s.Dataset == "MNIST" && s.N != 10 {
+			t.Fatal("MNIST must use n=10 at full scale")
+		}
+		if s.Dataset == "MOTOR" && s.LR != 0.1 {
+			t.Fatal("MOTOR must use the gentler rate")
+		}
+	}
+}
+
+func TestTableIIIPresetsCapParties(t *testing.T) {
+	quick := tableIIIPresets(QuickOpts())
+	for _, p := range quick {
+		if p.Parties > 8 {
+			t.Fatalf("quick preset %s has %d parties", p.Config.Name, p.Parties)
+		}
+	}
+	full := tableIIIPresets(Opts{Scale: 1, Seed: 1})
+	max := 0
+	for _, p := range full {
+		if p.Parties > max {
+			max = p.Parties
+		}
+	}
+	if max != 15 {
+		t.Fatalf("full presets should keep the paper's n=15, got max %d", max)
+	}
+}

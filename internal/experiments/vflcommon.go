@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+	"digfl/internal/vfl"
+)
+
+// buildVFL materializes a Table III preset into a problem and training
+// configuration.
+func buildVFL(p dataset.VFLPreset, o Opts) (*vfl.Problem, vfl.Config) {
+	full := dataset.SynthTabular(p.Config)
+	train, val := full.Split(0.1, tensor.NewRNG(p.Config.Seed+o.Seed))
+	kind := vfl.LinReg
+	lr := 0.02
+	if p.LogReg {
+		kind = vfl.LogReg
+		lr = 0.3
+	}
+	prob := &vfl.Problem{
+		Train:  train,
+		Val:    val,
+		Blocks: dataset.VerticalBlocks(train.Dim(), p.Parties),
+		Kind:   kind,
+	}
+	cfg := vfl.Config{Epochs: o.epochs(25), LR: lr, KeepLog: true}
+	return prob, cfg
+}
+
+// probModel returns a model prototype matching the problem, used to build
+// Hessian-vector products and validation evaluators.
+func probModel(prob *vfl.Problem) nn.Model {
+	if prob.Kind == vfl.LinReg {
+		return nn.NewLinearRegression(prob.Train.Dim(), false)
+	}
+	return nn.NewLogisticRegression(prob.Train.Dim(), false)
+}
+
+// vflCommFloats models the communication of VFL contribution methods in
+// float64 units: each retraining epoch moves the per-sample intermediate
+// results (m values per party, both directions).
+func vflCommFloats(retrains int64, epochs, n, m int) int64 {
+	return retrains * int64(epochs) * int64(n) * int64(2*m)
+}

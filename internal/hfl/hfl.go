@@ -1,0 +1,284 @@
+// Package hfl implements the horizontal federated learning substrate:
+// full-batch FedSGD over n participants with a central server, exactly the
+// unified protocol of Sec. II-A / III-A of the DIG-FL paper. Every epoch the
+// server records the training log Λ_t = {δ_{t,1}, …, δ_{t,n}} together with
+// the server-side validation gradient — the only inputs DIG-FL needs — and
+// optionally applies a participant-reweighting policy (Eq. 21–22).
+package hfl
+
+import (
+	"fmt"
+	"sync"
+
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// Config controls a federated training run.
+type Config struct {
+	// Epochs is the number of synchronous FedSGD rounds τ.
+	Epochs int
+	// LR is the learning rate α; LRSchedule overrides it when non-nil.
+	LR float64
+	// LRSchedule returns α_t for 1-based epoch t.
+	LRSchedule func(t int) float64
+	// LocalSteps is the number of local gradient steps a participant takes
+	// per round before uploading δ_{t,i} = θ_{t-1} − θ_{t-1,i} (the paper's
+	// "update the current global model using local data to obtain the local
+	// model"). 0 or 1 is classic one-step FedSGD; larger values give
+	// FedAvg-style local training, where non-IID client drift appears.
+	LocalSteps int
+	// KeepLog retains the per-epoch training log in the result. Retraining
+	// sweeps (actual Shapley) disable it to save memory.
+	KeepLog bool
+	// Parallel computes the participants' local updates concurrently (one
+	// goroutine per participant). Results are bit-identical to the serial
+	// path because aggregation order is fixed; it only helps when local
+	// gradient computation dominates.
+	Parallel bool
+}
+
+func (c Config) localSteps() int {
+	if c.LocalSteps < 1 {
+		return 1
+	}
+	return c.LocalSteps
+}
+
+func (c Config) lr(t int) float64 {
+	if c.LRSchedule != nil {
+		return c.LRSchedule(t)
+	}
+	return c.LR
+}
+
+func (c Config) validate(n int) error {
+	if c.Epochs <= 0 {
+		return fmt.Errorf("hfl: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.LR <= 0 && c.LRSchedule == nil {
+		return fmt.Errorf("hfl: LR must be positive, got %v", c.LR)
+	}
+	if n == 0 {
+		return fmt.Errorf("hfl: no participants")
+	}
+	return nil
+}
+
+// Epoch is one record of the training log: everything the server observed
+// in round T before aggregating.
+type Epoch struct {
+	// T is the 1-based round number.
+	T int
+	// Theta is a copy of the global model θ_{T-1} broadcast this round.
+	Theta []float64
+	// Deltas are the local updates δ_{T,i} = α_T·∇loss_i(θ_{T-1}).
+	Deltas [][]float64
+	// LR is α_T.
+	LR float64
+	// ValGrad is ∇loss^v(θ_{T-1}) on the server's validation set.
+	ValGrad []float64
+	// ValLoss is loss^v(θ_{T-1}).
+	ValLoss float64
+	// Weights are the aggregation weights actually used; nil means the
+	// uniform 1/n FedSGD average.
+	Weights []float64
+}
+
+// Reweighter chooses per-epoch aggregation weights, the hook the DIG-FL
+// reweight mechanism (Sec. II-F) plugs into. Returning nil keeps the uniform
+// average.
+type Reweighter interface {
+	Weights(ep *Epoch) []float64
+}
+
+// Aggregator replaces the server's weighted-sum combination of local updates
+// entirely — the hook robust aggregation rules (coordinate median, trimmed
+// mean) plug into. It receives the epoch record after Weights are fixed and
+// returns the global update G_t the server subtracts from θ_{t-1}.
+type Aggregator interface {
+	Aggregate(ep *Epoch) []float64
+}
+
+// Observer receives each epoch record after the aggregation weights are
+// fixed; DIG-FL's online estimators observe training through this hook.
+type Observer func(ep *Epoch)
+
+// Trainer runs FedSGD over a fixed participant population.
+type Trainer struct {
+	// Model is the initial global model prototype; Run clones it, so a
+	// Trainer can be reused for leave-out retraining from identical
+	// initialization.
+	Model nn.Model
+	// Parts are the participants' local datasets.
+	Parts []dataset.Dataset
+	// Val is the server's validation dataset.
+	Val dataset.Dataset
+	// Cfg holds the optimization hyperparameters.
+	Cfg Config
+	// Reweighter optionally adjusts aggregation weights each round.
+	Reweighter Reweighter
+	// Aggregator optionally replaces the weighted-sum combination of local
+	// updates (robust aggregation rules). When set, it consumes the epoch
+	// record (including any Reweighter weights) and produces G_t itself.
+	Aggregator Aggregator
+	// Observer optionally watches each epoch record.
+	Observer Observer
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	// Model is the final global model.
+	Model nn.Model
+	// InitLoss is loss^v(θ_0).
+	InitLoss float64
+	// FinalLoss is loss^v(θ_τ).
+	FinalLoss float64
+	// Log is the per-epoch training log (nil unless Cfg.KeepLog).
+	Log []*Epoch
+	// ValLossCurve records loss^v(θ_t) for t = 0..τ.
+	ValLossCurve []float64
+}
+
+// Utility returns V = loss^v(θ_0) − loss^v(θ_τ), the paper's utility
+// function (Eq. 2) for the trained coalition.
+func (r *Result) Utility() float64 { return r.InitLoss - r.FinalLoss }
+
+// Run trains with all participants.
+func (tr *Trainer) Run() *Result {
+	all := make([]int, len(tr.Parts))
+	for i := range all {
+		all[i] = i
+	}
+	return tr.RunSubset(all)
+}
+
+// RunSubset trains with only the listed participants (the coalition S),
+// averaging their updates with weight 1/|S|. An empty subset performs no
+// training, leaving θ at the initial model — the V(∅) case. The reweighter
+// and observer only see rounds of the subset run.
+func (tr *Trainer) RunSubset(subset []int) *Result {
+	if err := tr.Cfg.validate(len(tr.Parts)); err != nil {
+		panic(err)
+	}
+	model := tr.Model.Clone()
+	res := &Result{Model: model}
+	res.InitLoss = model.Loss(tr.Val.X, tr.Val.Y)
+	res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
+
+	p := model.NumParams()
+	for t := 1; t <= tr.Cfg.Epochs; t++ {
+		if len(subset) == 0 {
+			res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
+			continue
+		}
+		lr := tr.Cfg.lr(t)
+		theta := tensor.Clone(model.Params())
+		steps := tr.Cfg.localSteps()
+		deltas := make([][]float64, len(subset))
+		localUpdate := func(k int) {
+			part := tr.Parts[subset[k]]
+			if steps == 1 {
+				// model.Grad does not mutate the model, so concurrent
+				// single-step updates can share it.
+				g := model.Grad(part.X, part.Y)
+				tensor.Scale(lr, g)
+				deltas[k] = g
+				return
+			}
+			// Multi-step local training: δ_{t,i} = θ_{t-1} − θ_{t-1,i}.
+			local := model.Clone()
+			for s := 0; s < steps; s++ {
+				tensor.AXPY(-lr, local.Grad(part.X, part.Y), local.Params())
+			}
+			deltas[k] = tensor.Sub(theta, local.Params())
+		}
+		if tr.Cfg.Parallel && len(subset) > 1 {
+			var wg sync.WaitGroup
+			for k := range subset {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					localUpdate(k)
+				}(k)
+			}
+			wg.Wait()
+		} else {
+			for k := range subset {
+				localUpdate(k)
+			}
+		}
+		ep := &Epoch{
+			T:       t,
+			Theta:   theta,
+			Deltas:  deltas,
+			LR:      lr,
+			ValGrad: model.Grad(tr.Val.X, tr.Val.Y),
+			ValLoss: res.ValLossCurve[len(res.ValLossCurve)-1],
+		}
+		if tr.Reweighter != nil {
+			ep.Weights = tr.Reweighter.Weights(ep)
+		}
+		var grad []float64
+		switch {
+		case tr.Aggregator != nil:
+			grad = tr.Aggregator.Aggregate(ep)
+			if len(grad) != p {
+				panic(fmt.Sprintf("hfl: aggregator returned %d values for %d params", len(grad), p))
+			}
+		case ep.Weights == nil:
+			grad = make([]float64, p)
+			inv := 1 / float64(len(subset))
+			for _, d := range deltas {
+				tensor.AXPY(inv, d, grad)
+			}
+		default:
+			if len(ep.Weights) != len(deltas) {
+				panic(fmt.Sprintf("hfl: reweighter returned %d weights for %d participants",
+					len(ep.Weights), len(deltas)))
+			}
+			grad = make([]float64, p)
+			for k, d := range deltas {
+				tensor.AXPY(ep.Weights[k], d, grad)
+			}
+		}
+		tensor.AXPY(-1, grad, model.Params())
+		if tr.Observer != nil {
+			tr.Observer(ep)
+		}
+		if tr.Cfg.KeepLog {
+			res.Log = append(res.Log, ep)
+		}
+		res.ValLossCurve = append(res.ValLossCurve, model.Loss(tr.Val.X, tr.Val.Y))
+	}
+	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
+	return res
+}
+
+// Utility is the coalition utility function V(S) (Eq. 2) computed by full
+// retraining from the trainer's initial model — the ground truth the actual
+// Shapley value is defined on. It is deliberately expensive: the whole point
+// of DIG-FL is avoiding calls to this.
+func (tr *Trainer) Utility(subset []int) float64 {
+	cfg := tr.Cfg
+	cfg.KeepLog = false
+	sub := &Trainer{Model: tr.Model, Parts: tr.Parts, Val: tr.Val, Cfg: cfg}
+	return sub.RunSubset(subset).Utility()
+}
+
+// Accuracy evaluates the final model of a run on ds (classification only).
+func Accuracy(m nn.Model, ds dataset.Dataset) float64 {
+	c, ok := m.(nn.Classifier)
+	if !ok {
+		panic(fmt.Sprintf("hfl: %T is not a classifier", m))
+	}
+	pred := c.Predict(ds.X)
+	hits := 0
+	for i, p := range pred {
+		if p == int(ds.Y[i]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(ds.Len())
+}

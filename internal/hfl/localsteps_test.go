@@ -1,0 +1,91 @@
+package hfl
+
+import (
+	"math"
+	"testing"
+
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// With LocalSteps = k, a single participant's round must equal k plain
+// gradient-descent steps: δ = θ_{t-1} − θ after k local updates.
+func TestLocalStepsMatchesSequentialGD(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	full := dataset.MNISTLike(200, 31)
+	train, val := full.Split(0.2, rng)
+	tr := &Trainer{
+		Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: []dataset.Dataset{train},
+		Val:   val,
+		Cfg:   Config{Epochs: 1, LR: 0.2, LocalSteps: 3, KeepLog: true},
+	}
+	res := tr.Run()
+
+	// Reference: 3 plain GD steps.
+	ref := tr.Model.Clone()
+	for s := 0; s < 3; s++ {
+		tensor.AXPY(-0.2, ref.Grad(train.X, train.Y), ref.Params())
+	}
+	got := res.Model.Params()
+	want := ref.Params()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("param %d: federated %v vs sequential %v", i, got[i], want[i])
+		}
+	}
+	// The recorded delta must be θ_0 − θ_local.
+	delta := res.Log[0].Deltas[0]
+	for i := range delta {
+		if math.Abs(delta[i]-(res.Log[0].Theta[i]-want[i])) > 1e-12 {
+			t.Fatal("δ must be θ_{t-1} − θ_{t-1,i}")
+		}
+	}
+}
+
+// LocalSteps = 1 must be bit-identical to the default single-step FedSGD.
+func TestLocalStepsOneEqualsDefault(t *testing.T) {
+	rng := tensor.NewRNG(32)
+	full := dataset.MNISTLike(300, 32)
+	train, val := full.Split(0.2, rng)
+	parts := dataset.PartitionIID(train, 3, rng)
+	mk := func(steps int) []float64 {
+		tr := &Trainer{
+			Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+			Parts: parts,
+			Val:   val,
+			Cfg:   Config{Epochs: 5, LR: 0.3, LocalSteps: steps},
+		}
+		return tr.Run().Model.Params()
+	}
+	a, b := mk(0), mk(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("LocalSteps 0 and 1 must coincide")
+		}
+	}
+}
+
+// Multi-step local training on non-IID shards must drift: the multi-step
+// aggregate differs from the single-step one.
+func TestLocalStepsCreateClientDrift(t *testing.T) {
+	rng := tensor.NewRNG(33)
+	full := dataset.MNISTLike(1000, 33)
+	train, val := full.Split(0.2, rng)
+	parts := dataset.PartitionNonIID(train, dataset.NonIIDConfig{N: 4, M: 3, MaxClasses: 2}, rng)
+	run := func(steps int) float64 {
+		tr := &Trainer{
+			Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+			Parts: parts,
+			Val:   val,
+			Cfg:   Config{Epochs: 8, LR: 0.3, LocalSteps: steps},
+		}
+		return tr.Run().FinalLoss
+	}
+	single := run(1)
+	multi := run(6)
+	if math.Abs(single-multi) < 1e-9 {
+		t.Fatal("local steps should change the trajectory on non-IID data")
+	}
+}

@@ -1,0 +1,60 @@
+package hfl
+
+import (
+	"testing"
+
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// Parallel local updates must be bit-identical to the serial path.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	rng := tensor.NewRNG(61)
+	full := dataset.MNISTLike(600, 61)
+	train, val := full.Split(0.2, rng)
+	parts := dataset.PartitionIID(train, 6, rng)
+	for _, steps := range []int{1, 3} {
+		run := func(parallel bool) []float64 {
+			tr := &Trainer{
+				Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+				Parts: parts,
+				Val:   val,
+				Cfg:   Config{Epochs: 5, LR: 0.3, LocalSteps: steps, Parallel: parallel},
+			}
+			return tr.Run().Model.Params()
+		}
+		serial := run(false)
+		parallel := run(true)
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("steps=%d: parallel run diverged at param %d", steps, i)
+			}
+		}
+	}
+}
+
+// The retraining utility must be safe for concurrent use — the contract
+// shapley.ExactParallel relies on.
+func TestUtilityIsConcurrencySafe(t *testing.T) {
+	rng := tensor.NewRNG(62)
+	full := dataset.MNISTLike(400, 62)
+	train, val := full.Split(0.2, rng)
+	parts := dataset.PartitionIID(train, 4, rng)
+	tr := &Trainer{
+		Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: parts,
+		Val:   val,
+		Cfg:   Config{Epochs: 4, LR: 0.3},
+	}
+	want := tr.Utility([]int{0, 1})
+	results := make(chan float64, 8)
+	for g := 0; g < 8; g++ {
+		go func() { results <- tr.Utility([]int{0, 1}) }()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-results; got != want {
+			t.Fatalf("concurrent utility %v != %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package logio persists federated training logs. DIG-FL's whole premise is
+// that contributions are computable from the training log alone, so a
+// production deployment wants to archive the log during training and run
+// (or re-run) contribution evaluation offline — after choosing a different
+// estimator variant, with a refreshed validation set, or for audit. The
+// format is line-delimited JSON: one header line, then one line per epoch,
+// so logs can be streamed and appended.
+package logio
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"digfl/internal/hfl"
+	"digfl/internal/vfl"
+)
+
+// header identifies the log kind and pins the shape so a reader can fail
+// fast on mismatched files.
+type header struct {
+	Format  string `json:"format"` // "digfl-hfl-log" or "digfl-vfl-log"
+	Version int    `json:"version"`
+	Params  int    `json:"params"`
+	Parties int    `json:"parties"`
+}
+
+const (
+	formatHFL = "digfl-hfl-log"
+	formatVFL = "digfl-vfl-log"
+	version   = 1
+)
+
+// WriteHFL serializes an HFL training log.
+func WriteHFL(w io.Writer, log []*hfl.Epoch) error {
+	if len(log) == 0 {
+		return errors.New("logio: empty HFL log")
+	}
+	enc := json.NewEncoder(w)
+	h := header{Format: formatHFL, Version: version,
+		Params: len(log[0].Theta), Parties: len(log[0].Deltas)}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("logio: writing header: %w", err)
+	}
+	for i, ep := range log {
+		if len(ep.Theta) != h.Params || len(ep.Deltas) != h.Parties {
+			return fmt.Errorf("logio: epoch %d shape drifts from header", i)
+		}
+		if err := enc.Encode(ep); err != nil {
+			return fmt.Errorf("logio: writing epoch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadHFL deserializes an HFL training log, validating shapes.
+func ReadHFL(r io.Reader) ([]*hfl.Epoch, error) {
+	h, dec, err := readHeader(r, formatHFL)
+	if err != nil {
+		return nil, err
+	}
+	var log []*hfl.Epoch
+	for {
+		ep := &hfl.Epoch{}
+		if err := dec.Decode(ep); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("logio: reading epoch %d: %w", len(log), err)
+		}
+		if len(ep.Theta) != h.Params || len(ep.ValGrad) != h.Params || len(ep.Deltas) != h.Parties {
+			return nil, fmt.Errorf("logio: epoch %d shape mismatch", len(log))
+		}
+		if ep.T != len(log)+1 {
+			return nil, fmt.Errorf("logio: epoch %d out of order (T=%d)", len(log), ep.T)
+		}
+		log = append(log, ep)
+	}
+	if len(log) == 0 {
+		return nil, errors.New("logio: log has no epochs")
+	}
+	return log, nil
+}
+
+// WriteVFL serializes a VFL training log.
+func WriteVFL(w io.Writer, log []*vfl.Epoch) error {
+	if len(log) == 0 {
+		return errors.New("logio: empty VFL log")
+	}
+	enc := json.NewEncoder(w)
+	h := header{Format: formatVFL, Version: version, Params: len(log[0].Theta)}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("logio: writing header: %w", err)
+	}
+	for i, ep := range log {
+		if len(ep.Theta) != h.Params {
+			return fmt.Errorf("logio: epoch %d shape drifts from header", i)
+		}
+		if err := enc.Encode(ep); err != nil {
+			return fmt.Errorf("logio: writing epoch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadVFL deserializes a VFL training log, validating shapes.
+func ReadVFL(r io.Reader) ([]*vfl.Epoch, error) {
+	h, dec, err := readHeader(r, formatVFL)
+	if err != nil {
+		return nil, err
+	}
+	var log []*vfl.Epoch
+	for {
+		ep := &vfl.Epoch{}
+		if err := dec.Decode(ep); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("logio: reading epoch %d: %w", len(log), err)
+		}
+		if len(ep.Theta) != h.Params || len(ep.Grad) != h.Params || len(ep.ValGrad) != h.Params {
+			return nil, fmt.Errorf("logio: epoch %d shape mismatch", len(log))
+		}
+		if ep.T != len(log)+1 {
+			return nil, fmt.Errorf("logio: epoch %d out of order (T=%d)", len(log), ep.T)
+		}
+		log = append(log, ep)
+	}
+	if len(log) == 0 {
+		return nil, errors.New("logio: log has no epochs")
+	}
+	return log, nil
+}
+
+func readHeader(r io.Reader, wantFormat string) (header, *json.Decoder, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return h, nil, fmt.Errorf("logio: reading header: %w", err)
+	}
+	if h.Format != wantFormat {
+		return h, nil, fmt.Errorf("logio: format %q, want %q", h.Format, wantFormat)
+	}
+	if h.Version != version {
+		return h, nil, fmt.Errorf("logio: unsupported version %d", h.Version)
+	}
+	if h.Params <= 0 {
+		return h, nil, fmt.Errorf("logio: invalid header params %d", h.Params)
+	}
+	return h, dec, nil
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cost accumulates the two cost dimensions the paper reports for every
+// contribution-evaluation method: computation (wall-clock seconds plus a
+// hardware-independent count of model retrainings) and communication (bytes
+// exchanged between the server/third-party and the participants beyond what
+// plain training already sends).
+type Cost struct {
+	// Wall is the measured wall-clock time of the method.
+	Wall time.Duration
+	// Retrains counts full model retrainings the method required.
+	Retrains int64
+	// UtilityEvals counts validation-set model evaluations (MR-style methods
+	// avoid retraining but still test 2^n aggregated models per round).
+	UtilityEvals int64
+	// ExtraBytes counts communication beyond the underlying FL protocol.
+	ExtraBytes int64
+}
+
+// Add merges another cost into c.
+func (c *Cost) Add(o Cost) {
+	c.Wall += o.Wall
+	c.Retrains += o.Retrains
+	c.UtilityEvals += o.UtilityEvals
+	c.ExtraBytes += o.ExtraBytes
+}
+
+// AddFloats records the transmission of n float64 values.
+func (c *Cost) AddFloats(n int64) { c.ExtraBytes += 8 * n }
+
+// Seconds returns the wall-clock cost in seconds.
+func (c Cost) Seconds() float64 { return c.Wall.Seconds() }
+
+// String renders the cost in the units used by the experiment tables.
+func (c Cost) String() string {
+	return fmt.Sprintf("%.3fs retrain=%d evals=%d comm=%.3fMB",
+		c.Wall.Seconds(), c.Retrains, c.UtilityEvals, float64(c.ExtraBytes)/1e6)
+}
+
+// Stopwatch measures a method's wall-clock cost.
+type Stopwatch struct{ start time.Time }
+
+// NewStopwatch starts timing immediately.
+func NewStopwatch() *Stopwatch { return &Stopwatch{start: time.Now()} }
+
+// Elapsed returns the time since construction.
+func (s *Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

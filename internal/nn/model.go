@@ -1,0 +1,149 @@
+// Package nn implements the learning models used by the HFL and VFL
+// simulators, with fully manual gradients (Go has no mature autodiff, so
+// every backward pass is hand-derived and validated against finite
+// differences in the tests). The package also provides the Hessian-vector
+// products (HVP) that DIG-FL's interactive estimator (Algorithm 1) consumes:
+// exact for the convex models, central-difference for the neural networks.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"digfl/internal/tensor"
+)
+
+// Model is a differentiable parametric model trained with full-batch
+// gradient steps. Parameters are a single flat float64 vector so the
+// federated machinery can treat every model uniformly.
+//
+// Loss and Grad use the *mean* loss over the batch, which keeps gradient
+// scale independent of the local dataset size — the FedSGD convention the
+// paper assumes.
+type Model interface {
+	// NumParams returns the parameter count p.
+	NumParams() int
+	// Params returns the live parameter slice; callers may read it freely
+	// and must copy before mutating unless they intend to update the model.
+	Params() []float64
+	// SetParams copies p into the model parameters.
+	SetParams(p []float64)
+	// Loss returns the mean loss of the model on (X, y).
+	Loss(X *tensor.Matrix, y []float64) float64
+	// Grad returns the gradient of the mean loss, as a fresh slice.
+	Grad(X *tensor.Matrix, y []float64) []float64
+	// Clone returns a deep copy, preserving architecture and parameters.
+	Clone() Model
+}
+
+// Classifier is implemented by classification models.
+type Classifier interface {
+	Model
+	// Predict returns the arg-max class index for every row of X.
+	Predict(X *tensor.Matrix) []int
+}
+
+// HVPer is implemented by models that can compute an exact Hessian-vector
+// product. Models without one fall back to FDHVP.
+type HVPer interface {
+	// HVP returns H·v where H is the Hessian of the mean loss at the
+	// current parameters.
+	HVP(X *tensor.Matrix, y []float64, v []float64) []float64
+}
+
+// HVP returns the Hessian-vector product of the model's mean loss at its
+// current parameters, using the exact implementation when the model provides
+// one and a central finite difference otherwise.
+func HVP(m Model, X *tensor.Matrix, y []float64, v []float64) []float64 {
+	if h, ok := m.(HVPer); ok {
+		return h.HVP(X, y, v)
+	}
+	return FDHVP(m, X, y, v)
+}
+
+// FDHVP approximates H·v with the central difference
+// (∇L(θ+r·v) − ∇L(θ−r·v)) / (2r), the classic Pearlmutter substitute when no
+// second-order operator is available. The step r is scaled by ‖v‖ so the
+// perturbation stays in the regime where the linearization is accurate.
+func FDHVP(m Model, X *tensor.Matrix, y []float64, v []float64) []float64 {
+	p := m.NumParams()
+	if len(v) != p {
+		panic(fmt.Sprintf("nn: FDHVP vector length %d, model has %d params", len(v), p))
+	}
+	nv := tensor.Norm2(v)
+	if nv == 0 {
+		return make([]float64, p)
+	}
+	r := 1e-4 / nv
+	theta := tensor.Clone(m.Params())
+	defer m.SetParams(theta)
+
+	plus := tensor.Clone(theta)
+	tensor.AXPY(r, v, plus)
+	m.SetParams(plus)
+	gPlus := m.Grad(X, y)
+
+	minus := tensor.Clone(theta)
+	tensor.AXPY(-r, v, minus)
+	m.SetParams(minus)
+	gMinus := m.Grad(X, y)
+
+	out := tensor.Sub(gPlus, gMinus)
+	tensor.Scale(1/(2*r), out)
+	return out
+}
+
+// NumGrad computes a central-difference numerical gradient; the tests use it
+// to validate every hand-written backward pass.
+func NumGrad(m Model, X *tensor.Matrix, y []float64, eps float64) []float64 {
+	theta := tensor.Clone(m.Params())
+	defer m.SetParams(theta)
+	g := make([]float64, len(theta))
+	for i := range theta {
+		p := tensor.Clone(theta)
+		p[i] += eps
+		m.SetParams(p)
+		lp := m.Loss(X, y)
+		p[i] -= 2 * eps
+		m.SetParams(p)
+		lm := m.Loss(X, y)
+		g[i] = (lp - lm) / (2 * eps)
+	}
+	return g
+}
+
+// sigmoid is the numerically stable logistic function.
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// logSumExp returns log Σ exp(z_i) computed stably.
+func logSumExp(z []float64) float64 {
+	m := z[0]
+	for _, v := range z[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var s float64
+	for _, v := range z {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+func checkBatch(x *tensor.Matrix, y []float64, wantCols int) {
+	if x.Cols != wantCols {
+		panic(fmt.Sprintf("nn: batch has %d features, model expects %d", x.Cols, wantCols))
+	}
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("nn: batch has %d rows but %d labels", x.Rows, len(y)))
+	}
+	if x.Rows == 0 {
+		panic("nn: empty batch")
+	}
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+
+	"digfl/internal/tensor"
+)
+
+// SoftmaxRegression is multinomial logistic regression: a linear map to C
+// logits followed by softmax cross-entropy. Labels are class indices stored
+// as float64. Parameter layout: W row-major (C×d) followed by the C biases.
+type SoftmaxRegression struct {
+	d, c   int
+	params []float64
+}
+
+var (
+	_ Model      = (*SoftmaxRegression)(nil)
+	_ Classifier = (*SoftmaxRegression)(nil)
+)
+
+// NewSoftmaxRegression returns a zero-initialized C-way classifier over d
+// features.
+func NewSoftmaxRegression(d, c int) *SoftmaxRegression {
+	return &SoftmaxRegression{d: d, c: c, params: make([]float64, c*d+c)}
+}
+
+// Classes returns the number of output classes.
+func (m *SoftmaxRegression) Classes() int { return m.c }
+
+// NumParams implements Model.
+func (m *SoftmaxRegression) NumParams() int { return len(m.params) }
+
+// Params implements Model.
+func (m *SoftmaxRegression) Params() []float64 { return m.params }
+
+// SetParams implements Model.
+func (m *SoftmaxRegression) SetParams(p []float64) { copy(m.params, p) }
+
+// Clone implements Model.
+func (m *SoftmaxRegression) Clone() Model {
+	c := NewSoftmaxRegression(m.d, m.c)
+	copy(c.params, m.params)
+	return c
+}
+
+func (m *SoftmaxRegression) weightRow(k int) []float64 {
+	return m.params[k*m.d : (k+1)*m.d]
+}
+
+func (m *SoftmaxRegression) biases() []float64 {
+	return m.params[m.c*m.d:]
+}
+
+// logits computes the C logits for row x into dst.
+func (m *SoftmaxRegression) logits(x []float64, dst []float64) {
+	b := m.biases()
+	for k := 0; k < m.c; k++ {
+		dst[k] = tensor.Dot(m.weightRow(k), x) + b[k]
+	}
+}
+
+// Loss implements Model.
+func (m *SoftmaxRegression) Loss(X *tensor.Matrix, y []float64) float64 {
+	checkBatch(X, y, m.d)
+	z := make([]float64, m.c)
+	var s float64
+	for i := 0; i < X.Rows; i++ {
+		m.logits(X.Row(i), z)
+		s += logSumExp(z) - z[int(y[i])]
+	}
+	return s / float64(X.Rows)
+}
+
+// Grad implements Model.
+func (m *SoftmaxRegression) Grad(X *tensor.Matrix, y []float64) []float64 {
+	checkBatch(X, y, m.d)
+	g := make([]float64, m.NumParams())
+	gb := g[m.c*m.d:]
+	z := make([]float64, m.c)
+	for i := 0; i < X.Rows; i++ {
+		x := X.Row(i)
+		m.logits(x, z)
+		lse := logSumExp(z)
+		for k := 0; k < m.c; k++ {
+			p := math.Exp(z[k] - lse)
+			if k == int(y[i]) {
+				p--
+			}
+			tensor.AXPY(p, x, g[k*m.d:(k+1)*m.d])
+			gb[k] += p
+		}
+	}
+	tensor.Scale(1/float64(X.Rows), g)
+	return g
+}
+
+// Predict implements Classifier.
+func (m *SoftmaxRegression) Predict(X *tensor.Matrix) []int {
+	out := make([]int, X.Rows)
+	z := make([]float64, m.c)
+	for i := 0; i < X.Rows; i++ {
+		m.logits(X.Row(i), z)
+		out[i] = tensor.Argmax(z)
+	}
+	return out
+}

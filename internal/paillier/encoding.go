@@ -1,0 +1,120 @@
+package paillier
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Scale is the default fixed-point scale: floats are encoded as
+// round(v·Scale) before encryption. 2^40 keeps ~12 decimal digits while
+// leaving ample headroom in a ≥256-bit modulus for the sums the VFL
+// protocol accumulates.
+const Scale = 1 << 40
+
+// Encode maps a float64 to a field element: non-negative values map to
+// round(v·Scale), negative values wrap to n − round(|v|·Scale).
+func (pk *PublicKey) Encode(v float64) *big.Int {
+	scaled := new(big.Int)
+	big.NewFloat(v * Scale).Int(scaled)
+	return scaled.Mod(scaled, pk.N)
+}
+
+// Decode inverts Encode: values above n/2 are interpreted as negative.
+func (pk *PublicKey) Decode(m *big.Int) float64 {
+	half := new(big.Int).Rsh(pk.N, 1)
+	v := new(big.Int).Set(m)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, pk.N)
+	}
+	f, _ := new(big.Float).SetInt(v).Float64()
+	return f / Scale
+}
+
+// EncryptFloat encrypts a float64 under the fixed-point encoding.
+func (pk *PublicKey) EncryptFloat(rnd io.Reader, v float64) (*Ciphertext, error) {
+	return pk.Encrypt(rnd, pk.Encode(v))
+}
+
+// DecryptFloat decrypts to a float64 under the fixed-point encoding.
+func (sk *PrivateKey) DecryptFloat(ct *Ciphertext) (float64, error) {
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	return sk.Decode(m), nil
+}
+
+// EncryptVec encrypts every element of v.
+func (pk *PublicKey) EncryptVec(rnd io.Reader, v []float64) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(v))
+	for i, x := range v {
+		ct, err := pk.EncryptFloat(rnd, x)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: encrypting element %d: %w", i, err)
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// DecryptVec decrypts every element.
+func (sk *PrivateKey) DecryptVec(cts []*Ciphertext) ([]float64, error) {
+	out := make([]float64, len(cts))
+	for i, ct := range cts {
+		v, err := sk.DecryptFloat(ct)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: decrypting element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// AddVec returns the element-wise homomorphic sum of two ciphertext vectors.
+func (pk *PublicKey) AddVec(a, b []*Ciphertext) []*Ciphertext {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("paillier: AddVec length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]*Ciphertext, len(a))
+	for i := range a {
+		out[i] = pk.Add(a[i], b[i])
+	}
+	return out
+}
+
+// AddPlainFloat returns the encryption of a + v under fixed-point encoding.
+func (pk *PublicKey) AddPlainFloat(a *Ciphertext, v float64) *Ciphertext {
+	return pk.AddPlain(a, pk.Encode(v))
+}
+
+// MulPlainFloat multiplies a ciphertext by a plaintext float. The plaintext
+// inside the result is at fixed-point scale Scale² (one extra Scale factor
+// per float multiplication) — decrypt it with DecryptFloatAtScale(ct, 2).
+func (pk *PublicKey) MulPlainFloat(a *Ciphertext, v float64) *Ciphertext {
+	return pk.MulPlain(a, pk.Encode(v))
+}
+
+// DecryptFloatAtScale decrypts a ciphertext whose plaintext is at
+// fixed-point scale Scale^level; level 1 is the ordinary encoding, level 2
+// the result of one MulPlainFloat, and so on.
+func (sk *PrivateKey) DecryptFloatAtScale(ct *Ciphertext, level int) (float64, error) {
+	if level < 1 {
+		return 0, fmt.Errorf("paillier: invalid scale level %d", level)
+	}
+	m, err := sk.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	half := new(big.Int).Rsh(sk.N, 1)
+	v := new(big.Int).Set(m)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, sk.N)
+	}
+	f := new(big.Float).SetInt(v)
+	for i := 0; i < level; i++ {
+		f.Quo(f, big.NewFloat(Scale))
+	}
+	out, _ := f.Float64()
+	return out, nil
+}

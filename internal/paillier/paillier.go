@@ -1,0 +1,168 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem over math/big, the encryption primitive behind the paper's
+// VFL running example (Algorithm 3 uses Paillier with 1024-bit keys). It
+// supports ciphertext addition, plaintext addition, and plaintext scalar
+// multiplication, plus a fixed-point encoding so gradients (float64 vectors)
+// can be exchanged under encryption.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey holds the Paillier public parameters (n, g = n+1).
+type PublicKey struct {
+	N  *big.Int // modulus n = p·q
+	N2 *big.Int // n²
+}
+
+// PrivateKey holds the decryption parameters. Decryption uses the CRT
+// split (exponentiation mod p² and q² instead of n²), the standard ~3–4×
+// speedup for Paillier.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p−1, q−1)
+	mu     *big.Int // (L(g^λ mod n²))⁻¹ mod n
+	p, q   *big.Int
+	p2, q2 *big.Int // p², q²
+	q2inv  *big.Int // (q²)⁻¹ mod p², for CRT recombination
+}
+
+// Ciphertext is an element of Z*_{n²}.
+type Ciphertext struct{ C *big.Int }
+
+// GenerateKey creates a key pair with an n of roughly `bits` bits, reading
+// randomness from rnd (use crypto/rand.Reader in production; any reader in
+// tests).
+func GenerateKey(rnd io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("paillier: key size %d too small", bits)
+	}
+	for {
+		p, err := rand.Prime(rnd, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating p: %w", err)
+		}
+		q, err := rand.Prime(rnd, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generating q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		n2 := new(big.Int).Mul(n, n)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+		// With g = n+1: L(g^λ mod n²) = λ mod n, so μ = λ⁻¹ mod n.
+		mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+		if mu == nil {
+			continue
+		}
+		p2 := new(big.Int).Mul(p, p)
+		q2 := new(big.Int).Mul(q, q)
+		q2inv := new(big.Int).ModInverse(q2, p2)
+		if q2inv == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2},
+			lambda:    lambda,
+			mu:        mu,
+			p:         p, q: q,
+			p2: p2, q2: q2,
+			q2inv: q2inv,
+		}, nil
+	}
+}
+
+// expN2 computes c^λ mod n² via the CRT: two half-size exponentiations mod
+// p² and q² recombined with Garner's formula.
+func (sk *PrivateKey) expN2(c *big.Int) *big.Int {
+	cp := new(big.Int).Exp(new(big.Int).Mod(c, sk.p2), sk.lambda, sk.p2)
+	cq := new(big.Int).Exp(new(big.Int).Mod(c, sk.q2), sk.lambda, sk.q2)
+	// x = cq + q²·((cp − cq)·(q²)⁻¹ mod p²)
+	diff := new(big.Int).Sub(cp, cq)
+	diff.Mul(diff, sk.q2inv)
+	diff.Mod(diff, sk.p2)
+	x := diff.Mul(diff, sk.q2)
+	x.Add(x, cq)
+	return x.Mod(x, sk.N2)
+}
+
+// Encrypt encrypts m ∈ [0, n) with fresh randomness from rnd.
+func (pk *PublicKey) Encrypt(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: plaintext out of range [0, n)")
+	}
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rnd, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: sampling r: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// g^m = (1+n)^m = 1 + m·n (mod n²)
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// Decrypt recovers the plaintext in [0, n).
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(sk.N2) >= 0 {
+		return nil, errors.New("paillier: ciphertext out of range")
+	}
+	u := sk.expN2(ct.C)
+	// L(u) = (u−1)/n
+	u.Sub(u, one)
+	u.Div(u, sk.N)
+	u.Mul(u, sk.mu)
+	u.Mod(u, sk.N)
+	return u, nil
+}
+
+// Add returns the encryption of a+b given encryptions of a and b.
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// AddPlain returns the encryption of a+m given an encryption of a and a
+// plaintext m ∈ [0, n).
+func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
+	gm := new(big.Int).Mul(new(big.Int).Mod(m, pk.N), pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	c := gm.Mul(gm, a.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// MulPlain returns the encryption of k·a given an encryption of a and a
+// plaintext scalar k.
+func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
+	kk := new(big.Int).Mod(k, pk.N)
+	return &Ciphertext{C: new(big.Int).Exp(a.C, kk, pk.N2)}
+}
+
+// Bytes returns the serialized size of a ciphertext in bytes, used by the
+// communication-cost accounting.
+func (pk *PublicKey) Bytes() int { return (pk.N2.BitLen() + 7) / 8 }

@@ -1,0 +1,283 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+const testBits = 256
+
+func testKey(t *testing.T) *PrivateKey {
+	t.Helper()
+	sk, err := GenerateKey(rand.Reader, testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	for _, m := range []int64{0, 1, 42, 1 << 30} {
+		ct, err := sk.Encrypt(rand.Reader, big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Fatalf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	sk := testKey(t)
+	a, _ := sk.Encrypt(rand.Reader, big.NewInt(7))
+	b, _ := sk.Encrypt(rand.Reader, big.NewInt(7))
+	if a.C.Cmp(b.C) == 0 {
+		t.Fatal("two encryptions of the same plaintext must differ")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	sk := testKey(t)
+	a, _ := sk.Encrypt(rand.Reader, big.NewInt(100))
+	b, _ := sk.Encrypt(rand.Reader, big.NewInt(23))
+	sum, err := sk.Decrypt(sk.Add(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 123 {
+		t.Fatalf("Dec(Enc(100)+Enc(23)) = %d", sum.Int64())
+	}
+}
+
+func TestAddPlainAndMulPlain(t *testing.T) {
+	sk := testKey(t)
+	a, _ := sk.Encrypt(rand.Reader, big.NewInt(10))
+	got, _ := sk.Decrypt(sk.AddPlain(a, big.NewInt(5)))
+	if got.Int64() != 15 {
+		t.Fatalf("AddPlain = %d", got.Int64())
+	}
+	got, _ = sk.Decrypt(sk.MulPlain(a, big.NewInt(7)))
+	if got.Int64() != 70 {
+		t.Fatalf("MulPlain = %d", got.Int64())
+	}
+	// Negative scalar wraps correctly.
+	neg, _ := sk.Decrypt(sk.MulPlain(a, big.NewInt(-3)))
+	if sk.Decode(neg) != float64(-30)/Scale {
+		// Decode interprets mod-n wrap; -30 should come back as n-30.
+		want := new(big.Int).Sub(sk.N, big.NewInt(30))
+		if neg.Cmp(want) != 0 {
+			t.Fatalf("MulPlain(-3) = %v, want n-30", neg)
+		}
+	}
+}
+
+// Property: Dec(Enc(a) ⊕ Enc(b)) = a + b for random uint32 plaintexts.
+func TestHomomorphismProperty(t *testing.T) {
+	sk := testKey(t)
+	f := func(a, b uint32) bool {
+		ca, err1 := sk.Encrypt(rand.Reader, big.NewInt(int64(a)))
+		cb, err2 := sk.Encrypt(rand.Reader, big.NewInt(int64(b)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		got, err := sk.Decrypt(sk.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return got.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatEncodingRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	for _, v := range []float64{0, 1.5, -2.75, 1e-6, -123.456, 3e5} {
+		ct, err := sk.EncryptFloat(rand.Reader, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.DecryptFloat(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-v) > 1e-9*(1+math.Abs(v)) {
+			t.Fatalf("float round trip %v -> %v", v, got)
+		}
+	}
+}
+
+// Property: float homomorphism with negatives, Dec(Enc(a)+Enc(b)) ≈ a+b.
+func TestFloatHomomorphismProperty(t *testing.T) {
+	sk := testKey(t)
+	f := func(ai, bi int32) bool {
+		a := float64(ai) / 1000
+		b := float64(bi) / 1000
+		ca, _ := sk.EncryptFloat(rand.Reader, a)
+		cb, _ := sk.EncryptFloat(rand.Reader, b)
+		got, err := sk.DecryptFloat(sk.Add(ca, cb))
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-(a+b)) < 1e-8*(1+math.Abs(a+b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulPlainFloatScaleLevel(t *testing.T) {
+	sk := testKey(t)
+	ct, _ := sk.EncryptFloat(rand.Reader, 2.5)
+	prod := sk.MulPlainFloat(ct, -4.0)
+	got, err := sk.DecryptFloatAtScale(prod, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-10.0)) > 1e-8 {
+		t.Fatalf("2.5 × -4 = %v", got)
+	}
+	if _, err := sk.DecryptFloatAtScale(prod, 0); err == nil {
+		t.Fatal("level 0 must error")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	sk := testKey(t)
+	a := []float64{1, -2, 3.5}
+	b := []float64{0.5, 2, -1.5}
+	ca, err := sk.EncryptVec(rand.Reader, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := sk.EncryptVec(rand.Reader, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sk.DecryptVec(sk.AddVec(ca, cb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 0, 2}
+	for i := range want {
+		if math.Abs(sum[i]-want[i]) > 1e-8 {
+			t.Fatalf("vector sum = %v", sum)
+		}
+	}
+}
+
+func TestAddPlainFloat(t *testing.T) {
+	sk := testKey(t)
+	ct, _ := sk.EncryptFloat(rand.Reader, 1.25)
+	got, err := sk.DecryptFloat(sk.AddPlainFloat(ct, -3.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-2.25)) > 1e-9 {
+		t.Fatalf("AddPlainFloat = %v", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	sk := testKey(t)
+	if _, err := GenerateKey(rand.Reader, 32); err == nil {
+		t.Fatal("tiny key must error")
+	}
+	if _, err := sk.Encrypt(rand.Reader, big.NewInt(-1)); err == nil {
+		t.Fatal("negative plaintext must error")
+	}
+	if _, err := sk.Encrypt(rand.Reader, new(big.Int).Set(sk.N)); err == nil {
+		t.Fatal("plaintext ≥ n must error")
+	}
+	if _, err := sk.Decrypt(&Ciphertext{C: big.NewInt(0)}); err == nil {
+		t.Fatal("zero ciphertext must error")
+	}
+	if _, err := sk.Decrypt(nil); err == nil {
+		t.Fatal("nil ciphertext must error")
+	}
+}
+
+func TestAddVecLengthMismatchPanics(t *testing.T) {
+	sk := testKey(t)
+	a, _ := sk.EncryptVec(rand.Reader, []float64{1})
+	b, _ := sk.EncryptVec(rand.Reader, []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sk.AddVec(a, b)
+}
+
+// CRT decryption must agree with the textbook single-exponentiation path.
+func TestCRTMatchesNaiveDecryption(t *testing.T) {
+	sk := testKey(t)
+	for i := int64(0); i < 20; i++ {
+		m := big.NewInt(1000003 * (i + 1))
+		ct, err := sk.Encrypt(rand.Reader, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive path: u = c^λ mod n², m = L(u)·μ mod n.
+		u := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+		u.Sub(u, big.NewInt(1))
+		u.Div(u, sk.N)
+		u.Mul(u, sk.mu)
+		u.Mod(u, sk.N)
+
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(u) != 0 || got.Cmp(m) != 0 {
+			t.Fatalf("CRT %v vs naive %v vs plaintext %v", got, u, m)
+		}
+	}
+}
+
+func BenchmarkDecryptCRT(b *testing.B) {
+	sk, err := GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := sk.Encrypt(rand.Reader, big.NewInt(123456789))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	sk, err := GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Encrypt(rand.Reader, big.NewInt(987654321)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	sk := testKey(t)
+	if got := sk.Bytes(); got < testBits/4-2 || got > testBits/4+2 {
+		t.Fatalf("ciphertext bytes = %d, expected ≈ %d", got, testBits/4)
+	}
+}

@@ -1,0 +1,122 @@
+package robust
+
+import (
+	"math"
+	"testing"
+
+	"digfl/internal/core"
+	"digfl/internal/dataset"
+	"digfl/internal/hfl"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+func epoch(deltas ...[]float64) *hfl.Epoch {
+	return &hfl.Epoch{T: 1, Deltas: deltas}
+}
+
+func TestMedianHandComputed(t *testing.T) {
+	ep := epoch(
+		[]float64{1, 10},
+		[]float64{2, 20},
+		[]float64{100, 30},
+	)
+	got := Median{}.Aggregate(ep)
+	if got[0] != 2 || got[1] != 20 {
+		t.Fatalf("median = %v", got)
+	}
+	// Even count: average of middle two.
+	ep = epoch([]float64{1}, []float64{2}, []float64{3}, []float64{100})
+	if got := (Median{}).Aggregate(ep); got[0] != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+func TestTrimmedMeanHandComputed(t *testing.T) {
+	ep := epoch([]float64{1}, []float64{2}, []float64{3}, []float64{4}, []float64{1000})
+	got := TrimmedMean{Trim: 1}.Aggregate(ep)
+	if got[0] != 3 { // mean of {2,3,4}
+		t.Fatalf("trimmed mean = %v", got)
+	}
+}
+
+func TestTrimmedMeanResistsOutlier(t *testing.T) {
+	ep := epoch([]float64{1, 1}, []float64{1, 1}, []float64{1, 1}, []float64{1e9, -1e9})
+	got := TrimmedMean{Trim: 1}.Aggregate(ep)
+	if math.Abs(got[0]-1) > 1e-12 || math.Abs(got[1]-1) > 1e-12 {
+		t.Fatalf("outlier leaked through trimmed mean: %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { Median{}.Aggregate(&hfl.Epoch{}) },
+		func() { TrimmedMean{Trim: 2}.Aggregate(epoch([]float64{1}, []float64{2}, []float64{3})) },
+		func() { TrimmedMean{Trim: -1}.Aggregate(epoch([]float64{1}, []float64{2}, []float64{3})) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// corruptedFederation builds an n-participant task where bad of them hold
+// 90% mislabeled data.
+func corruptedFederation(seed int64, n, bad int) (parts []dataset.Dataset, train, val dataset.Dataset) {
+	rng := tensor.NewRNG(seed)
+	full := dataset.SynthImages(dataset.ImageConfig{
+		Name: "rob", N: 1500, Side: 8, Classes: 10, Noise: 1.6, Seed: seed,
+	})
+	train, val = full.Split(0.2, rng)
+	parts = dataset.PartitionIID(train, n, rng)
+	for i := n - bad; i < n; i++ {
+		parts[i] = dataset.Mislabel(parts[i], 0.9, rng.Split(int64(i)))
+	}
+	return parts, train, val
+}
+
+func accuracyWith(parts []dataset.Dataset, train, val dataset.Dataset, agg hfl.Aggregator, rw hfl.Reweighter) float64 {
+	tr := &hfl.Trainer{
+		Model:      nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts:      parts,
+		Val:        val,
+		Cfg:        hfl.Config{Epochs: 20, LR: 0.3},
+		Aggregator: agg,
+		Reweighter: rw,
+	}
+	return hfl.Accuracy(tr.Run().Model, val)
+}
+
+// With a corrupted minority, the robust rules and DIG-FL reweighting all
+// beat plain averaging.
+func TestRobustRulesHelpAgainstMinorityCorruption(t *testing.T) {
+	parts, train, val := corruptedFederation(5, 5, 2)
+	plain := accuracyWith(parts, train, val, nil, nil)
+	median := accuracyWith(parts, train, val, Median{}, nil)
+	trimmed := accuracyWith(parts, train, val, TrimmedMean{Trim: 1}, nil)
+	digfl := accuracyWith(parts, train, val, nil, &core.HFLReweighter{})
+	for name, acc := range map[string]float64{"median": median, "trimmed": trimmed, "DIG-FL": digfl} {
+		if acc < plain-0.02 {
+			t.Errorf("%s (%.3f) should not trail plain averaging (%.3f)", name, acc, plain)
+		}
+	}
+}
+
+// Past the 1/2 breakdown point (4 of 5 corrupted) the median follows the
+// corrupted majority while DIG-FL's validation anchor keeps working — the
+// extension result motivating the reweight mechanism.
+func TestDIGFLSurvivesMajorityCorruptionWhereMedianFails(t *testing.T) {
+	parts, train, val := corruptedFederation(6, 5, 4)
+	median := accuracyWith(parts, train, val, Median{}, nil)
+	digfl := accuracyWith(parts, train, val, nil, &core.HFLReweighter{})
+	if digfl < median+0.1 {
+		t.Fatalf("DIG-FL (%.3f) should clearly beat median (%.3f) beyond the breakdown point",
+			digfl, median)
+	}
+}

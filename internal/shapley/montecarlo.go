@@ -1,0 +1,108 @@
+package shapley
+
+import (
+	"fmt"
+
+	"digfl/internal/tensor"
+)
+
+// TMCConfig controls Truncated Monte Carlo Shapley (Ghorbani & Zou).
+type TMCConfig struct {
+	// MaxEvals bounds the number of distinct utility evaluations (i.e.
+	// retrainings). The paper's comparison uses n²·log n.
+	MaxEvals int64
+	// Tolerance truncates a permutation scan once the running coalition's
+	// utility is within Tolerance·|V(N)| of the grand-coalition value; the
+	// remaining marginals are taken as zero. Ghorbani & Zou default ≈ 0.01.
+	Tolerance float64
+	// MaxPerms bounds the number of sampled permutations. Memoization can
+	// make a permutation free (all prefixes already evaluated), so the eval
+	// budget alone would not terminate; 0 defaults to 4·MaxEvals.
+	MaxPerms int
+	// RNG drives the permutation sampling.
+	RNG *tensor.RNG
+}
+
+// TMC estimates Shapley values by sampling permutations and scanning
+// marginal contributions with truncation. Utility evaluations are memoized
+// so repeated prefixes cost nothing; the estimator stops when MaxEvals
+// distinct evaluations have been spent. It returns the estimate and the
+// number of distinct evaluations used.
+func TMC(n int, u Utility, cfg TMCConfig) ([]float64, int64) {
+	if cfg.MaxEvals <= 0 {
+		panic(fmt.Sprintf("shapley: TMC MaxEvals must be positive, got %d", cfg.MaxEvals))
+	}
+	if cfg.RNG == nil {
+		panic("shapley: TMC needs an RNG")
+	}
+	mem := NewMemoized(n, u)
+	vEmpty := mem.ValueMask(0)
+	all := uint64(1)<<uint(n) - 1
+	vFull := mem.ValueMask(all)
+	span := abs(vFull - vEmpty)
+
+	maxPerms := cfg.MaxPerms
+	if maxPerms <= 0 {
+		maxPerms = int(4 * cfg.MaxEvals)
+	}
+	sum := make([]float64, n)
+	count := 0
+	for mem.Evals < cfg.MaxEvals && count < maxPerms {
+		perm := cfg.RNG.Perm(n)
+		count++
+		var mask uint64
+		prev := vEmpty
+		for _, i := range perm {
+			if cfg.Tolerance > 0 && abs(vFull-prev) < cfg.Tolerance*span {
+				// Truncate: remaining marginals contribute zero.
+				break
+			}
+			mask |= 1 << uint(i)
+			v := mem.ValueMask(mask)
+			sum[i] += v - prev
+			prev = v
+			if mem.Evals >= cfg.MaxEvals {
+				break
+			}
+		}
+	}
+	phi := make([]float64, n)
+	for i := range phi {
+		phi[i] = sum[i] / float64(count)
+	}
+	return phi, mem.Evals
+}
+
+// PermutationMC is plain (untruncated) Monte Carlo over permutations,
+// provided for ablations against TMC. It runs exactly `perms` permutations.
+func PermutationMC(n int, u Utility, perms int, rng *tensor.RNG) ([]float64, int64) {
+	if perms <= 0 {
+		panic(fmt.Sprintf("shapley: PermutationMC needs positive permutations, got %d", perms))
+	}
+	mem := NewMemoized(n, u)
+	vEmpty := mem.ValueMask(0)
+	sum := make([]float64, n)
+	for p := 0; p < perms; p++ {
+		perm := rng.Perm(n)
+		var mask uint64
+		prev := vEmpty
+		for _, i := range perm {
+			mask |= 1 << uint(i)
+			v := mem.ValueMask(mask)
+			sum[i] += v - prev
+			prev = v
+		}
+	}
+	phi := make([]float64, n)
+	for i := range phi {
+		phi[i] = sum[i] / float64(perms)
+	}
+	return phi, mem.Evals
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

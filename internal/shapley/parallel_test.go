@@ -1,0 +1,49 @@
+package shapley
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExactParallelMatchesSerial(t *testing.T) {
+	u := randomGame(6, 21)
+	serial := Exact(6, u)
+	parallel := ExactParallel(6, u, 4)
+	for i := range serial {
+		if math.Abs(serial[i]-parallel[i]) > 1e-12 {
+			t.Fatalf("phi[%d]: serial %v vs parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestExactParallelEvaluatesEachCoalitionOnce(t *testing.T) {
+	var calls atomic.Int64
+	u := func(s []int) float64 {
+		calls.Add(1)
+		return float64(len(s))
+	}
+	ExactParallel(4, u, 3)
+	if got := calls.Load(); got != 16 {
+		t.Fatalf("utility called %d times, want 16", got)
+	}
+}
+
+func TestExactParallelDefaultWorkers(t *testing.T) {
+	phi := ExactParallel(3, additiveGame([]float64{1, 2, 3}), 0)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(phi[i]-want[i]) > 1e-12 {
+			t.Fatalf("phi = %v", phi)
+		}
+	}
+}
+
+func TestExactParallelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExactParallel(0, additiveGame(nil), 2)
+}

@@ -1,0 +1,224 @@
+// Package vfl implements the vertical federated learning substrate: n
+// participants each owning a contiguous block of feature coordinates (and
+// the matching block of the global model), a label holder, and a trusted
+// third party, following Sec. IV of the DIG-FL paper. The package provides
+// a fast plaintext trainer used by the large experiment sweeps and a
+// faithful Paillier-encrypted two-party protocol (Algorithm 3) in secure.go;
+// tests assert the two paths agree to fixed-point tolerance.
+package vfl
+
+import (
+	"fmt"
+
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// ModelKind selects the VFL model family.
+type ModelKind int
+
+const (
+	// LinReg is the vertical linear regression of the running example.
+	LinReg ModelKind = iota
+	// LogReg is vertical logistic regression.
+	LogReg
+)
+
+func (k ModelKind) String() string {
+	if k == LinReg {
+		return "VFL-LinReg"
+	}
+	return "VFL-LogReg"
+}
+
+// Problem is a vertically partitioned learning task. The global model is a
+// weight per feature (no intercept; see DESIGN.md), initialized to zero as
+// the paper's removal-equivalence argument requires (f(0, x) ≡ 0).
+type Problem struct {
+	Train  dataset.Dataset
+	Val    dataset.Dataset
+	Blocks []dataset.Block // participant i owns coordinates [Blocks[i].Lo, Blocks[i].Hi)
+	Kind   ModelKind
+}
+
+// Parties returns the number of participants n.
+func (p *Problem) Parties() int { return len(p.Blocks) }
+
+// newModel builds the zero-initialized full model for the problem.
+func (p *Problem) newModel() nn.Model {
+	switch p.Kind {
+	case LinReg:
+		return nn.NewLinearRegression(p.Train.Dim(), false)
+	case LogReg:
+		return nn.NewLogisticRegression(p.Train.Dim(), false)
+	default:
+		panic(fmt.Sprintf("vfl: unknown model kind %d", p.Kind))
+	}
+}
+
+func (p *Problem) validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("vfl: no participants")
+	}
+	covered := 0
+	for i, b := range p.Blocks {
+		if b.Lo < 0 || b.Hi > p.Train.Dim() || b.Lo >= b.Hi {
+			return fmt.Errorf("vfl: block %d = [%d,%d) invalid for %d features", i, b.Lo, b.Hi, p.Train.Dim())
+		}
+		if i > 0 && p.Blocks[i-1].Hi != b.Lo {
+			return fmt.Errorf("vfl: blocks must tile the feature space contiguously")
+		}
+		covered += b.Size()
+	}
+	if covered != p.Train.Dim() {
+		return fmt.Errorf("vfl: blocks cover %d of %d features", covered, p.Train.Dim())
+	}
+	if p.Val.Dim() != p.Train.Dim() {
+		return fmt.Errorf("vfl: val dim %d != train dim %d", p.Val.Dim(), p.Train.Dim())
+	}
+	return nil
+}
+
+// Config holds the optimization hyperparameters.
+type Config struct {
+	Epochs  int
+	LR      float64
+	KeepLog bool
+}
+
+// Epoch is one record of the VFL training log.
+type Epoch struct {
+	// T is the 1-based round number.
+	T int
+	// Theta is a copy of the global model θ_{T-1}.
+	Theta []float64
+	// Grad is the full global gradient G_T = α_T·∇loss(θ_{T-1}) over the
+	// training data (already scaled by the learning rate, matching the
+	// paper's definition of 𝒢_t in Sec. II-C2).
+	Grad []float64
+	// LR is α_T.
+	LR float64
+	// ValGrad is ∇loss^v(θ_{T-1}).
+	ValGrad []float64
+	// ValLoss is loss^v(θ_{T-1}).
+	ValLoss float64
+	// Weights are the per-participant block weights applied to the update;
+	// nil means unweighted.
+	Weights []float64
+}
+
+// Reweighter chooses per-epoch block weights (Eq. 31).
+type Reweighter interface {
+	Weights(ep *Epoch) []float64
+}
+
+// Observer receives each epoch record after weights are fixed.
+type Observer func(ep *Epoch)
+
+// Trainer runs vertically partitioned full-batch gradient descent.
+type Trainer struct {
+	Problem    *Problem
+	Cfg        Config
+	Reweighter Reweighter
+	Observer   Observer
+}
+
+// Result is the outcome of a VFL run.
+type Result struct {
+	Model        nn.Model
+	InitLoss     float64
+	FinalLoss    float64
+	Log          []*Epoch
+	ValLossCurve []float64
+}
+
+// Utility returns V = loss^v(θ_0) − loss^v(θ_τ) (Eq. 2).
+func (r *Result) Utility() float64 { return r.InitLoss - r.FinalLoss }
+
+// Run trains with all participants.
+func (tr *Trainer) Run() *Result {
+	all := make([]int, tr.Problem.Parties())
+	for i := range all {
+		all[i] = i
+	}
+	return tr.RunSubset(all)
+}
+
+// RunSubset trains with only the blocks of the listed participants; the
+// remaining blocks stay frozen at zero — the paper's removal semantics
+// (a removed participant's local output is identically 0, Sec. II-C2).
+func (tr *Trainer) RunSubset(subset []int) *Result {
+	if err := tr.Problem.validate(); err != nil {
+		panic(err)
+	}
+	if tr.Cfg.Epochs <= 0 || tr.Cfg.LR <= 0 {
+		panic(fmt.Sprintf("vfl: invalid config %+v", tr.Cfg))
+	}
+	prob := tr.Problem
+	model := prob.newModel()
+	active := make([]bool, prob.Parties())
+	for _, i := range subset {
+		active[i] = true
+	}
+
+	res := &Result{Model: model}
+	res.InitLoss = model.Loss(prob.Val.X, prob.Val.Y)
+	res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
+	for t := 1; t <= tr.Cfg.Epochs; t++ {
+		theta := tensor.Clone(model.Params())
+		grad := model.Grad(prob.Train.X, prob.Train.Y)
+		tensor.Scale(tr.Cfg.LR, grad)
+		// Freeze removed blocks: diag(v̄) masking of the update.
+		for i, b := range prob.Blocks {
+			if !active[i] {
+				for j := b.Lo; j < b.Hi; j++ {
+					grad[j] = 0
+				}
+			}
+		}
+		ep := &Epoch{
+			T:       t,
+			Theta:   theta,
+			Grad:    grad,
+			LR:      tr.Cfg.LR,
+			ValGrad: model.Grad(prob.Val.X, prob.Val.Y),
+			ValLoss: res.ValLossCurve[len(res.ValLossCurve)-1],
+		}
+		if tr.Reweighter != nil {
+			ep.Weights = tr.Reweighter.Weights(ep)
+		}
+		update := grad
+		if ep.Weights != nil {
+			if len(ep.Weights) != prob.Parties() {
+				panic(fmt.Sprintf("vfl: reweighter returned %d weights for %d parties",
+					len(ep.Weights), prob.Parties()))
+			}
+			update = tensor.Clone(grad)
+			for i, b := range prob.Blocks {
+				for j := b.Lo; j < b.Hi; j++ {
+					update[j] *= ep.Weights[i]
+				}
+			}
+		}
+		tensor.AXPY(-1, update, model.Params())
+		if tr.Observer != nil {
+			tr.Observer(ep)
+		}
+		if tr.Cfg.KeepLog {
+			res.Log = append(res.Log, ep)
+		}
+		res.ValLossCurve = append(res.ValLossCurve, model.Loss(prob.Val.X, prob.Val.Y))
+	}
+	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
+	return res
+}
+
+// Utility is the coalition utility V(S) by full retraining (Eq. 2) — the
+// expensive ground truth DIG-FL avoids.
+func (tr *Trainer) Utility(subset []int) float64 {
+	cfg := tr.Cfg
+	cfg.KeepLog = false
+	sub := &Trainer{Problem: tr.Problem, Cfg: cfg}
+	return sub.RunSubset(subset).Utility()
+}
