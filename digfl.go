@@ -31,6 +31,32 @@
 //	res := tr.Run()
 //	attr := digfl.EstimateHFL(res.Log, len(parts), digfl.ResourceSaving, nil)
 //	fmt.Println(attr.Totals) // estimated Shapley value per participant
+//
+// # Parallelism
+//
+// Every concurrent hot path runs on a shared bounded worker pool
+// (internal/parallel) whose outputs are bit-identical to the serial path,
+// so parallelism is purely a wall-clock knob:
+//
+//   - HFLConfig{Parallel: true, Workers: w} computes the participants'
+//     local updates on at most w goroutines (w ≤ 0 selects GOMAXPROCS).
+//   - HFLEstimator.Workers parallelizes the interactive per-participant
+//     HVP loop: 0 or 1 keeps the serial path, > 1 sets the pool size,
+//     negative selects GOMAXPROCS. Anything beyond serial requires a
+//     concurrency-safe HVPProvider; LocalHVP is (each in-flight call works
+//     on its own pooled model clone).
+//   - SecureConfig.Workers bounds the pool for the per-element Paillier
+//     operations of the encrypted VFL protocol; 0 selects GOMAXPROCS and
+//     1 forces serial. Decrypted results are exact modular arithmetic, so
+//     no worker count perturbs them.
+//   - ExactShapley's parallel twin (shapley.ExactParallel) evaluates the
+//     2^n coalitions on the same pool.
+//
+// # Training-log persistence
+//
+// WriteHFLLog/WriteVFLLog emit format version 2, which encodes non-finite
+// floats (NaN, ±Inf — routine in diverged runs) as the string sentinels
+// "NaN", "+Inf" and "-Inf"; version-1 files remain readable.
 package digfl
 
 import (
@@ -85,6 +111,9 @@ var (
 	NewVFLEstimator = core.NewVFLEstimator
 	// EstimateHFL replays a retained HFL training log.
 	EstimateHFL = core.EstimateHFL
+	// EstimateHFLSubset replays a coalition (RunSubset) training log,
+	// mapping each epoch's deltas back to global participant indices.
+	EstimateHFLSubset = core.EstimateHFLSubset
 	// EstimateVFL replays a retained VFL training log.
 	EstimateVFL = core.EstimateVFL
 	// LocalHVP builds an HVPProvider from a model and participant data.

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"digfl/internal/dataset"
 	"digfl/internal/hfl"
 	"digfl/internal/nn"
+	"digfl/internal/parallel"
 	"digfl/internal/tensor"
 )
 
@@ -17,10 +19,15 @@ type HVPProvider func(theta []float64, participant int, v []float64) []float64
 
 // LocalHVP builds an HVPProvider from a model prototype and the
 // participants' datasets, using the exact Hessian when the model implements
-// nn.HVPer and a central finite difference otherwise.
+// nn.HVPer and a central finite difference otherwise. The provider is safe
+// for concurrent use: each in-flight call works on its own clone of the
+// prototype (recycled through a pool), so concurrent HVP requests never
+// share mutable model state.
 func LocalHVP(model nn.Model, parts []dataset.Dataset) HVPProvider {
-	m := model.Clone()
+	pool := sync.Pool{New: func() any { return model.Clone() }}
 	return func(theta []float64, participant int, v []float64) []float64 {
+		m := pool.Get().(nn.Model)
+		defer pool.Put(m)
 		m.SetParams(theta)
 		p := parts[participant]
 		return nn.HVP(m, p.X, p.Y, v)
@@ -29,7 +36,8 @@ func LocalHVP(model nn.Model, parts []dataset.Dataset) HVPProvider {
 
 // HFLEstimator implements DIG-FL for horizontal FL: Algorithm 1
 // (Interactive) or Algorithm 2 (ResourceSaving). Feed it every training
-// epoch through Observe, in order; read the result from Attribution.
+// epoch through Observe (or ObserveMapped for coalition runs), in order;
+// read the result from Attribution.
 type HFLEstimator struct {
 	n, p int
 	mode Mode
@@ -38,6 +46,14 @@ type HFLEstimator struct {
 	deltaGSum [][]float64
 	attr      *Attribution
 	lastEpoch int
+
+	// Workers sets the per-epoch concurrency of the participant loop:
+	// 0 or 1 keeps the serial path, > 1 runs that many workers on the
+	// shared bounded pool, negative selects GOMAXPROCS. Anything beyond
+	// serial requires an HVPProvider that is safe for concurrent use
+	// (LocalHVP is). Results are bit-identical to the serial path: each
+	// participant's φ and ΔG-sum recursion touch only its own slots.
+	Workers int
 }
 
 // NewHFLEstimator creates an estimator for n participants and p model
@@ -59,33 +75,80 @@ func NewHFLEstimator(n, p int, mode Mode, hvp HVPProvider) *HFLEstimator {
 	return e
 }
 
+func (e *HFLEstimator) workers() int {
+	switch {
+	case e.Workers > 1:
+		return e.Workers
+	case e.Workers < 0:
+		return parallel.Workers(0)
+	default:
+		return 1
+	}
+}
+
 // Observe ingests one training epoch and returns the per-epoch contributions
-// φ_{t,i}. Epochs must arrive in order starting at 1.
+// φ_{t,i}. Epochs must arrive in order starting at 1, and must carry one
+// delta per participant — for coalition (RunSubset) epochs with fewer
+// deltas, use ObserveMapped with the subset instead.
 func (e *HFLEstimator) Observe(ep *hfl.Epoch) []float64 {
+	if len(ep.Deltas) != e.n {
+		panic(fmt.Sprintf("core: epoch carries %d deltas for %d participants; coalition runs need ObserveMapped", len(ep.Deltas), e.n))
+	}
+	return e.ObserveMapped(ep, nil)
+}
+
+// ObserveMapped ingests one training epoch from a coalition run: idx[k]
+// names the global participant that produced ep.Deltas[k], exactly the
+// subset slice handed to hfl.Trainer.RunSubset. A nil idx is the identity
+// mapping (a full run, requiring one delta per participant). The returned
+// φ_{t,·} always has length n; participants absent from the epoch get 0 and
+// — in Interactive mode — their ΔG-sum recursion is left frozen until they
+// rejoin. The first-term weight is 1/|S|, matching the trainer's uniform
+// coalition average.
+func (e *HFLEstimator) ObserveMapped(ep *hfl.Epoch, idx []int) []float64 {
 	if ep.T != e.lastEpoch+1 {
 		panic(fmt.Sprintf("core: epoch %d observed after %d", ep.T, e.lastEpoch))
 	}
+	if idx == nil {
+		checkDim("deltas", len(ep.Deltas), e.n)
+	} else {
+		checkDim("participant mapping", len(idx), len(ep.Deltas))
+		seen := make([]bool, e.n)
+		for _, i := range idx {
+			if i < 0 || i >= e.n {
+				panic(fmt.Sprintf("core: mapped participant %d out of range [0,%d)", i, e.n))
+			}
+			if seen[i] {
+				panic(fmt.Sprintf("core: participant %d mapped twice", i))
+			}
+			seen[i] = true
+		}
+	}
 	e.lastEpoch = ep.T
-	checkDim("deltas", len(ep.Deltas), e.n)
 	checkDim("valGrad", len(ep.ValGrad), e.p)
 
 	phi := make([]float64, e.n)
-	inv := 1 / float64(e.n)
-	for i, delta := range ep.Deltas {
+	inv := 1 / float64(len(ep.Deltas))
+	parallel.For(len(ep.Deltas), e.workers(), func(k int) {
+		i := k
+		if idx != nil {
+			i = idx[k]
+		}
+		delta := ep.Deltas[k]
 		checkDim("delta", len(delta), e.p)
-		// First term of Eq. 19: (1/n)·∇loss^v(θ_{t-1})·δ_{t,i}.
+		// First term of Eq. 19: (1/|S|)·∇loss^v(θ_{t-1})·δ_{t,i}.
 		phi[i] = inv * tensor.Dot(ep.ValGrad, delta)
 		if e.mode != Interactive {
-			continue
+			return
 		}
 		// Second-order correction: Ω_t^{-i} = Ĥ_i(θ_{t-1})·Σ_{j<t}ΔG_j^{-i}.
 		omega := e.hvp(ep.Theta, i, e.deltaGSum[i])
 		checkDim("hvp result", len(omega), e.p)
 		phi[i] += ep.LR * tensor.Dot(ep.ValGrad, omega)
-		// Advance the recursion: ΔG_t^{-i} = −(1/n)·δ_{t,i} − α_t·Ω_t^{-i}.
+		// Advance the recursion: ΔG_t^{-i} = −(1/|S|)·δ_{t,i} − α_t·Ω_t^{-i}.
 		tensor.AXPY(-inv, delta, e.deltaGSum[i])
 		tensor.AXPY(-ep.LR, omega, e.deltaGSum[i])
-	}
+	})
 	e.attr.record(phi)
 	return phi
 }
@@ -103,6 +166,20 @@ func EstimateHFL(log []*hfl.Epoch, n int, mode Mode, hvp HVPProvider) *Attributi
 	e := NewHFLEstimator(n, len(log[0].ValGrad), mode, hvp)
 	for _, ep := range log {
 		e.Observe(ep)
+	}
+	return e.Attribution()
+}
+
+// EstimateHFLSubset replays a coalition run's training log: subset is the
+// slice handed to hfl.Trainer.RunSubset, mapping each epoch's deltas back to
+// global participant indices.
+func EstimateHFLSubset(log []*hfl.Epoch, n int, subset []int, mode Mode, hvp HVPProvider) *Attribution {
+	if len(log) == 0 {
+		panic("core: empty training log")
+	}
+	e := NewHFLEstimator(n, len(log[0].ValGrad), mode, hvp)
+	for _, ep := range log {
+		e.ObserveMapped(ep, subset)
 	}
 	return e.Attribution()
 }

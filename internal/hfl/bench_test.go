@@ -1,0 +1,82 @@
+package hfl
+
+import (
+	"fmt"
+	"testing"
+
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// benchTrainer builds a moderately heavy local-update workload: multi-step
+// local training on an MLP, where per-participant gradient computation
+// dominates the round and the bounded pool can actually help.
+func benchTrainer(parallel bool, workers int) *Trainer {
+	rng := tensor.NewRNG(91)
+	full := dataset.MNISTLike(1600, 91)
+	train, val := full.Split(0.1, rng)
+	return &Trainer{
+		Model: nn.NewMLP(train.Dim(), 24, train.Classes, tensor.NewRNG(91)),
+		Parts: dataset.PartitionIID(train, 8, rng),
+		Val:   val,
+		Cfg: Config{
+			Epochs: 2, LR: 0.1, LocalSteps: 4,
+			Parallel: parallel, Workers: workers,
+		},
+	}
+}
+
+// BenchmarkLocalUpdates measures one full training run's worth of
+// per-participant local updates, serial vs. the bounded pool. The parallel
+// variants first assert bit-identical final parameters against the serial
+// run, so a determinism regression fails the benchmark rather than skewing
+// it.
+func BenchmarkLocalUpdates(b *testing.B) {
+	serial := benchTrainer(false, 0).Run().Model.Params()
+	for _, cfg := range []struct {
+		name     string
+		parallel bool
+		workers  int
+	}{
+		{"serial", false, 0},
+		{"parallel2", true, 2},
+		{"parallel8", true, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			got := benchTrainer(cfg.parallel, cfg.workers).Run().Model.Params()
+			for i := range serial {
+				if got[i] != serial[i] {
+					b.Fatalf("%s diverged from serial at param %d", cfg.name, i)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchTrainer(cfg.parallel, cfg.workers).Run()
+			}
+		})
+	}
+}
+
+// BenchmarkLocalUpdatesScaling fans the same workload across participant
+// counts, the axis the ROADMAP's production-scale goal cares about: the
+// bounded pool must keep goroutine count fixed while work grows.
+func BenchmarkLocalUpdatesScaling(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("parts%d", n), func(b *testing.B) {
+			rng := tensor.NewRNG(92)
+			full := dataset.MNISTLike(40*n, 92)
+			train, val := full.Split(0.1, rng)
+			tr := &Trainer{
+				Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+				Parts: dataset.PartitionIID(train, n, rng),
+				Val:   val,
+				Cfg:   Config{Epochs: 1, LR: 0.1, LocalSteps: 2, Parallel: true, Workers: 8},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Run()
+			}
+		})
+	}
+}

@@ -8,10 +8,10 @@ package hfl
 
 import (
 	"fmt"
-	"sync"
 
 	"digfl/internal/dataset"
 	"digfl/internal/nn"
+	"digfl/internal/parallel"
 	"digfl/internal/tensor"
 )
 
@@ -32,11 +32,17 @@ type Config struct {
 	// KeepLog retains the per-epoch training log in the result. Retraining
 	// sweeps (actual Shapley) disable it to save memory.
 	KeepLog bool
-	// Parallel computes the participants' local updates concurrently (one
-	// goroutine per participant). Results are bit-identical to the serial
-	// path because aggregation order is fixed; it only helps when local
-	// gradient computation dominates.
+	// Parallel computes the participants' local updates concurrently on the
+	// shared bounded worker pool (internal/parallel) instead of one
+	// goroutine per participant, so fan-out stays fixed at production
+	// participant counts. Results are bit-identical to the serial path
+	// because each participant writes only its own δ slot and aggregation
+	// order is fixed; it only helps when local gradient computation
+	// dominates.
 	Parallel bool
+	// Workers caps the worker pool when Parallel is set; 0 or negative
+	// selects GOMAXPROCS.
+	Workers int
 }
 
 func (c Config) localSteps() int {
@@ -194,21 +200,11 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 			}
 			deltas[k] = tensor.Sub(theta, local.Params())
 		}
-		if tr.Cfg.Parallel && len(subset) > 1 {
-			var wg sync.WaitGroup
-			for k := range subset {
-				wg.Add(1)
-				go func(k int) {
-					defer wg.Done()
-					localUpdate(k)
-				}(k)
-			}
-			wg.Wait()
-		} else {
-			for k := range subset {
-				localUpdate(k)
-			}
+		workers := 1
+		if tr.Cfg.Parallel {
+			workers = parallel.Workers(tr.Cfg.Workers)
 		}
+		parallel.For(len(subset), workers, localUpdate)
 		ep := &Epoch{
 			T:       t,
 			Theta:   theta,

@@ -8,27 +8,31 @@ import (
 	"digfl/internal/tensor"
 )
 
-// Parallel local updates must be bit-identical to the serial path.
+// Parallel local updates must be bit-identical to the serial path, for any
+// worker budget: each participant writes only its own δ slot and the
+// aggregation order is fixed.
 func TestParallelRunMatchesSerial(t *testing.T) {
 	rng := tensor.NewRNG(61)
 	full := dataset.MNISTLike(600, 61)
 	train, val := full.Split(0.2, rng)
 	parts := dataset.PartitionIID(train, 6, rng)
 	for _, steps := range []int{1, 3} {
-		run := func(parallel bool) []float64 {
+		run := func(parallel bool, workers int) []float64 {
 			tr := &Trainer{
 				Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
 				Parts: parts,
 				Val:   val,
-				Cfg:   Config{Epochs: 5, LR: 0.3, LocalSteps: steps, Parallel: parallel},
+				Cfg:   Config{Epochs: 5, LR: 0.3, LocalSteps: steps, Parallel: parallel, Workers: workers},
 			}
 			return tr.Run().Model.Params()
 		}
-		serial := run(false)
-		parallel := run(true)
-		for i := range serial {
-			if serial[i] != parallel[i] {
-				t.Fatalf("steps=%d: parallel run diverged at param %d", steps, i)
+		serial := run(false, 0)
+		for _, workers := range []int{0, 1, 2, 8} {
+			parallel := run(true, workers)
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("steps=%d workers=%d: parallel run diverged at param %d", steps, workers, i)
+				}
 			}
 		}
 	}

@@ -5,6 +5,12 @@
 // estimator variant, with a refreshed validation set, or for audit. The
 // format is line-delimited JSON: one header line, then one line per epoch,
 // so logs can be streamed and appended.
+//
+// Format version 2 encodes non-finite floats (NaN, ±Inf — routine in the
+// logs of diverged runs) as the string sentinels "NaN", "+Inf" and "-Inf",
+// since encoding/json refuses to marshal them as numbers and a plain encoder
+// would abort mid-stream, truncating the file after the header. Readers
+// accept both version 1 (finite floats only) and version 2.
 package logio
 
 import (
@@ -13,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"digfl/internal/hfl"
 	"digfl/internal/vfl"
@@ -30,8 +37,144 @@ type header struct {
 const (
 	formatHFL = "digfl-hfl-log"
 	formatVFL = "digfl-vfl-log"
-	version   = 1
+	// version is the write version. Version 2 added the non-finite float
+	// sentinels; version-1 files (plain numbers everywhere) remain
+	// readable.
+	version = 2
 )
+
+// f64 is a float64 that survives JSON round-trips even when non-finite.
+type f64 float64
+
+func (f f64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *f64) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = f64(math.NaN())
+		case "+Inf":
+			*f = f64(math.Inf(1))
+		case "-Inf":
+			*f = f64(math.Inf(-1))
+		default:
+			return fmt.Errorf("unknown float sentinel %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = f64(v)
+	return nil
+}
+
+// vec is a []float64 carried through JSON with sentinel-aware elements;
+// nil round-trips as null.
+type vec []float64
+
+func (v vec) MarshalJSON() ([]byte, error) {
+	if v == nil {
+		return []byte("null"), nil
+	}
+	out := make([]f64, len(v))
+	for i, x := range v {
+		out[i] = f64(x)
+	}
+	return json.Marshal(out)
+}
+
+func (v *vec) UnmarshalJSON(b []byte) error {
+	var raw []f64
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if raw == nil {
+		*v = nil
+		return nil
+	}
+	out := make([]float64, len(raw))
+	for i, x := range raw {
+		out[i] = float64(x)
+	}
+	*v = out
+	return nil
+}
+
+// hflEpochJSON mirrors hfl.Epoch field-for-field (same JSON keys as the
+// version-1 direct encoding) with sentinel-aware floats.
+type hflEpochJSON struct {
+	T       int
+	Theta   vec
+	Deltas  []vec
+	LR      f64
+	ValGrad vec
+	ValLoss f64
+	Weights vec
+}
+
+func toHFLJSON(ep *hfl.Epoch) *hflEpochJSON {
+	deltas := make([]vec, len(ep.Deltas))
+	for i, d := range ep.Deltas {
+		deltas[i] = vec(d)
+	}
+	return &hflEpochJSON{
+		T: ep.T, Theta: vec(ep.Theta), Deltas: deltas, LR: f64(ep.LR),
+		ValGrad: vec(ep.ValGrad), ValLoss: f64(ep.ValLoss), Weights: vec(ep.Weights),
+	}
+}
+
+func (j *hflEpochJSON) epoch() *hfl.Epoch {
+	deltas := make([][]float64, len(j.Deltas))
+	for i, d := range j.Deltas {
+		deltas[i] = d
+	}
+	return &hfl.Epoch{
+		T: j.T, Theta: j.Theta, Deltas: deltas, LR: float64(j.LR),
+		ValGrad: j.ValGrad, ValLoss: float64(j.ValLoss), Weights: j.Weights,
+	}
+}
+
+// vflEpochJSON mirrors vfl.Epoch likewise.
+type vflEpochJSON struct {
+	T       int
+	Theta   vec
+	Grad    vec
+	LR      f64
+	ValGrad vec
+	ValLoss f64
+	Weights vec
+}
+
+func toVFLJSON(ep *vfl.Epoch) *vflEpochJSON {
+	return &vflEpochJSON{
+		T: ep.T, Theta: vec(ep.Theta), Grad: vec(ep.Grad), LR: f64(ep.LR),
+		ValGrad: vec(ep.ValGrad), ValLoss: f64(ep.ValLoss), Weights: vec(ep.Weights),
+	}
+}
+
+func (j *vflEpochJSON) epoch() *vfl.Epoch {
+	return &vfl.Epoch{
+		T: j.T, Theta: j.Theta, Grad: j.Grad, LR: float64(j.LR),
+		ValGrad: j.ValGrad, ValLoss: float64(j.ValLoss), Weights: j.Weights,
+	}
+}
 
 // WriteHFL serializes an HFL training log.
 func WriteHFL(w io.Writer, log []*hfl.Epoch) error {
@@ -48,14 +191,15 @@ func WriteHFL(w io.Writer, log []*hfl.Epoch) error {
 		if len(ep.Theta) != h.Params || len(ep.Deltas) != h.Parties {
 			return fmt.Errorf("logio: epoch %d shape drifts from header", i)
 		}
-		if err := enc.Encode(ep); err != nil {
+		if err := enc.Encode(toHFLJSON(ep)); err != nil {
 			return fmt.Errorf("logio: writing epoch %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// ReadHFL deserializes an HFL training log, validating shapes.
+// ReadHFL deserializes an HFL training log (version 1 or 2), validating
+// shapes.
 func ReadHFL(r io.Reader) ([]*hfl.Epoch, error) {
 	h, dec, err := readHeader(r, formatHFL)
 	if err != nil {
@@ -63,13 +207,14 @@ func ReadHFL(r io.Reader) ([]*hfl.Epoch, error) {
 	}
 	var log []*hfl.Epoch
 	for {
-		ep := &hfl.Epoch{}
-		if err := dec.Decode(ep); err != nil {
+		rec := &hflEpochJSON{}
+		if err := dec.Decode(rec); err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
 			return nil, fmt.Errorf("logio: reading epoch %d: %w", len(log), err)
 		}
+		ep := rec.epoch()
 		if len(ep.Theta) != h.Params || len(ep.ValGrad) != h.Params || len(ep.Deltas) != h.Parties {
 			return nil, fmt.Errorf("logio: epoch %d shape mismatch", len(log))
 		}
@@ -98,14 +243,15 @@ func WriteVFL(w io.Writer, log []*vfl.Epoch) error {
 		if len(ep.Theta) != h.Params {
 			return fmt.Errorf("logio: epoch %d shape drifts from header", i)
 		}
-		if err := enc.Encode(ep); err != nil {
+		if err := enc.Encode(toVFLJSON(ep)); err != nil {
 			return fmt.Errorf("logio: writing epoch %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// ReadVFL deserializes a VFL training log, validating shapes.
+// ReadVFL deserializes a VFL training log (version 1 or 2), validating
+// shapes.
 func ReadVFL(r io.Reader) ([]*vfl.Epoch, error) {
 	h, dec, err := readHeader(r, formatVFL)
 	if err != nil {
@@ -113,13 +259,14 @@ func ReadVFL(r io.Reader) ([]*vfl.Epoch, error) {
 	}
 	var log []*vfl.Epoch
 	for {
-		ep := &vfl.Epoch{}
-		if err := dec.Decode(ep); err != nil {
+		rec := &vflEpochJSON{}
+		if err := dec.Decode(rec); err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
 			return nil, fmt.Errorf("logio: reading epoch %d: %w", len(log), err)
 		}
+		ep := rec.epoch()
 		if len(ep.Theta) != h.Params || len(ep.Grad) != h.Params || len(ep.ValGrad) != h.Params {
 			return nil, fmt.Errorf("logio: epoch %d shape mismatch", len(log))
 		}
@@ -143,7 +290,7 @@ func readHeader(r io.Reader, wantFormat string) (header, *json.Decoder, error) {
 	if h.Format != wantFormat {
 		return h, nil, fmt.Errorf("logio: format %q, want %q", h.Format, wantFormat)
 	}
-	if h.Version != version {
+	if h.Version < 1 || h.Version > version {
 		return h, nil, fmt.Errorf("logio: unsupported version %d", h.Version)
 	}
 	if h.Params <= 0 {

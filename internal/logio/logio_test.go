@@ -2,6 +2,7 @@ package logio
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -167,7 +168,7 @@ func TestErrors(t *testing.T) {
 		t.Fatal("shape drift must error on write")
 	}
 	// Unsupported version.
-	bad := strings.Replace(headerOnly, `"version":1`, `"version":9`, 1)
+	bad := strings.Replace(headerOnly, fmt.Sprintf(`"version":%d`, version), `"version":9`, 1)
 	if _, err := ReadHFL(strings.NewReader(bad + full[strings.Index(full, "\n")+1:])); err == nil {
 		t.Fatal("future version must error")
 	}

@@ -1,0 +1,141 @@
+package logio
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"digfl/internal/hfl"
+	"digfl/internal/vfl"
+)
+
+// sameFloat compares with NaN == NaN, the round-trip notion of equality.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+// divergedHFLLog builds a log the way a diverged run produces one: early
+// epochs finite, later epochs shot through with NaN and ±Inf.
+func divergedHFLLog() []*hfl.Epoch {
+	nan, pinf, ninf := math.NaN(), math.Inf(1), math.Inf(-1)
+	return []*hfl.Epoch{
+		{
+			T: 1, Theta: []float64{0.5, -1.25}, LR: 0.1,
+			Deltas:  [][]float64{{1, 2}, {3, 4}},
+			ValGrad: []float64{0.25, 0.75}, ValLoss: 1.5,
+		},
+		{
+			T: 2, Theta: []float64{nan, pinf}, LR: 0.1,
+			Deltas:  [][]float64{{ninf, nan}, {pinf, 0}},
+			ValGrad: []float64{nan, ninf}, ValLoss: nan,
+			Weights: []float64{0.5, 0.5},
+		},
+	}
+}
+
+// Version 1 (plain encoding/json) aborted mid-stream on NaN/Inf, leaving a
+// truncated file; version 2 must write and round-trip diverged logs exactly.
+func TestHFLNonFiniteRoundTrip(t *testing.T) {
+	log := divergedHFLLog()
+	var buf bytes.Buffer
+	if err := WriteHFL(&buf, log); err != nil {
+		t.Fatalf("writing diverged log: %v", err)
+	}
+	got, err := ReadHFL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(log) {
+		t.Fatalf("lost epochs: %d vs %d", len(got), len(log))
+	}
+	for i := range log {
+		if got[i].T != log[i].T || !sameFloat(got[i].LR, log[i].LR) || !sameFloat(got[i].ValLoss, log[i].ValLoss) {
+			t.Fatalf("epoch %d metadata mismatch: %+v", i, got[i])
+		}
+		for j := range log[i].Theta {
+			if !sameFloat(got[i].Theta[j], log[i].Theta[j]) {
+				t.Fatalf("epoch %d theta[%d] = %v, want %v", i, j, got[i].Theta[j], log[i].Theta[j])
+			}
+			if !sameFloat(got[i].ValGrad[j], log[i].ValGrad[j]) {
+				t.Fatalf("epoch %d valGrad[%d] mismatch", i, j)
+			}
+		}
+		for k := range log[i].Deltas {
+			for j := range log[i].Deltas[k] {
+				if !sameFloat(got[i].Deltas[k][j], log[i].Deltas[k][j]) {
+					t.Fatalf("epoch %d delta[%d][%d] mismatch", i, k, j)
+				}
+			}
+		}
+		if (got[i].Weights == nil) != (log[i].Weights == nil) {
+			t.Fatalf("epoch %d weights nil-ness changed", i)
+		}
+	}
+}
+
+func TestVFLNonFiniteRoundTrip(t *testing.T) {
+	nan, pinf := math.NaN(), math.Inf(1)
+	log := []*vfl.Epoch{
+		{T: 1, Theta: []float64{1, 2}, Grad: []float64{0.5, -0.5}, LR: 0.05,
+			ValGrad: []float64{0.1, 0.2}, ValLoss: 3},
+		{T: 2, Theta: []float64{nan, pinf}, Grad: []float64{pinf, nan}, LR: 0.05,
+			ValGrad: []float64{nan, nan}, ValLoss: pinf},
+	}
+	var buf bytes.Buffer
+	if err := WriteVFL(&buf, log); err != nil {
+		t.Fatalf("writing diverged VFL log: %v", err)
+	}
+	got, err := ReadVFL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range log {
+		if !sameFloat(got[i].ValLoss, log[i].ValLoss) {
+			t.Fatalf("epoch %d valLoss mismatch", i)
+		}
+		for j := range log[i].Theta {
+			if !sameFloat(got[i].Theta[j], log[i].Theta[j]) || !sameFloat(got[i].Grad[j], log[i].Grad[j]) {
+				t.Fatalf("epoch %d vector mismatch", i)
+			}
+		}
+	}
+}
+
+// A version-1 file — header version 1, plain numeric floats, exactly what
+// the old direct json.Encoder emitted — must still read.
+func TestReadVersion1Compat(t *testing.T) {
+	v1 := `{"format":"digfl-hfl-log","version":1,"params":2,"parties":2}
+{"T":1,"Theta":[0.5,-1.25],"Deltas":[[1,2],[3,4]],"LR":0.1,"ValGrad":[0.25,0.75],"ValLoss":1.5,"Weights":null}
+{"T":2,"Theta":[0.25,-1],"Deltas":[[5,6],[7,8]],"LR":0.1,"ValGrad":[0.2,0.7],"ValLoss":1.25,"Weights":[0.5,0.5]}
+`
+	log, err := ReadHFL(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 file must stay readable: %v", err)
+	}
+	if len(log) != 2 || log[0].Theta[1] != -1.25 || log[1].Weights[0] != 0.5 {
+		t.Fatalf("version-1 contents mangled: %+v", log)
+	}
+}
+
+// The writer must stamp the current version and use the documented
+// sentinels, so files are diagnosable with standard JSON tooling.
+func TestWrittenFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHFL(&buf, divergedHFLLog()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, fmt.Sprintf(`"version":%d`, version)) {
+		t.Fatalf("header missing version %d: %s", version, out[:80])
+	}
+	for _, sentinel := range []string{`"NaN"`, `"+Inf"`, `"-Inf"`} {
+		if !strings.Contains(out, sentinel) {
+			t.Fatalf("output missing sentinel %s", sentinel)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+func benchKey(b *testing.B, bits int) *PrivateKey {
+	b.Helper()
+	sk, err := GenerateKey(rand.Reader, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}
+
+func benchVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i%13) - 6.5
+	}
+	return v
+}
+
+// BenchmarkEncryptVec compares serial vs. pooled vector encryption at the
+// paper's 1024-bit modulus — the secure VFL protocol's per-epoch hot path.
+// Decrypted plaintexts are asserted identical before timing.
+func BenchmarkEncryptVec(b *testing.B) {
+	sk := benchKey(b, 1024)
+	pk := &sk.PublicKey
+	v := benchVec(64)
+	serialCts, err := pk.EncryptVec(rand.Reader, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := sk.DecryptVec(serialCts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel8", 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			cts, err := pk.EncryptVecN(rand.Reader, v, cfg.workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := sk.DecryptVecN(cts, cfg.workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					b.Fatalf("parallel encryption changed plaintext %d", i)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pk.EncryptVecN(rand.Reader, v, cfg.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecryptVec compares serial vs. pooled vector decryption (CRT
+// exponentiations dominate).
+func BenchmarkDecryptVec(b *testing.B) {
+	sk := benchKey(b, 1024)
+	pk := &sk.PublicKey
+	cts, err := pk.EncryptVec(rand.Reader, benchVec(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel8", 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.DecryptVecN(cts, cfg.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

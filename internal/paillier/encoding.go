@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
+
+	"digfl/internal/parallel"
 )
 
 // Scale is the default fixed-point scale: floats are encoded as
@@ -45,30 +48,82 @@ func (sk *PrivateKey) DecryptFloat(ct *Ciphertext) (float64, error) {
 	return sk.Decode(m), nil
 }
 
-// EncryptVec encrypts every element of v.
+// EncryptVec encrypts every element of v serially. For large vectors prefer
+// EncryptVecN, which spreads the per-element modular exponentiations over
+// the shared bounded worker pool.
 func (pk *PublicKey) EncryptVec(rnd io.Reader, v []float64) ([]*Ciphertext, error) {
+	return pk.EncryptVecN(rnd, v, 1)
+}
+
+// EncryptVecN encrypts every element of v using at most `workers`
+// goroutines (0 or negative selects GOMAXPROCS). When more than one worker
+// may run, rnd must be safe for concurrent use — crypto/rand.Reader is. The
+// plaintexts inside the returned ciphertexts are identical to the serial
+// path for any worker count; only the encryption randomness differs.
+func (pk *PublicKey) EncryptVecN(rnd io.Reader, v []float64, workers int) ([]*Ciphertext, error) {
 	out := make([]*Ciphertext, len(v))
-	for i, x := range v {
-		ct, err := pk.EncryptFloat(rnd, x)
+	var firstErr vecErr
+	parallel.For(len(v), workers, func(i int) {
+		ct, err := pk.EncryptFloat(rnd, v[i])
 		if err != nil {
-			return nil, fmt.Errorf("paillier: encrypting element %d: %w", i, err)
+			firstErr.set(i, fmt.Errorf("paillier: encrypting element %d: %w", i, err))
+			return
 		}
 		out[i] = ct
+	})
+	if err := firstErr.get(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// DecryptVec decrypts every element.
+// DecryptVec decrypts every element serially. For large vectors prefer
+// DecryptVecN.
 func (sk *PrivateKey) DecryptVec(cts []*Ciphertext) ([]float64, error) {
+	return sk.DecryptVecN(cts, 1)
+}
+
+// DecryptVecN decrypts every element using at most `workers` goroutines
+// (0 or negative selects GOMAXPROCS). The result is bit-identical to the
+// serial path: decryption is a pure function of each ciphertext.
+func (sk *PrivateKey) DecryptVecN(cts []*Ciphertext, workers int) ([]float64, error) {
 	out := make([]float64, len(cts))
-	for i, ct := range cts {
-		v, err := sk.DecryptFloat(ct)
+	var firstErr vecErr
+	parallel.For(len(cts), workers, func(i int) {
+		v, err := sk.DecryptFloat(cts[i])
 		if err != nil {
-			return nil, fmt.Errorf("paillier: decrypting element %d: %w", i, err)
+			firstErr.set(i, fmt.Errorf("paillier: decrypting element %d: %w", i, err))
+			return
 		}
 		out[i] = v
+	})
+	if err := firstErr.get(); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// vecErr retains the error from the lowest-indexed failing element of a
+// parallel vector operation, so the reported error is deterministic no
+// matter which worker fails first.
+type vecErr struct {
+	mu  sync.Mutex
+	i   int
+	err error
+}
+
+func (e *vecErr) set(i int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil || i < e.i {
+		e.i, e.err = i, err
+	}
+}
+
+func (e *vecErr) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
 }
 
 // AddVec returns the element-wise homomorphic sum of two ciphertext vectors.

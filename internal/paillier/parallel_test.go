@@ -1,0 +1,64 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Parallel vector encryption/decryption must recover exactly the plaintexts
+// the serial path recovers, for any worker budget.
+func TestVecParallelRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	v := make([]float64, 129)
+	for i := range v {
+		v[i] = math.Sin(float64(i)) * float64(i%17)
+	}
+	serialCts, err := pk.EncryptVec(rand.Reader, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sk.DecryptVec(serialCts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		cts, err := pk.EncryptVecN(rand.Reader, v, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := sk.DecryptVecN(cts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: element %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// A failing element must surface the lowest-indexed error deterministically,
+// regardless of which worker hits it first.
+func TestDecryptVecNReportsFirstError(t *testing.T) {
+	sk := testKey(t)
+	pk := &sk.PublicKey
+	cts, err := pk.EncryptVec(rand.Reader, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts[3] = nil
+	cts[6] = nil
+	for _, workers := range []int{1, 4} {
+		_, err := sk.DecryptVecN(cts, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: nil ciphertext must error", workers)
+		}
+		if want := "element 3"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("workers=%d: error %q should name the first failing %s", workers, err, want)
+		}
+	}
+}

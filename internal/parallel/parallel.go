@@ -1,0 +1,120 @@
+// Package parallel is the shared bounded worker-pool runtime behind every
+// concurrent hot path in the repository: the HFL trainer's per-participant
+// local updates, the interactive estimator's HVP loop, the Paillier
+// vector operations of the secure VFL protocol, and the exact-Shapley
+// coalition sweep. DIG-FL's pitch is contribution evaluation at (near) zero
+// extra cost, so the evaluation pipeline's wall-clock matters as much as its
+// utility-call count; this package bounds fan-out to a fixed worker budget
+// (no goroutine-per-participant explosions at production participant counts)
+// while keeping every result bit-identical to the serial path.
+//
+// Determinism contract: For and Map schedule iterations dynamically but each
+// iteration writes only its own slot, so outputs never depend on worker
+// count or interleaving. MapReduce additionally fixes the reduction
+// association — serial within fixed-size chunks, chunk partials combined in
+// ascending chunk order — so its result depends only on (n, chunk), never on
+// workers or scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: w > 0 is used as-is; zero or
+// negative selects runtime.GOMAXPROCS(0), the default worker budget.
+func Workers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) on a bounded pool of at most
+// Workers(workers) goroutines. Iterations are claimed dynamically from a
+// shared counter, so uneven per-iteration cost balances automatically. fn
+// must be safe for concurrent invocation when workers permits more than one
+// goroutine; with a single worker (or n ≤ 1) fn runs on the calling
+// goroutine with no synchronization at all, making For(n, 1, fn) an exact
+// drop-in for the serial loop.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map returns out where out[i] = fn(i), computed on the bounded pool. Each
+// iteration writes only its own slot, so the result is identical for every
+// worker count.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// DefaultChunk is the MapReduce chunk size used when chunk ≤ 0: large
+// enough to amortize scheduling, small enough to load-balance across a
+// typical worker budget.
+const DefaultChunk = 64
+
+// MapReduce computes fn(0) ⊕ fn(1) ⊕ … ⊕ fn(n−1) on the bounded pool with a
+// fixed association: [0, n) is split into contiguous chunks of the given
+// size (DefaultChunk when chunk ≤ 0), each chunk is reduced serially in
+// index order, and the chunk partials are combined serially in ascending
+// chunk order. Because the chunking depends only on n and chunk — never on
+// workers — the result is deterministic for any worker count, and for an
+// associative ⊕ it equals the serial left fold. n must be at least 1.
+func MapReduce[T any](n, workers, chunk int, fn func(i int) T, combine func(a, b T) T) T {
+	if n <= 0 {
+		panic("parallel: MapReduce needs n >= 1")
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	chunks := (n + chunk - 1) / chunk
+	partials := make([]T, chunks)
+	For(chunks, workers, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		acc := fn(lo)
+		for i := lo + 1; i < hi; i++ {
+			acc = combine(acc, fn(i))
+		}
+		partials[c] = acc
+	})
+	acc := partials[0]
+	for c := 1; c < chunks; c++ {
+		acc = combine(acc, partials[c])
+	}
+	return acc
+}

@@ -1,0 +1,44 @@
+package shapley
+
+import (
+	"math"
+	"testing"
+)
+
+// busyGame is a utility with a deliberate compute cost per evaluation,
+// standing in for the federated retraining the experiments back utilities
+// with (each real evaluation is a full training run).
+func busyGame(work int) Utility {
+	return func(s []int) float64 {
+		acc := float64(len(s))
+		for i := 0; i < work; i++ {
+			acc += math.Sin(acc)
+		}
+		return acc
+	}
+}
+
+// BenchmarkExactSweep compares the serial enumeration against the bounded
+// pool on a 10-participant game (1024 coalition evaluations). Parallel
+// output is asserted bit-identical to serial before timing.
+func BenchmarkExactSweep(b *testing.B) {
+	const n = 10
+	u := busyGame(2000)
+	serial := Exact(n, u)
+	check := ExactParallel(n, u, 8)
+	for i := range serial {
+		if check[i] != serial[i] {
+			b.Fatalf("parallel sweep diverged at participant %d", i)
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Exact(n, u)
+		}
+	})
+	b.Run("parallel8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ExactParallel(n, u, 8)
+		}
+	})
+}

@@ -4,48 +4,34 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"digfl/internal/parallel"
 )
 
 // ExactParallel computes the same exact Shapley value as Exact but evaluates
-// the 2^n coalition utilities concurrently. The utility function must be
-// safe for concurrent use (the hfl/vfl retraining utilities are: every
-// evaluation clones the prototype model and only reads the shared data).
-// workers ≤ 0 selects GOMAXPROCS.
+// the 2^n coalition utilities on the shared bounded worker pool
+// (internal/parallel). The utility function must be safe for concurrent use
+// (the hfl/vfl retraining utilities are: every evaluation clones the
+// prototype model and only reads the shared data). workers ≤ 0 selects
+// GOMAXPROCS. Each coalition writes only its own slot of the value table
+// and the Shapley combination runs serially in mask order, so the result is
+// bit-identical to Exact for any worker count.
 func ExactParallel(n int, u Utility, workers int) []float64 {
 	if n <= 0 || n > 20 {
 		panic(fmt.Sprintf("shapley: ExactParallel supports 1..20 participants, got %d", n))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	total := uint64(1) << uint(n)
+	total := 1 << uint(n)
 	values := make([]float64, total)
-	var next atomic.Uint64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mask := next.Add(1) - 1
-				if mask >= total {
-					return
-				}
-				values[mask] = u(maskToSubset(mask, n))
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.For(total, workers, func(i int) {
+		values[i] = u(maskToSubset(uint64(i), n))
+	})
 
 	w := make([]float64, n)
 	for s := 0; s < n; s++ {
 		w[s] = math.Exp(lnFact(s) + lnFact(n-s-1) - lnFact(n))
 	}
 	phi := make([]float64, n)
-	for mask := uint64(0); mask < total; mask++ {
+	for mask := uint64(0); mask < uint64(total); mask++ {
 		vS := values[mask]
 		size := bits.OnesCount64(mask)
 		for i := 0; i < n; i++ {

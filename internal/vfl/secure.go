@@ -4,8 +4,10 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"digfl/internal/paillier"
+	"digfl/internal/parallel"
 	"digfl/internal/tensor"
 )
 
@@ -18,8 +20,20 @@ type SecureConfig struct {
 	Epochs  int
 	LR      float64
 	KeyBits int // Paillier modulus size; the paper uses 1024
+	// Key optionally supplies a pre-generated third-party key pair,
+	// skipping per-run key generation — production deployments provision
+	// the trusted third party once and amortize it across runs. KeyBits is
+	// ignored when Key is set.
+	Key *paillier.PrivateKey
 	// MaskSeed seeds the gradient masks M₁, M₂ (Algorithm 3 step 4).
 	MaskSeed int64
+	// Workers bounds the pool used for the per-element Paillier operations
+	// (vector encryption, the ring folds, the per-feature ciphertext
+	// accumulations, and decryption): 0 or negative selects GOMAXPROCS,
+	// 1 forces the serial path. Every decrypted result is bit-identical
+	// for any worker count — modular arithmetic is exact, so the
+	// accumulation order cannot perturb the plaintexts.
+	Workers int
 }
 
 // SecureResult reports the outcome of a secure run together with the
@@ -139,14 +153,19 @@ func RunSecureN(prob *Problem, cfg SecureConfig) (*SecureNResult, error) {
 	if cfg.Epochs <= 0 || cfg.LR <= 0 {
 		return nil, fmt.Errorf("vfl: invalid secure config %+v", cfg)
 	}
-	bits := cfg.KeyBits
-	if bits == 0 {
-		bits = 1024
-	}
-	// Trusted third party: key generation (Algorithm 3 step 1).
-	sk, err := paillier.GenerateKey(rand.Reader, bits)
-	if err != nil {
-		return nil, fmt.Errorf("vfl: third party keygen: %w", err)
+	// Trusted third party: key generation (Algorithm 3 step 1), or a
+	// pre-provisioned key pair.
+	sk := cfg.Key
+	if sk == nil {
+		bits := cfg.KeyBits
+		if bits == 0 {
+			bits = 1024
+		}
+		var err error
+		sk, err = paillier.GenerateKey(rand.Reader, bits)
+		if err != nil {
+			return nil, fmt.Errorf("vfl: third party keygen: %w", err)
+		}
 	}
 	pk := &sk.PublicKey
 	ctBytes := int64(pk.Bytes())
@@ -165,17 +184,18 @@ func RunSecureN(prob *Problem, cfg SecureConfig) (*SecureNResult, error) {
 	}
 	maskRNG := tensor.NewRNG(cfg.MaskSeed)
 	spec := specFor(prob.Kind)
+	workers := parallel.Workers(cfg.Workers)
 
 	res := &SecureNResult{Shapley: make([]float64, len(parties))}
 	for t := 1; t <= cfg.Epochs; t++ {
 		// Jointly compute the (unmasked-to-owner) training gradient blocks.
-		grads, comm, err := secureGradientN(sk, parties, prob.Train.Y, false, spec, maskRNG)
+		grads, comm, err := secureGradientN(sk, parties, prob.Train.Y, false, spec, maskRNG, workers)
 		if err != nil {
 			return nil, fmt.Errorf("vfl: epoch %d training gradient: %w", t, err)
 		}
 		res.CommBytes += comm * ctBytes
 		// And the validation gradient blocks (Algorithm 3 line 4).
-		vals, comm2, err := secureGradientN(sk, parties, prob.Val.Y, true, spec, maskRNG)
+		vals, comm2, err := secureGradientN(sk, parties, prob.Val.Y, true, spec, maskRNG, workers)
 		if err != nil {
 			return nil, fmt.Errorf("vfl: epoch %d validation gradient: %w", t, err)
 		}
@@ -203,8 +223,10 @@ func RunSecureN(prob *Problem, cfg SecureConfig) (*SecureNResult, error) {
 
 // secureGradientN runs Algorithm 3 steps 2–5 for n parties on the given
 // labels (owned by party 1). It returns every party's plaintext gradient
-// block and the number of ciphertexts exchanged.
-func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float64, useVal bool, spec residualSpec, maskRNG *tensor.RNG) (grads [][]float64, ciphertexts int64, err error) {
+// block and the number of ciphertexts exchanged. The per-element Paillier
+// operations run on the shared bounded pool with the given worker budget;
+// the decrypted outputs are bit-identical for any budget.
+func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float64, useVal bool, spec residualSpec, maskRNG *tensor.RNG, workers int) (grads [][]float64, ciphertexts int64, err error) {
 	pk := &sk.PublicKey
 	feats := func(p *secureParty) *tensor.Matrix {
 		if useVal {
@@ -223,7 +245,7 @@ func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float6
 	for i := range e {
 		e[i] = spec.p1Res(u1[i], y[i])
 	}
-	encD, err := pk.EncryptVec(rand.Reader, e)
+	encD, err := pk.EncryptVecN(rand.Reader, e, workers)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -233,9 +255,9 @@ func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float6
 	// completed [[d]] is then broadcast to all n parties.
 	for _, p := range parties[1:] {
 		u := tensor.MatVec(feats(p), p.theta)
-		for i := range encD {
+		parallel.For(m, workers, func(i int) {
 			encD[i] = pk.AddPlainFloat(encD[i], spec.u2Coeff*u[i])
-		}
+		})
 		ciphertexts += int64(m) // forwarding [[d]] along the ring
 	}
 	ciphertexts += int64(m * (len(parties) - 1)) // broadcast of the final [[d]]
@@ -249,22 +271,44 @@ func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float6
 		masks := maskRNG.NormalVec(d, 0, 10)
 		enc := make([]*paillier.Ciphertext, d)
 		scale := spec.scale(m)
-		for j := 0; j < d; j++ {
-			acc := pk.MulPlainFloat(encD[0], scale*x.At(0, j))
-			for i := 1; i < m; i++ {
-				acc = pk.Add(acc, pk.MulPlainFloat(encD[i], scale*x.At(i, j)))
+		// Each feature's accumulation Σ_i [[d_i]]·scale·x_ij is a modular
+		// product, so any association yields the same ciphertext bits.
+		// Parallelize across features when there are enough of them to
+		// feed the pool; otherwise chunk the sample dimension with the
+		// shared map/reduce (a wide-but-short gradient block).
+		accumulate := func(j, innerWorkers int) *paillier.Ciphertext {
+			return parallel.MapReduce(m, innerWorkers, 0, func(i int) *paillier.Ciphertext {
+				return pk.MulPlainFloat(encD[i], scale*x.At(i, j))
+			}, pk.Add)
+		}
+		if d >= workers {
+			parallel.For(d, workers, func(j int) {
+				enc[j] = pk.AddPlain(accumulate(j, 1), encodeAtScale2(pk, masks[j]))
+			})
+		} else {
+			for j := 0; j < d; j++ {
+				enc[j] = pk.AddPlain(accumulate(j, workers), encodeAtScale2(pk, masks[j]))
 			}
-			enc[j] = pk.AddPlain(acc, encodeAtScale2(pk, masks[j]))
 		}
 		ciphertexts += int64(2 * d) // masked ciphertexts out, plaintexts back
 		// Step 5: third party decrypts; the party removes its mask.
 		out := make([]float64, d)
-		for j, ct := range enc {
-			v, err := sk.DecryptFloatAtScale(ct, 2)
+		var decErr error
+		var decMu sync.Mutex
+		parallel.For(d, workers, func(j int) {
+			v, err := sk.DecryptFloatAtScale(enc[j], 2)
 			if err != nil {
-				return nil, 0, err
+				decMu.Lock()
+				if decErr == nil {
+					decErr = err
+				}
+				decMu.Unlock()
+				return
 			}
 			out[j] = v - masks[j]
+		})
+		if decErr != nil {
+			return nil, 0, decErr
 		}
 		grads[pi] = out
 	}
