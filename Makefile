@@ -1,0 +1,23 @@
+# Build, test and verification entry points for the digfl module.
+# (stdlib-only; no tool dependencies beyond the Go toolchain)
+
+GO ?= go
+
+.PHONY: build test bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# verify is the full pre-submit recipe referenced by README.md: vet every
+# package and exercise every concurrent path under the race detector.
+# Note: the -race run takes several minutes on small machines; scope it to
+# touched packages while iterating ($(GO) test -race ./internal/<pkg>/).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -5,7 +5,12 @@
 //
 //	digfl-bench -exp all            # every table and figure
 //	digfl-bench -exp fig3 -scale 1  # one experiment at full simulator scale
+//	digfl-bench -exp fig6 -trace t.jsonl  # also record an observability trace
 //	digfl-bench -list               # list experiment ids
+//
+// With -trace, every training run and estimator pass streams typed events
+// (epochs, local updates, aggregations, Paillier operations) to the named
+// JSONL file, and a counter snapshot is printed after each experiment.
 //
 // Experiment ids map one-to-one to the paper's artifacts; fig2/table2,
 // fig4/table4 and fig5/table5 are aliases for the runners that produce both.
@@ -19,6 +24,7 @@ import (
 	"sort"
 
 	"digfl/internal/experiments"
+	"digfl/internal/obs"
 )
 
 type runner struct {
@@ -103,6 +109,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvDir := flag.String("csv", "", "also write each table/figure's data as CSV into this directory")
+	trace := flag.String("trace", "", "write an observability trace (JSONL) to this file and print counter snapshots")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -118,6 +125,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "digfl-bench: -scale must be in (0,1], got %v\n", o.Scale)
 		os.Exit(2)
 	}
+
+	// With -trace, every run feeds a JSONL trace writer plus an in-memory
+	// collector whose snapshot is printed after each experiment.
+	var collector *obs.Collector
+	var tw *obs.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "digfl-bench: trace: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "digfl-bench: trace: %v\n", err)
+			}
+		}()
+		collector = &obs.Collector{}
+		tw = obs.NewTraceWriter(f)
+		o.Sink = obs.Tee(collector, tw)
+	}
+
 	emit := func(r runner) {
 		for _, res := range r.run(o) {
 			res.render(os.Stdout)
@@ -127,6 +158,9 @@ func main() {
 					os.Exit(1)
 				}
 			}
+		}
+		if collector != nil {
+			fmt.Printf("\n[obs] %s\n", collector.Snapshot())
 		}
 	}
 	if *exp == "all" {

@@ -32,25 +32,36 @@
 //	attr := digfl.EstimateHFL(res.Log, len(parts), digfl.ResourceSaving, nil)
 //	fmt.Println(attr.Totals) // estimated Shapley value per participant
 //
-// # Parallelism
+// # Runtime: parallelism and observability
 //
-// Every concurrent hot path runs on a shared bounded worker pool
-// (internal/parallel) whose outputs are bit-identical to the serial path,
-// so parallelism is purely a wall-clock knob:
+// Every training, estimation and secure-protocol entry point accepts a
+// shared Runtime value carrying the two cross-cutting knobs:
 //
-//   - HFLConfig{Parallel: true, Workers: w} computes the participants'
-//     local updates on at most w goroutines (w ≤ 0 selects GOMAXPROCS).
-//   - HFLEstimator.Workers parallelizes the interactive per-participant
-//     HVP loop: 0 or 1 keeps the serial path, > 1 sets the pool size,
-//     negative selects GOMAXPROCS. Anything beyond serial requires a
-//     concurrency-safe HVPProvider; LocalHVP is (each in-flight call works
-//     on its own pooled model clone).
-//   - SecureConfig.Workers bounds the pool for the per-element Paillier
-//     operations of the encrypted VFL protocol; 0 selects GOMAXPROCS and
-//     1 forces serial. Decrypted results are exact modular arithmetic, so
-//     no worker count perturbs them.
-//   - ExactShapley's parallel twin (shapley.ExactParallel) evaluates the
-//     2^n coalitions on the same pool.
+//	rt := digfl.Runtime{Workers: 4, Sink: collector}
+//	tr.Cfg = digfl.HFLConfig{Epochs: 30, LR: 0.1, KeepLog: true, Runtime: rt}
+//
+// Runtime.Workers bounds the worker pool of the component's concurrent hot
+// path (local updates for the HFL trainer, per-participant HVPs for the
+// interactive HFL estimator, per-block replay for the VFL estimator,
+// per-element Paillier operations for the secure protocol): 1 forces the
+// serial path, > 1 sets the pool size, negative selects GOMAXPROCS, and 0
+// defers to each component's deprecated legacy fields (HFLConfig.Parallel
+// and .Workers, HFLEstimator.Workers, SecureConfig.Workers) so zero-valued
+// configs behave exactly as before this API existed. A non-zero
+// Runtime.Workers always wins over the legacy fields. Pool outputs are
+// bit-identical to the serial path, so parallelism is purely a wall-clock
+// knob; parallel estimator paths require a concurrency-safe HVPProvider
+// (LocalHVP and TrainHVP both are — each in-flight call works on its own
+// pooled model clone). ExactShapley's parallel twin
+// (shapley.ExactParallel) evaluates the 2^n coalitions on the same pool.
+//
+// Runtime.Sink attaches an observability sink receiving typed Events
+// (epoch boundaries, local updates, aggregations, estimator rounds,
+// Paillier operation batches, pool dispatches). A nil sink is a
+// branch-predicted no-op — zero allocations, no clock reads — and no sink
+// ever perturbs numerical results. Two implementations ship: Collector
+// (atomic in-memory counters with a Snapshot) and TraceWriter (JSONL
+// stream readable back via ReadTrace); Tee fans out to several.
 //
 // # Training-log persistence
 //
@@ -67,9 +78,65 @@ import (
 	"digfl/internal/logio"
 	"digfl/internal/metrics"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/robust"
 	"digfl/internal/shapley"
 	"digfl/internal/vfl"
+)
+
+// Runtime and observability (internal/obs).
+type (
+	// Runtime bundles the cross-cutting worker-pool and observability
+	// options accepted by HFLConfig, VFLConfig, SecureConfig and both
+	// estimators.
+	Runtime = obs.Runtime
+	// Sink receives observability events; implementations must be safe for
+	// concurrent use.
+	Sink = obs.Sink
+	// Event is one observability record.
+	Event = obs.Event
+	// EventKind discriminates Event records.
+	EventKind = obs.Kind
+	// Snapshot is a point-in-time copy of a Collector's counters.
+	Snapshot = obs.Snapshot
+	// Collector is an in-memory aggregating Sink.
+	Collector = obs.Collector
+	// TraceWriter is a JSONL-streaming Sink.
+	TraceWriter = obs.TraceWriter
+)
+
+// Event kinds.
+const (
+	// KindEpochStart opens a training epoch.
+	KindEpochStart = obs.KindEpochStart
+	// KindEpochEnd closes a training epoch (Value carries the loss).
+	KindEpochEnd = obs.KindEpochEnd
+	// KindLocalUpdate is one participant's local computation.
+	KindLocalUpdate = obs.KindLocalUpdate
+	// KindAggregate is one server-side aggregation.
+	KindAggregate = obs.KindAggregate
+	// KindEstimatorRound is one estimator epoch replay.
+	KindEstimatorRound = obs.KindEstimatorRound
+	// KindPaillierEnc counts a batch of Paillier encryptions.
+	KindPaillierEnc = obs.KindPaillierEnc
+	// KindPaillierDec counts a batch of Paillier decryptions.
+	KindPaillierDec = obs.KindPaillierDec
+	// KindPaillierAdd counts a batch of homomorphic additions.
+	KindPaillierAdd = obs.KindPaillierAdd
+	// KindPaillierMulPlain counts a batch of plaintext multiplications.
+	KindPaillierMulPlain = obs.KindPaillierMulPlain
+	// KindPoolTask is one worker-pool dispatch.
+	KindPoolTask = obs.KindPoolTask
+)
+
+// Observability constructors and helpers.
+var (
+	// NewTraceWriter wraps an io.Writer into a JSONL trace Sink.
+	NewTraceWriter = obs.NewTraceWriter
+	// ReadTrace parses a JSONL trace back into events.
+	ReadTrace = obs.ReadTrace
+	// Tee fans events out to several sinks.
+	Tee = obs.Tee
 )
 
 // Core DIG-FL types (internal/core).

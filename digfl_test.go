@@ -1,7 +1,9 @@
 package digfl_test
 
 import (
+	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"digfl"
@@ -75,6 +77,153 @@ func vflData(n int, seed int64) digfl.Dataset {
 		Name: "facade", N: n, D: 6, Task: digfl.Regression,
 		Informative: 4, Noise: 0.2, Seed: seed,
 	})
+}
+
+// TestFacadeSurface touches every exported constructor and function var of
+// the facade, so a renamed or dropped re-export fails here before any
+// consumer sees it.
+func TestFacadeSurface(t *testing.T) {
+	vars := map[string]any{
+		"NewHFLEstimator": digfl.NewHFLEstimator, "NewVFLEstimator": digfl.NewVFLEstimator,
+		"EstimateHFL": digfl.EstimateHFL, "EstimateHFLSubset": digfl.EstimateHFLSubset,
+		"EstimateVFL": digfl.EstimateVFL, "LocalHVP": digfl.LocalHVP, "TrainHVP": digfl.TrainHVP,
+		"ReweightWeights": digfl.ReweightWeights, "RankParticipants": digfl.RankParticipants,
+		"SelectTopK": digfl.SelectTopK, "PaymentShares": digfl.PaymentShares,
+		"SampleContributions":           digfl.SampleContributions,
+		"AccumulateSampleContributions": digfl.AccumulateSampleContributions,
+		"RunSecure":                     digfl.RunSecure, "RunSecureLinReg": digfl.RunSecureLinReg,
+		"RunSecureN":            digfl.RunSecureN,
+		"NewLinearRegression":   digfl.NewLinearRegression,
+		"NewLogisticRegression": digfl.NewLogisticRegression,
+		"NewSoftmaxRegression":  digfl.NewSoftmaxRegression,
+		"NewMLP":                digfl.NewMLP, "NewCNN": digfl.NewCNN, "HFLAccuracy": digfl.HFLAccuracy,
+		"SynthImages": digfl.SynthImages, "SynthTabular": digfl.SynthTabular,
+		"MNISTLike": digfl.MNISTLike, "CIFARLike": digfl.CIFARLike,
+		"MOTORLike": digfl.MOTORLike, "REALLike": digfl.REALLike,
+		"PartitionIID": digfl.PartitionIID, "PartitionNonIID": digfl.PartitionNonIID,
+		"VerticalBlocks": digfl.VerticalBlocks, "Mislabel": digfl.Mislabel,
+		"FlipLabels": digfl.FlipLabels, "ScrambleFeatures": digfl.ScrambleFeatures,
+		"WriteHFLLog": digfl.WriteHFLLog, "ReadHFLLog": digfl.ReadHFLLog,
+		"WriteVFLLog": digfl.WriteVFLLog, "ReadVFLLog": digfl.ReadVFLLog,
+		"ExactShapley": digfl.ExactShapley, "TMCShapley": digfl.TMCShapley,
+		"GTShapley": digfl.GTShapley, "MR": digfl.MR, "IM": digfl.IM,
+		"Pearson":        digfl.Pearson,
+		"NewTraceWriter": digfl.NewTraceWriter, "ReadTrace": digfl.ReadTrace, "Tee": digfl.Tee,
+	}
+	for name, v := range vars {
+		if reflect.ValueOf(v).IsNil() {
+			t.Fatalf("facade var %s is nil", name)
+		}
+	}
+
+	// Constructors that no other facade test builds.
+	rng := tensor.NewRNG(5)
+	if digfl.NewMLP(4, 3, 2, rng).NumParams() == 0 ||
+		digfl.NewCNN(4, 2, 2, 2, rng).NumParams() == 0 ||
+		digfl.NewLinearRegression(3, false).NumParams() != 3 ||
+		digfl.NewLogisticRegression(3, false).NumParams() != 3 {
+		t.Fatal("model constructors built empty models")
+	}
+	for _, d := range []digfl.Dataset{
+		digfl.CIFARLike(40, 5), digfl.MOTORLike(40, 5), digfl.REALLike(40, 5),
+		digfl.SynthImages(digfl.ImageConfig{Name: "s", N: 40, Side: 4, Classes: 2, Noise: 0.5, Seed: 5}),
+	} {
+		if d.Len() != 40 {
+			t.Fatalf("dataset preset produced %d samples", d.Len())
+		}
+		if digfl.FlipLabels(d, 0.5, rng).Len() != 40 ||
+			digfl.ScrambleFeatures(d, []int{0}, rng).Len() != 40 {
+			t.Fatal("corruptions changed the sample count")
+		}
+	}
+	if parts := digfl.PartitionNonIID(digfl.MNISTLike(60, 5),
+		digfl.NonIIDConfig{N: 3, M: 1}, rng); len(parts) != 3 {
+		t.Fatal("PartitionNonIID returned wrong part count")
+	}
+
+	// Selection, payment and robust-aggregation helpers.
+	phi := []float64{0.1, -0.2, 0.4}
+	if r := digfl.RankParticipants(phi); r[0] != 2 {
+		t.Fatalf("rank = %v", r)
+	}
+	if k := digfl.SelectTopK(phi, 2); len(k) != 2 || k[0] != 2 {
+		t.Fatalf("topk = %v", k)
+	}
+	if p := digfl.PaymentShares(phi); math.Abs(p[0]+p[1]+p[2]-1) > 1e-12 {
+		t.Fatalf("payment shares = %v", p)
+	}
+	var _ digfl.MedianAggregator
+	var _ digfl.TrimmedMeanAggregator
+	var _ digfl.HVPProvider
+	var _ digfl.Utility
+	var _ digfl.VFLReweighter
+	var _ digfl.RoundInfo
+	var _ digfl.Block
+	var _ digfl.Classifier
+	if digfl.Interactive == digfl.ResourceSaving || digfl.Regression == digfl.Classification ||
+		digfl.VFLLinReg == digfl.VFLLogReg {
+		t.Fatal("facade mode constants collapsed")
+	}
+}
+
+// TestFacadeObservability drives the new Runtime surface end to end through
+// the facade: a Tee of both sinks, exact counters, a readable trace, and
+// bit-identical attributions with and without observability.
+func TestFacadeObservability(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	full := quickstartData(400, 6)
+	train, val := full.Split(0.2, rng)
+	parts := digfl.PartitionIID(train, 3, rng)
+	build := func(rt digfl.Runtime) *digfl.HFLTrainer {
+		return &digfl.HFLTrainer{
+			Model: digfl.NewSoftmaxRegression(train.Dim(), train.Classes),
+			Parts: parts, Val: val,
+			Cfg: digfl.HFLConfig{Epochs: 6, LR: 0.3, KeepLog: true, Runtime: rt},
+		}
+	}
+	plain := build(digfl.Runtime{}).Run()
+
+	collector := &digfl.Collector{}
+	var buf bytes.Buffer
+	tw := digfl.NewTraceWriter(&buf)
+	observed := build(digfl.Runtime{Sink: digfl.Tee(collector, tw)}).Run()
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	a := digfl.EstimateHFL(plain.Log, 3, digfl.ResourceSaving, nil)
+	b := digfl.EstimateHFL(observed.Log, 3, digfl.ResourceSaving, nil)
+	for i := range a.Totals {
+		if a.Totals[i] != b.Totals[i] {
+			t.Fatalf("observability perturbed attribution %d: %v vs %v", i, a.Totals[i], b.Totals[i])
+		}
+	}
+
+	snap := collector.Snapshot()
+	if snap.Epochs != 6 || snap.LocalUpdates != 18 || snap.Aggregates != 6 {
+		t.Fatalf("snapshot counters wrong: %s", snap)
+	}
+	events, err := digfl.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts, ends int
+	for _, e := range events {
+		switch e.Kind {
+		case digfl.KindEpochStart:
+			starts++
+		case digfl.KindEpochEnd:
+			ends++
+		case digfl.KindLocalUpdate, digfl.KindAggregate, digfl.KindEstimatorRound,
+			digfl.KindPaillierEnc, digfl.KindPaillierDec, digfl.KindPaillierAdd,
+			digfl.KindPaillierMulPlain, digfl.KindPoolTask:
+		default:
+			t.Fatalf("unknown event kind %v in trace", e.Kind)
+		}
+	}
+	if starts != 6 || ends != 6 {
+		t.Fatalf("trace has %d starts / %d ends, want 6/6", starts, ends)
+	}
 }
 
 func TestFacadeShapleyTools(t *testing.T) {

@@ -1,10 +1,12 @@
 // offline_audit: separate training from contribution accounting. The
 // coordinator archives the training log (the paper's Λ_t plus the
 // validation gradients — exactly what the server already observes, so the
-// archive adds no privacy exposure under the level-2 definition). Later —
-// possibly on another machine, for an audit or a payout dispute — the log
-// is reloaded and contributions are recomputed, bit-for-bit identical to
-// the live estimate, and converted into payment shares.
+// archive adds no privacy exposure under the level-2 definition) together
+// with an observability trace of the run. Later — possibly on another
+// machine, for an audit or a payout dispute — both are reloaded: the log
+// yields contributions bit-for-bit identical to the live estimate, and the
+// trace accounts for what the run actually did (epochs, local updates,
+// wall-clock), so the audit covers the process as well as the outcome.
 //
 //	go run ./examples/offline_audit
 package main
@@ -26,15 +28,32 @@ func main() {
 	parts := digfl.PartitionIID(train, 4, rng)
 	parts[2] = digfl.Mislabel(parts[2], 0.7, rng)
 
-	// --- Day 1: the training run. The server keeps the log and archives it.
+	// --- Day 1: the training run. A collector watches live counters while a
+	// trace writer archives every event next to the training log.
+	tracePath := filepath.Join(os.TempDir(), "digfl-audit.trace.jsonl")
+	traceFile, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	collector := &digfl.Collector{}
+	tw := digfl.NewTraceWriter(traceFile)
+
 	tr := &digfl.HFLTrainer{
 		Model: digfl.NewSoftmaxRegression(train.Dim(), train.Classes),
 		Parts: parts,
 		Val:   val,
-		Cfg:   digfl.HFLConfig{Epochs: 15, LR: 0.3, KeepLog: true},
+		Cfg: digfl.HFLConfig{Epochs: 15, LR: 0.3, KeepLog: true,
+			Runtime: digfl.Runtime{Sink: digfl.Tee(collector, tw)}},
 	}
 	res := tr.Run()
 	live := digfl.EstimateHFL(res.Log, len(parts), digfl.ResourceSaving, nil)
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := traceFile.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live counters: %s\n", collector.Snapshot())
 
 	path := filepath.Join(os.TempDir(), "digfl-audit.log.jsonl")
 	f, err := os.Create(path)
@@ -48,8 +67,8 @@ func main() {
 		log.Fatal(err)
 	}
 	info, _ := os.Stat(path)
-	fmt.Printf("training done; archived %d epochs to %s (%.1f MB)\n",
-		len(res.Log), path, float64(info.Size())/1e6)
+	fmt.Printf("training done; archived %d epochs to %s (%.1f MB) + trace to %s\n",
+		len(res.Log), path, float64(info.Size())/1e6, tracePath)
 
 	// --- Day 30: the audit. Reload the archive and recompute.
 	g, err := os.Open(path)
@@ -75,5 +94,24 @@ func main() {
 			i, live.Totals[i], audit.Totals[i], 100*shares[i])
 	}
 	fmt.Printf("\nbit-identical to the live estimate: %v\n", identical)
+
+	// The trace reloads too: replay it into a fresh collector and check the
+	// archived account matches what the live run reported.
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tf.Close()
+	events, err := digfl.ReadTrace(tf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayCollector := &digfl.Collector{}
+	for _, e := range events {
+		replayCollector.Emit(e)
+	}
+	fmt.Printf("\ntrace audit: %d events replayed\n  archived: %s\n", len(events), replayCollector.Snapshot())
+	fmt.Printf("trace matches live counters: %v\n", replayCollector.Snapshot() == collector.Snapshot())
 	_ = os.Remove(path)
+	_ = os.Remove(tracePath)
 }

@@ -7,6 +7,7 @@ import (
 	"digfl/internal/dataset"
 	"digfl/internal/hfl"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/parallel"
 	"digfl/internal/tensor"
 )
@@ -47,12 +48,24 @@ type HFLEstimator struct {
 	attr      *Attribution
 	lastEpoch int
 
+	// Runtime is the unified worker-budget-plus-observability surface. A
+	// non-zero Runtime.Workers wins over the deprecated Workers field
+	// below and sets the per-epoch concurrency of the participant loop
+	// (1 forces serial, > 1 sets the bounded-pool size, negative selects
+	// GOMAXPROCS); anything beyond serial requires an HVPProvider that is
+	// safe for concurrent use (LocalHVP is). Results are bit-identical to
+	// the serial path: each participant's φ and ΔG-sum recursion touch
+	// only its own slots. Runtime.Sink receives one EstimatorRound event
+	// per observed epoch, timing the whole participant loop — in
+	// Interactive mode, the per-round Hessian-vector-product cost.
+	Runtime obs.Runtime
+
 	// Workers sets the per-epoch concurrency of the participant loop:
 	// 0 or 1 keeps the serial path, > 1 runs that many workers on the
-	// shared bounded pool, negative selects GOMAXPROCS. Anything beyond
-	// serial requires an HVPProvider that is safe for concurrent use
-	// (LocalHVP is). Results are bit-identical to the serial path: each
-	// participant's φ and ΔG-sum recursion touch only its own slots.
+	// shared bounded pool, negative selects GOMAXPROCS.
+	//
+	// Deprecated: set Runtime.Workers instead. Ignored whenever
+	// Runtime.Workers is non-zero.
 	Workers int
 }
 
@@ -76,6 +89,9 @@ func NewHFLEstimator(n, p int, mode Mode, hvp HVPProvider) *HFLEstimator {
 }
 
 func (e *HFLEstimator) workers() int {
+	if e.Runtime.Workers != 0 {
+		return parallel.Workers(e.Runtime.Workers)
+	}
 	switch {
 	case e.Workers > 1:
 		return e.Workers
@@ -127,9 +143,11 @@ func (e *HFLEstimator) ObserveMapped(ep *hfl.Epoch, idx []int) []float64 {
 	e.lastEpoch = ep.T
 	checkDim("valGrad", len(ep.ValGrad), e.p)
 
+	sink := e.Runtime.Sink
+	roundStart := obs.Start(sink)
 	phi := make([]float64, e.n)
 	inv := 1 / float64(len(ep.Deltas))
-	parallel.For(len(ep.Deltas), e.workers(), func(k int) {
+	parallel.ForObs(len(ep.Deltas), e.workers(), sink, func(k int) {
 		i := k
 		if idx != nil {
 			i = idx[k]
@@ -149,6 +167,8 @@ func (e *HFLEstimator) ObserveMapped(ep *hfl.Epoch, idx []int) []float64 {
 		tensor.AXPY(-inv, delta, e.deltaGSum[i])
 		tensor.AXPY(-ep.LR, omega, e.deltaGSum[i])
 	})
+	obs.Emit(sink, obs.Event{Kind: obs.KindEstimatorRound, T: ep.T,
+		N: int64(len(ep.Deltas)), Dur: obs.Since(sink, roundStart)})
 	e.attr.record(phi)
 	return phi
 }

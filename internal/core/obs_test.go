@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"digfl/internal/nn"
+	"digfl/internal/obs"
+	"digfl/internal/vfl"
+)
+
+// The acceptance contract: attributions must be bit-identical with and
+// without a sink, in both modes, and the sink must see one EstimatorRound
+// per epoch with N = participants.
+func TestHFLEstimatorSinkDoesNotPerturb(t *testing.T) {
+	tr, parts := hflSetup(51, 8)
+	res := tr.Run()
+	p := len(res.Log[0].ValGrad)
+	for _, mode := range []Mode{ResourceSaving, Interactive} {
+		hvp := HVPProvider(nil)
+		if mode == Interactive {
+			hvp = LocalHVP(tr.Model, parts)
+		}
+		plain := EstimateHFL(res.Log, 5, mode, hvp)
+
+		c := &obs.Collector{}
+		e := NewHFLEstimator(5, p, mode, hvp)
+		e.Runtime = obs.Runtime{Sink: c}
+		for _, ep := range res.Log {
+			e.Observe(ep)
+		}
+		observed := e.Attribution()
+
+		for i := range plain.Totals {
+			if plain.Totals[i] != observed.Totals[i] {
+				t.Fatalf("mode %v: sink perturbed Totals[%d]: %v vs %v",
+					mode, i, plain.Totals[i], observed.Totals[i])
+			}
+		}
+		for ti := range plain.PerEpoch {
+			for i := range plain.PerEpoch[ti] {
+				if plain.PerEpoch[ti][i] != observed.PerEpoch[ti][i] {
+					t.Fatalf("mode %v: sink perturbed PerEpoch[%d][%d]", mode, ti, i)
+				}
+			}
+		}
+		snap := c.Snapshot()
+		if snap.EstimatorRounds != int64(len(res.Log)) {
+			t.Fatalf("mode %v: EstimatorRounds = %d, want %d", mode, snap.EstimatorRounds, len(res.Log))
+		}
+		if snap.PoolTasks != int64(5*len(res.Log)) {
+			t.Fatalf("mode %v: PoolTasks = %d, want %d", mode, snap.PoolTasks, 5*len(res.Log))
+		}
+	}
+}
+
+// Runtime.Workers must override the deprecated Workers field (and a parallel
+// interactive replay must stay bit-identical to serial — LocalHVP and
+// TrainHVP are concurrency-safe).
+func TestHFLEstimatorRuntimeWorkers(t *testing.T) {
+	e := &HFLEstimator{Runtime: obs.Runtime{Workers: 1}, Workers: 8}
+	if got := e.workers(); got != 1 {
+		t.Errorf("Runtime.Workers=1 with legacy 8: resolved %d, want 1", got)
+	}
+	e = &HFLEstimator{Workers: 4}
+	if got := e.workers(); got != 4 {
+		t.Errorf("legacy Workers=4: resolved %d, want 4", got)
+	}
+	if got := (&HFLEstimator{}).workers(); got != 1 {
+		t.Errorf("zero config resolved %d workers, want serial", got)
+	}
+
+	tr, parts := hflSetup(52, 6)
+	res := tr.Run()
+	p := len(res.Log[0].ValGrad)
+	hvp := LocalHVP(tr.Model, parts)
+	serial := EstimateHFL(res.Log, 5, Interactive, hvp)
+	par := NewHFLEstimator(5, p, Interactive, hvp)
+	par.Runtime = obs.Runtime{Workers: 4}
+	for _, ep := range res.Log {
+		par.Observe(ep)
+	}
+	for i := range serial.Totals {
+		if serial.Totals[i] != par.Attribution().Totals[i] {
+			t.Fatalf("parallel runtime replay diverged at participant %d", i)
+		}
+	}
+}
+
+// The VFL estimator: bit-identical with a sink and a parallel block loop,
+// exact EstimatorRound counters.
+func TestVFLEstimatorSinkDoesNotPerturb(t *testing.T) {
+	prob := vflSetup(53, vfl.LinReg)
+	run := (&vfl.Trainer{Problem: prob, Cfg: vfl.Config{Epochs: 10, LR: 0.05, KeepLog: true}}).Run()
+	hvp := TrainHVP(nn.NewLinearRegression(prob.Train.Dim(), false), prob.Train)
+	for _, mode := range []Mode{ResourceSaving, Interactive} {
+		h := FullHVP(nil)
+		if mode == Interactive {
+			h = hvp
+		}
+		plain := EstimateVFL(run.Log, prob.Blocks, mode, h)
+
+		c := &obs.Collector{}
+		e := NewVFLEstimator(prob.Blocks, len(run.Log[0].ValGrad), mode, h)
+		e.Runtime = obs.Runtime{Workers: 4, Sink: c}
+		for _, ep := range run.Log {
+			e.Observe(ep)
+		}
+		observed := e.Attribution()
+		for i := range plain.Totals {
+			if plain.Totals[i] != observed.Totals[i] {
+				t.Fatalf("mode %v: sink/parallel replay perturbed Totals[%d]", mode, i)
+			}
+		}
+		snap := c.Snapshot()
+		if snap.EstimatorRounds != int64(len(run.Log)) {
+			t.Fatalf("mode %v: EstimatorRounds = %d, want %d", mode, snap.EstimatorRounds, len(run.Log))
+		}
+	}
+}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"digfl/internal/dataset"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
+	"digfl/internal/parallel"
 	"digfl/internal/tensor"
 	"digfl/internal/vfl"
 )
@@ -16,10 +19,15 @@ import (
 type FullHVP func(theta []float64, v []float64) []float64
 
 // TrainHVP builds a FullHVP from a model prototype and the (plaintext)
-// training data.
+// training data. The provider is safe for concurrent use: each in-flight
+// call works on its own clone of the prototype (recycled through a pool),
+// mirroring LocalHVP, so the VFL estimator's parallel block loop can share
+// it.
 func TrainHVP(model nn.Model, train dataset.Dataset) FullHVP {
-	m := model.Clone()
+	pool := sync.Pool{New: func() any { return model.Clone() }}
 	return func(theta []float64, v []float64) []float64 {
+		m := pool.Get().(nn.Model)
+		defer pool.Put(m)
 		m.SetParams(theta)
 		return nn.HVP(m, train.X, train.Y, v)
 	}
@@ -38,6 +46,22 @@ type VFLEstimator struct {
 	deltaGSum [][]float64
 	attr      *Attribution
 	lastEpoch int
+
+	// Runtime is the unified worker-budget-plus-observability surface.
+	// Runtime.Workers sets the per-epoch concurrency of the block loop
+	// (0 or 1 serial, > 1 bounded pool, negative GOMAXPROCS); anything
+	// beyond serial requires a FullHVP that is safe for concurrent use
+	// (TrainHVP is). Results are bit-identical to the serial path: each
+	// block's φ and ΔG-sum recursion touch only its own slots.
+	// Runtime.Sink receives one EstimatorRound event per observed epoch.
+	Runtime obs.Runtime
+}
+
+func (e *VFLEstimator) workers() int {
+	if e.Runtime.Workers != 0 {
+		return parallel.Workers(e.Runtime.Workers)
+	}
+	return 1
 }
 
 // NewVFLEstimator creates an estimator over the given per-participant
@@ -73,12 +97,15 @@ func (e *VFLEstimator) Observe(ep *vfl.Epoch) []float64 {
 	checkDim("grad", len(ep.Grad), e.p)
 	checkDim("valGrad", len(ep.ValGrad), e.p)
 
+	sink := e.Runtime.Sink
+	roundStart := obs.Start(sink)
 	phi := make([]float64, len(e.blocks))
-	for i, b := range e.blocks {
+	parallel.ForObs(len(e.blocks), e.workers(), sink, func(i int) {
+		b := e.blocks[i]
 		// (E − diag(v̄_i))·G_t keeps exactly block i of the global gradient.
 		phi[i] = dotBlock(ep.ValGrad, ep.Grad, b.Lo, b.Hi)
 		if e.mode != Interactive {
-			continue
+			return
 		}
 		// Ω_t^{-i} = diag(v̄_i)·H(θ_{t-1})·Σ_{j<t}ΔG_j^{-i}: the Hessian
 		// product with block i masked out.
@@ -93,7 +120,9 @@ func (e *VFLEstimator) Observe(ep *vfl.Epoch) []float64 {
 			e.deltaGSum[i][j] -= ep.Grad[j]
 		}
 		tensor.AXPY(-ep.LR, omega, e.deltaGSum[i])
-	}
+	})
+	obs.Emit(sink, obs.Event{Kind: obs.KindEstimatorRound, T: ep.T,
+		N: int64(len(e.blocks)), Dur: obs.Since(sink, roundStart)})
 	e.attr.record(phi)
 	return phi
 }

@@ -54,9 +54,9 @@ func HFLComparison(o Opts) *ComparisonResult {
 		const n = 8
 		settings := []HFLSetting{
 			{Dataset: name, N: n, M: 3, Corruption: Mislabeled, MislabelFrac: 0.5,
-				LocalSteps: 3, Samples: o.samples(2500), Epochs: o.epochs(12), LR: 0.3, Seed: o.Seed},
+				LocalSteps: 3, Samples: o.samples(2500), Epochs: o.epochs(12), LR: 0.3, Seed: o.Seed, Sink: o.Sink},
 			{Dataset: name, N: n, M: 4, Corruption: Mislabeled, MislabelFrac: 0.9,
-				LocalSteps: 3, Samples: o.samples(2500), Epochs: o.epochs(12), LR: 1.2, Seed: o.Seed + 1},
+				LocalSteps: 3, Samples: o.samples(2500), Epochs: o.epochs(12), LR: 1.2, Seed: o.Seed + 1, Sink: o.Sink},
 		}
 		if name == "CIFAR10" || name == "REAL" {
 			settings[0].Corruption = NonIID

@@ -13,6 +13,7 @@ import (
 	"digfl/internal/dataset"
 	"digfl/internal/hfl"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/tensor"
 )
 
@@ -24,6 +25,11 @@ type Opts struct {
 	Scale float64
 	// Seed makes every experiment reproducible.
 	Seed int64
+	// Sink, when non-nil, receives observability events from every
+	// training run and estimator pass the experiment performs (the CLI's
+	// -trace flag and snapshot summary plug in here). Attaching a sink
+	// never perturbs results.
+	Sink obs.Sink
 }
 
 // DefaultOpts is the full-scale configuration used by the CLI.
@@ -99,6 +105,9 @@ type HFLSetting struct {
 	Epochs     int
 	LR         float64
 	Seed       int64
+	// Sink receives the built trainer's observability events (Opts.Sink,
+	// threaded through by the runners).
+	Sink obs.Sink
 }
 
 // imageData builds the synthetic stand-in for a named image dataset, with
@@ -144,7 +153,8 @@ func BuildHFL(s HFLSetting) *hfl.Trainer {
 		Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
 		Parts: parts,
 		Val:   val,
-		Cfg:   hfl.Config{Epochs: s.Epochs, LR: s.LR, LocalSteps: s.LocalSteps, KeepLog: true},
+		Cfg: hfl.Config{Epochs: s.Epochs, LR: s.LR, LocalSteps: s.LocalSteps,
+			KeepLog: true, Runtime: obs.Runtime{Sink: s.Sink}},
 	}
 }
 

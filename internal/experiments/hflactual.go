@@ -49,7 +49,7 @@ func fig3Settings(o Opts) []HFLSetting {
 				Dataset: name, N: n, M: m, Corruption: corruption, MislabelFrac: 0.5,
 				LocalSteps: 3,
 				Samples:    o.samples(2500), Epochs: o.epochs(12), LR: lr,
-				Seed: o.Seed + int64(100*m) + int64(n),
+				Seed: o.Seed + int64(100*m) + int64(n), Sink: o.Sink,
 			})
 		}
 	}

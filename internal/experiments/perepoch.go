@@ -58,6 +58,7 @@ func PerEpoch(o Opts) *PerEpochResult {
 		s := HFLSetting{
 			Dataset: name, N: 5, M: 1, Corruption: NonIID, LocalSteps: 1,
 			Samples: o.samples(2500), Epochs: o.epochs(12), LR: 0.05, Seed: o.Seed,
+			Sink: o.Sink,
 		}
 		tr := BuildHFL(s)
 		tr.Parts[3] = mislabelPart(tr.Parts[3], 0.5, o.Seed+3)

@@ -49,7 +49,7 @@ func Reweight(name string, corruption Corruption, o Opts) *ReweightResult {
 			// gradients genuinely slow convergence — the regime Fig. 7 studies.
 			NoiseBoost: 0.6,
 			Samples:    o.samples(2500), Epochs: o.epochs(25), LR: 0.3,
-			Seed: o.Seed + int64(m),
+			Seed: o.Seed + int64(m), Sink: o.Sink,
 		}
 		if corruption == NonIID {
 			// Non-IID damage only appears with deep local training, extreme

@@ -57,6 +57,7 @@ func SecondTerm(o Opts) *SecondTermResult {
 		s := HFLSetting{
 			Dataset: name, N: 5, M: 1, Corruption: Mislabeled, MislabelFrac: 0.5,
 			Samples: o.samples(2000), Epochs: o.epochs(15), LR: lr, Seed: o.Seed,
+			Sink: o.Sink,
 		}
 		tr := BuildHFL(s)
 		run := tr.Run()

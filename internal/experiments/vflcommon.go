@@ -3,6 +3,7 @@ package experiments
 import (
 	"digfl/internal/dataset"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/tensor"
 	"digfl/internal/vfl"
 )
@@ -24,7 +25,8 @@ func buildVFL(p dataset.VFLPreset, o Opts) (*vfl.Problem, vfl.Config) {
 		Blocks: dataset.VerticalBlocks(train.Dim(), p.Parties),
 		Kind:   kind,
 	}
-	cfg := vfl.Config{Epochs: o.epochs(25), LR: lr, KeepLog: true}
+	cfg := vfl.Config{Epochs: o.epochs(25), LR: lr, KeepLog: true,
+		Runtime: obs.Runtime{Sink: o.Sink}}
 	return prob, cfg
 }
 

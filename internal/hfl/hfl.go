@@ -11,6 +11,7 @@ import (
 
 	"digfl/internal/dataset"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/parallel"
 	"digfl/internal/tensor"
 )
@@ -32,17 +33,40 @@ type Config struct {
 	// KeepLog retains the per-epoch training log in the result. Retraining
 	// sweeps (actual Shapley) disable it to save memory.
 	KeepLog bool
-	// Parallel computes the participants' local updates concurrently on the
-	// shared bounded worker pool (internal/parallel) instead of one
-	// goroutine per participant, so fan-out stays fixed at production
-	// participant counts. Results are bit-identical to the serial path
-	// because each participant writes only its own δ slot and aggregation
-	// order is fixed; it only helps when local gradient computation
-	// dominates.
+	// Runtime is the unified worker-budget-plus-observability surface. A
+	// non-zero Runtime.Workers wins over the deprecated Parallel/Workers
+	// pair below (1 forces serial, > 1 sets the bounded-pool size,
+	// negative selects GOMAXPROCS); Runtime.Sink receives EpochStart/End,
+	// LocalUpdate, Aggregate and PoolTask events. Local updates run
+	// concurrently on the shared bounded pool (internal/parallel) with
+	// fan-out fixed at production participant counts; results are
+	// bit-identical to the serial path because each participant writes
+	// only its own δ slot and aggregation order is fixed.
+	Runtime obs.Runtime
+	// Parallel computes the participants' local updates concurrently.
+	//
+	// Deprecated: set Runtime.Workers instead (negative for GOMAXPROCS).
+	// Ignored whenever Runtime.Workers is non-zero.
 	Parallel bool
 	// Workers caps the worker pool when Parallel is set; 0 or negative
 	// selects GOMAXPROCS.
+	//
+	// Deprecated: set Runtime.Workers instead. Ignored whenever
+	// Runtime.Workers is non-zero.
 	Workers int
+}
+
+// workers resolves the effective local-update pool size: Runtime.Workers
+// wins when non-zero, then the deprecated Parallel/Workers pair, then
+// serial.
+func (c Config) workers() int {
+	if c.Runtime.Workers != 0 {
+		return parallel.Workers(c.Runtime.Workers)
+	}
+	if c.Parallel {
+		return parallel.Workers(c.Workers)
+	}
+	return 1
 }
 
 func (c Config) localSteps() int {
@@ -174,16 +198,21 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 	res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 
 	p := model.NumParams()
+	sink := tr.Cfg.Runtime.Sink
+	workers := tr.Cfg.workers()
 	for t := 1; t <= tr.Cfg.Epochs; t++ {
 		if len(subset) == 0 {
 			res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 			continue
 		}
+		obs.Emit(sink, obs.Event{Kind: obs.KindEpochStart, T: t})
+		epochStart := obs.Start(sink)
 		lr := tr.Cfg.lr(t)
 		theta := tensor.Clone(model.Params())
 		steps := tr.Cfg.localSteps()
 		deltas := make([][]float64, len(subset))
 		localUpdate := func(k int) {
+			t0 := obs.Start(sink)
 			part := tr.Parts[subset[k]]
 			if steps == 1 {
 				// model.Grad does not mutate the model, so concurrent
@@ -191,20 +220,18 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 				g := model.Grad(part.X, part.Y)
 				tensor.Scale(lr, g)
 				deltas[k] = g
-				return
+			} else {
+				// Multi-step local training: δ_{t,i} = θ_{t-1} − θ_{t-1,i}.
+				local := model.Clone()
+				for s := 0; s < steps; s++ {
+					tensor.AXPY(-lr, local.Grad(part.X, part.Y), local.Params())
+				}
+				deltas[k] = tensor.Sub(theta, local.Params())
 			}
-			// Multi-step local training: δ_{t,i} = θ_{t-1} − θ_{t-1,i}.
-			local := model.Clone()
-			for s := 0; s < steps; s++ {
-				tensor.AXPY(-lr, local.Grad(part.X, part.Y), local.Params())
-			}
-			deltas[k] = tensor.Sub(theta, local.Params())
+			obs.Emit(sink, obs.Event{Kind: obs.KindLocalUpdate, T: t,
+				Part: subset[k], Dur: obs.Since(sink, t0)})
 		}
-		workers := 1
-		if tr.Cfg.Parallel {
-			workers = parallel.Workers(tr.Cfg.Workers)
-		}
-		parallel.For(len(subset), workers, localUpdate)
+		parallel.ForObs(len(subset), workers, sink, localUpdate)
 		ep := &Epoch{
 			T:       t,
 			Theta:   theta,
@@ -216,6 +243,7 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 		if tr.Reweighter != nil {
 			ep.Weights = tr.Reweighter.Weights(ep)
 		}
+		aggStart := obs.Start(sink)
 		var grad []float64
 		switch {
 		case tr.Aggregator != nil:
@@ -240,13 +268,18 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 			}
 		}
 		tensor.AXPY(-1, grad, model.Params())
+		obs.Emit(sink, obs.Event{Kind: obs.KindAggregate, T: t,
+			N: int64(len(deltas)), Dur: obs.Since(sink, aggStart)})
 		if tr.Observer != nil {
 			tr.Observer(ep)
 		}
 		if tr.Cfg.KeepLog {
 			res.Log = append(res.Log, ep)
 		}
-		res.ValLossCurve = append(res.ValLossCurve, model.Loss(tr.Val.X, tr.Val.Y))
+		loss := model.Loss(tr.Val.X, tr.Val.Y)
+		res.ValLossCurve = append(res.ValLossCurve, loss)
+		obs.Emit(sink, obs.Event{Kind: obs.KindEpochEnd, T: t,
+			Dur: obs.Since(sink, epochStart), Value: loss})
 	}
 	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
 	return res

@@ -1,0 +1,133 @@
+package hfl
+
+import (
+	"testing"
+
+	"digfl/internal/dataset"
+	"digfl/internal/nn"
+	"digfl/internal/obs"
+	"digfl/internal/tensor"
+)
+
+// obsSetup builds a small 6-participant trainer with the given config knobs
+// already applied.
+func obsSetup(cfg Config) *Trainer {
+	rng := tensor.NewRNG(71)
+	full := dataset.MNISTLike(600, 71)
+	train, val := full.Split(0.2, rng)
+	return &Trainer{
+		Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: dataset.PartitionIID(train, 6, rng),
+		Val:   val,
+		Cfg:   cfg,
+	}
+}
+
+// Attaching a sink must leave the run bit-identical and produce exact
+// counters: E epochs, E·n local updates, E aggregates, one pool batch per
+// round.
+func TestSinkDoesNotPerturbRun(t *testing.T) {
+	const epochs, n = 5, 6
+	base := Config{Epochs: epochs, LR: 0.3, KeepLog: true}
+	plain := obsSetup(base).Run()
+
+	c := &obs.Collector{}
+	instrumented := base
+	instrumented.Runtime = obs.Runtime{Sink: c}
+	observed := obsSetup(instrumented).Run()
+
+	a, b := plain.Model.Params(), observed.Model.Params()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sink perturbed the run: param %d differs (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	for i := range plain.ValLossCurve {
+		if plain.ValLossCurve[i] != observed.ValLossCurve[i] {
+			t.Fatalf("sink perturbed the loss curve at epoch %d", i)
+		}
+	}
+
+	snap := c.Snapshot()
+	if snap.Epochs != epochs {
+		t.Errorf("Epochs = %d, want %d", snap.Epochs, epochs)
+	}
+	if snap.LocalUpdates != epochs*n {
+		t.Errorf("LocalUpdates = %d, want %d", snap.LocalUpdates, epochs*n)
+	}
+	if snap.Aggregates != epochs {
+		t.Errorf("Aggregates = %d, want %d", snap.Aggregates, epochs)
+	}
+	if snap.PoolBatches != epochs || snap.PoolTasks != epochs*n {
+		t.Errorf("pool batches/tasks = %d/%d, want %d/%d",
+			snap.PoolBatches, snap.PoolTasks, epochs, epochs*n)
+	}
+	if snap.PoolWorkersMax != 1 {
+		t.Errorf("PoolWorkersMax = %d, want 1 (serial default)", snap.PoolWorkersMax)
+	}
+}
+
+// The per-round epoch-end events must carry the validation loss curve.
+type lossRecorder struct{ losses []float64 }
+
+func (r *lossRecorder) Emit(e obs.Event) {
+	if e.Kind == obs.KindEpochEnd {
+		r.losses = append(r.losses, e.Value)
+	}
+}
+
+func TestEpochEndCarriesLoss(t *testing.T) {
+	r := &lossRecorder{}
+	res := obsSetup(Config{Epochs: 4, LR: 0.3, Runtime: obs.Runtime{Sink: r}}).Run()
+	// ValLossCurve[0] is the initial loss; epoch t reports curve[t].
+	if len(r.losses) != 4 {
+		t.Fatalf("saw %d epoch-end events, want 4", len(r.losses))
+	}
+	for i, loss := range r.losses {
+		if loss != res.ValLossCurve[i+1] {
+			t.Fatalf("epoch %d event loss %v != curve %v", i+1, loss, res.ValLossCurve[i+1])
+		}
+	}
+}
+
+// Runtime.Workers must win over the deprecated Parallel/Workers pair, with 0
+// deferring to them — observable through the pool events' worker counts.
+func TestRuntimeWorkersPrecedence(t *testing.T) {
+	maxWorkers := func(cfg Config) int64 {
+		c := &obs.Collector{}
+		cfg.Runtime.Sink = c
+		obsSetup(cfg).Run()
+		return c.Snapshot().PoolWorkersMax
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want int64
+	}{
+		{"legacy serial default", Config{Epochs: 2, LR: 0.3}, 1},
+		{"legacy parallel", Config{Epochs: 2, LR: 0.3, Parallel: true, Workers: 2}, 2},
+		{"runtime wins over legacy", Config{Epochs: 2, LR: 0.3, Parallel: true, Workers: 4,
+			Runtime: obs.Runtime{Workers: 1}}, 1},
+		{"runtime alone", Config{Epochs: 2, LR: 0.3, Runtime: obs.Runtime{Workers: 3}}, 3},
+	}
+	for _, tc := range cases {
+		if got := maxWorkers(tc.cfg); got != tc.want {
+			t.Errorf("%s: effective workers %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// BenchmarkRunNilSink / BenchmarkRunCollector bound the trainer-level
+// instrumentation overhead: the nil-sink run must be indistinguishable from
+// the pre-instrumentation baseline (pure nil checks), and even a live
+// collector stays in the noise next to the gradient work.
+func benchRun(b *testing.B, sink obs.Sink) {
+	tr := obsSetup(Config{Epochs: 3, LR: 0.3, Runtime: obs.Runtime{Sink: sink}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Run()
+	}
+}
+
+func BenchmarkRunNilSink(b *testing.B)   { benchRun(b, nil) }
+func BenchmarkRunCollector(b *testing.B) { benchRun(b, &obs.Collector{}) }

@@ -1,0 +1,94 @@
+// Package jsonf provides JSON float encoding that survives non-finite
+// values. encoding/json refuses to marshal NaN and ±Inf as numbers, so a
+// plain encoder aborts mid-stream the moment a diverged run produces one —
+// truncating a line-delimited file after the header. The F64 and Vec types
+// encode those values as the string sentinels "NaN", "+Inf" and "-Inf"
+// instead, and accept both sentinel strings and plain numbers on the way
+// back in. The training-log archive (internal/logio, format version 2) and
+// the observability trace (internal/obs) share this encoding.
+package jsonf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// F64 is a float64 that survives JSON round-trips even when non-finite.
+type F64 float64
+
+// MarshalJSON encodes finite values as numbers and non-finite values as the
+// string sentinels "NaN", "+Inf" and "-Inf".
+func (f F64) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts both plain numbers and the sentinel strings.
+func (f *F64) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = F64(math.NaN())
+		case "+Inf":
+			*f = F64(math.Inf(1))
+		case "-Inf":
+			*f = F64(math.Inf(-1))
+		default:
+			return fmt.Errorf("unknown float sentinel %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = F64(v)
+	return nil
+}
+
+// Vec is a []float64 carried through JSON with sentinel-aware elements;
+// nil round-trips as null.
+type Vec []float64
+
+// MarshalJSON encodes the vector element-wise with F64 semantics.
+func (v Vec) MarshalJSON() ([]byte, error) {
+	if v == nil {
+		return []byte("null"), nil
+	}
+	out := make([]F64, len(v))
+	for i, x := range v {
+		out[i] = F64(x)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a vector whose elements may be sentinel strings.
+func (v *Vec) UnmarshalJSON(b []byte) error {
+	var raw []F64
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if raw == nil {
+		*v = nil
+		return nil
+	}
+	out := make([]float64, len(raw))
+	for i, x := range raw {
+		out[i] = float64(x)
+	}
+	*v = out
+	return nil
+}

@@ -10,7 +10,9 @@
 // logs of diverged runs) as the string sentinels "NaN", "+Inf" and "-Inf",
 // since encoding/json refuses to marshal them as numbers and a plain encoder
 // would abort mid-stream, truncating the file after the header. Readers
-// accept both version 1 (finite floats only) and version 2.
+// accept both version 1 (finite floats only) and version 2. The sentinel
+// encoding itself lives in internal/jsonf, shared with the observability
+// trace (internal/obs).
 package logio
 
 import (
@@ -19,9 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"digfl/internal/hfl"
+	"digfl/internal/jsonf"
 	"digfl/internal/vfl"
 )
 
@@ -43,100 +45,26 @@ const (
 	version = 2
 )
 
-// f64 is a float64 that survives JSON round-trips even when non-finite.
-type f64 float64
-
-func (f f64) MarshalJSON() ([]byte, error) {
-	v := float64(f)
-	switch {
-	case math.IsNaN(v):
-		return []byte(`"NaN"`), nil
-	case math.IsInf(v, 1):
-		return []byte(`"+Inf"`), nil
-	case math.IsInf(v, -1):
-		return []byte(`"-Inf"`), nil
-	}
-	return json.Marshal(v)
-}
-
-func (f *f64) UnmarshalJSON(b []byte) error {
-	if len(b) > 0 && b[0] == '"' {
-		var s string
-		if err := json.Unmarshal(b, &s); err != nil {
-			return err
-		}
-		switch s {
-		case "NaN":
-			*f = f64(math.NaN())
-		case "+Inf":
-			*f = f64(math.Inf(1))
-		case "-Inf":
-			*f = f64(math.Inf(-1))
-		default:
-			return fmt.Errorf("unknown float sentinel %q", s)
-		}
-		return nil
-	}
-	var v float64
-	if err := json.Unmarshal(b, &v); err != nil {
-		return err
-	}
-	*f = f64(v)
-	return nil
-}
-
-// vec is a []float64 carried through JSON with sentinel-aware elements;
-// nil round-trips as null.
-type vec []float64
-
-func (v vec) MarshalJSON() ([]byte, error) {
-	if v == nil {
-		return []byte("null"), nil
-	}
-	out := make([]f64, len(v))
-	for i, x := range v {
-		out[i] = f64(x)
-	}
-	return json.Marshal(out)
-}
-
-func (v *vec) UnmarshalJSON(b []byte) error {
-	var raw []f64
-	if err := json.Unmarshal(b, &raw); err != nil {
-		return err
-	}
-	if raw == nil {
-		*v = nil
-		return nil
-	}
-	out := make([]float64, len(raw))
-	for i, x := range raw {
-		out[i] = float64(x)
-	}
-	*v = out
-	return nil
-}
-
 // hflEpochJSON mirrors hfl.Epoch field-for-field (same JSON keys as the
 // version-1 direct encoding) with sentinel-aware floats.
 type hflEpochJSON struct {
 	T       int
-	Theta   vec
-	Deltas  []vec
-	LR      f64
-	ValGrad vec
-	ValLoss f64
-	Weights vec
+	Theta   jsonf.Vec
+	Deltas  []jsonf.Vec
+	LR      jsonf.F64
+	ValGrad jsonf.Vec
+	ValLoss jsonf.F64
+	Weights jsonf.Vec
 }
 
 func toHFLJSON(ep *hfl.Epoch) *hflEpochJSON {
-	deltas := make([]vec, len(ep.Deltas))
+	deltas := make([]jsonf.Vec, len(ep.Deltas))
 	for i, d := range ep.Deltas {
-		deltas[i] = vec(d)
+		deltas[i] = jsonf.Vec(d)
 	}
 	return &hflEpochJSON{
-		T: ep.T, Theta: vec(ep.Theta), Deltas: deltas, LR: f64(ep.LR),
-		ValGrad: vec(ep.ValGrad), ValLoss: f64(ep.ValLoss), Weights: vec(ep.Weights),
+		T: ep.T, Theta: jsonf.Vec(ep.Theta), Deltas: deltas, LR: jsonf.F64(ep.LR),
+		ValGrad: jsonf.Vec(ep.ValGrad), ValLoss: jsonf.F64(ep.ValLoss), Weights: jsonf.Vec(ep.Weights),
 	}
 }
 
@@ -154,18 +82,18 @@ func (j *hflEpochJSON) epoch() *hfl.Epoch {
 // vflEpochJSON mirrors vfl.Epoch likewise.
 type vflEpochJSON struct {
 	T       int
-	Theta   vec
-	Grad    vec
-	LR      f64
-	ValGrad vec
-	ValLoss f64
-	Weights vec
+	Theta   jsonf.Vec
+	Grad    jsonf.Vec
+	LR      jsonf.F64
+	ValGrad jsonf.Vec
+	ValLoss jsonf.F64
+	Weights jsonf.Vec
 }
 
 func toVFLJSON(ep *vfl.Epoch) *vflEpochJSON {
 	return &vflEpochJSON{
-		T: ep.T, Theta: vec(ep.Theta), Grad: vec(ep.Grad), LR: f64(ep.LR),
-		ValGrad: vec(ep.ValGrad), ValLoss: f64(ep.ValLoss), Weights: vec(ep.Weights),
+		T: ep.T, Theta: jsonf.Vec(ep.Theta), Grad: jsonf.Vec(ep.Grad), LR: jsonf.F64(ep.LR),
+		ValGrad: jsonf.Vec(ep.ValGrad), ValLoss: jsonf.F64(ep.ValLoss), Weights: jsonf.Vec(ep.Weights),
 	}
 }
 

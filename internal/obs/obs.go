@@ -1,0 +1,155 @@
+// Package obs is the observability layer: a zero-dependency event substrate
+// every hot path in the repository reports into — trainer epochs, local
+// updates, aggregation, estimator rounds, Paillier ciphertext operations,
+// and worker-pool batches. A run with no sink attached pays only a nil
+// check per instrumentation point (no allocations, no clock reads); a run
+// with a sink attached gets a full account of where its wall-clock and its
+// ciphertext budget went, which is how the paper's computation- and
+// communication-cost tables are produced from real counters instead of
+// hand-derived formulas.
+//
+// The package ships two sinks: Collector, a lock-free atomic aggregator
+// whose Snapshot is cheap enough to read mid-run, and TraceWriter, a JSONL
+// trace using the same non-finite-safe float encoding as the training-log
+// archive (internal/jsonf). Tee fans events out to several sinks.
+//
+// Observability never perturbs results: sinks only receive copies of
+// scalar measurements, so attaching one leaves every output bit-identical.
+package obs
+
+import "time"
+
+// Kind discriminates the event taxonomy.
+type Kind uint8
+
+const (
+	// KindEpochStart marks the beginning of training round T.
+	KindEpochStart Kind = iota
+	// KindEpochEnd closes round T; Dur is the full round wall-clock and
+	// Value the post-round validation loss.
+	KindEpochEnd
+	// KindLocalUpdate is one participant's local training in round T;
+	// Part is the global participant index and Dur the local wall-clock.
+	KindLocalUpdate
+	// KindAggregate is the server's combination of local updates in round
+	// T; N is the number of updates combined.
+	KindAggregate
+	// KindEstimatorRound is one DIG-FL estimator observation of round T;
+	// Dur covers the whole per-participant loop (in Interactive mode,
+	// dominated by the Hessian-vector products) and N is the number of
+	// participants processed.
+	KindEstimatorRound
+	// KindPaillierEnc counts N Paillier encryptions.
+	KindPaillierEnc
+	// KindPaillierDec counts N Paillier decryptions.
+	KindPaillierDec
+	// KindPaillierAdd counts N homomorphic additions (ciphertext +
+	// ciphertext or ciphertext + plaintext).
+	KindPaillierAdd
+	// KindPaillierMulPlain counts N ciphertext-by-plaintext multiplications.
+	KindPaillierMulPlain
+	// KindPoolTask is one bounded-pool batch: N tasks executed on Workers
+	// goroutines.
+	KindPoolTask
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindEpochStart:       "epoch_start",
+	KindEpochEnd:         "epoch_end",
+	KindLocalUpdate:      "local_update",
+	KindAggregate:        "aggregate",
+	KindEstimatorRound:   "estimator_round",
+	KindPaillierEnc:      "paillier_enc",
+	KindPaillierDec:      "paillier_dec",
+	KindPaillierAdd:      "paillier_add",
+	KindPaillierMulPlain: "paillier_mul_plain",
+	KindPoolTask:         "pool_task",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one typed observation. Events are small value types; emitting
+// one never allocates.
+type Event struct {
+	// Kind discriminates the event.
+	Kind Kind
+	// T is the 1-based training round the event belongs to; 0 when the
+	// event is not tied to a round (pool batches, Paillier op batches
+	// outside an epoch).
+	T int
+	// Part is the global participant index; meaningful only for
+	// KindLocalUpdate events.
+	Part int
+	// N is the batch size: operations in a batched Paillier event, updates
+	// combined in an aggregate, participants in an estimator round, tasks
+	// in a pool batch.
+	N int64
+	// Workers is the effective worker count of a KindPoolTask event.
+	Workers int
+	// Dur is the measured duration of timed events (EpochEnd, LocalUpdate,
+	// Aggregate, EstimatorRound); 0 elsewhere.
+	Dur time.Duration
+	// Value is a kind-specific measurement: the validation loss for
+	// KindEpochEnd. It may be NaN or ±Inf in diverged runs; the trace
+	// writer encodes those losslessly.
+	Value float64
+}
+
+// Sink receives events. Implementations must be safe for concurrent use:
+// instrumented hot paths emit from pool workers. Emit must not retain
+// pointers into the event (it has none) and should return quickly — slow
+// sinks stall the instrumented path, not the results.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Emit forwards e to s when s is non-nil. The nil check is the entire cost
+// of instrumentation when observability is off: no allocation, no clock
+// read, one well-predicted branch.
+func Emit(s Sink, e Event) {
+	if s != nil {
+		s.Emit(e)
+	}
+}
+
+// Start returns the current time when a sink is attached and the zero Time
+// otherwise, so uninstrumented runs never touch the clock.
+func Start(s Sink) time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since returns the elapsed time since a Start(s) timestamp, or 0 when no
+// sink is attached.
+func Since(s Sink, t0 time.Time) time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(t0)
+}
+
+// Runtime is the unified runtime surface every trainer, estimator, and the
+// secure protocol accept: one worker budget and one observability sink,
+// replacing the per-struct Parallel/Workers knobs that grew independently.
+//
+// Workers resolves as: 0 defers to the enclosing struct's deprecated legacy
+// fields (and to serial where no legacy field exists), 1 forces the serial
+// path, > 1 sets the bounded-pool size, and negative selects GOMAXPROCS.
+// A non-zero Workers always wins over the legacy fields.
+type Runtime struct {
+	// Workers is the bounded worker-pool budget; see the struct comment
+	// for the resolution rule.
+	Workers int
+	// Sink receives observability events; nil (the default) disables
+	// instrumentation at the cost of one branch per instrumentation point.
+	Sink Sink
+}

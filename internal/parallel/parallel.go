@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"digfl/internal/obs"
 )
 
 // Workers resolves a requested worker count: w > 0 is used as-is; zero or
@@ -68,6 +70,21 @@ func For(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForObs is For plus observability: after the loop completes it emits one
+// KindPoolTask event carrying the number of tasks executed and the
+// effective worker count. With a nil sink it is exactly For — the event is
+// never constructed.
+func ForObs(n, workers int, sink obs.Sink, fn func(i int)) {
+	For(n, workers, fn)
+	if sink != nil && n > 0 {
+		w := Workers(workers)
+		if w > n {
+			w = n
+		}
+		sink.Emit(obs.Event{Kind: obs.KindPoolTask, N: int64(n), Workers: w})
+	}
 }
 
 // Map returns out where out[i] = fn(i), computed on the bounded pool. Each

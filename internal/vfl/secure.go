@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"sync"
 
+	"digfl/internal/obs"
 	"digfl/internal/paillier"
 	"digfl/internal/parallel"
 	"digfl/internal/tensor"
@@ -27,13 +28,37 @@ type SecureConfig struct {
 	Key *paillier.PrivateKey
 	// MaskSeed seeds the gradient masks M₁, M₂ (Algorithm 3 step 4).
 	MaskSeed int64
-	// Workers bounds the pool used for the per-element Paillier operations
-	// (vector encryption, the ring folds, the per-feature ciphertext
-	// accumulations, and decryption): 0 or negative selects GOMAXPROCS,
-	// 1 forces the serial path. Every decrypted result is bit-identical
-	// for any worker count — modular arithmetic is exact, so the
-	// accumulation order cannot perturb the plaintexts.
+	// Runtime is the unified worker-budget-plus-observability surface. A
+	// non-zero Runtime.Workers wins over the deprecated Workers field
+	// below and bounds the pool used for the per-element Paillier
+	// operations (vector encryption, the ring folds, the per-feature
+	// ciphertext accumulations, and decryption); 1 forces the serial path
+	// and negative selects GOMAXPROCS. Every decrypted result is
+	// bit-identical for any worker count — modular arithmetic is exact, so
+	// the accumulation order cannot perturb the plaintexts.
+	//
+	// Runtime.Sink receives exact PaillierOp counter events (Enc, Dec,
+	// Add, MulPlain) alongside the protocol's pool batches, so the paper's
+	// computation-cost tables come from real counters: for a run with
+	// known dimensions the collected counts equal the closed form implied
+	// by Algorithm 3 (asserted in this package's tests).
+	Runtime obs.Runtime
+	// Workers bounds the Paillier worker pool: 0 or negative selects
+	// GOMAXPROCS, 1 forces the serial path.
+	//
+	// Deprecated: set Runtime.Workers instead (note the differing zero
+	// default: Runtime.Workers 0 falls back to this field, so a zero
+	// value of both still selects GOMAXPROCS). Ignored whenever
+	// Runtime.Workers is non-zero.
 	Workers int
+}
+
+// workers resolves the effective Paillier pool size.
+func (c SecureConfig) workers() int {
+	if c.Runtime.Workers != 0 {
+		return parallel.Workers(c.Runtime.Workers)
+	}
+	return parallel.Workers(c.Workers)
 }
 
 // SecureResult reports the outcome of a secure run together with the
@@ -184,18 +209,21 @@ func RunSecureN(prob *Problem, cfg SecureConfig) (*SecureNResult, error) {
 	}
 	maskRNG := tensor.NewRNG(cfg.MaskSeed)
 	spec := specFor(prob.Kind)
-	workers := parallel.Workers(cfg.Workers)
+	workers := cfg.workers()
+	sink := cfg.Runtime.Sink
 
 	res := &SecureNResult{Shapley: make([]float64, len(parties))}
 	for t := 1; t <= cfg.Epochs; t++ {
+		obs.Emit(sink, obs.Event{Kind: obs.KindEpochStart, T: t})
+		epochStart := obs.Start(sink)
 		// Jointly compute the (unmasked-to-owner) training gradient blocks.
-		grads, comm, err := secureGradientN(sk, parties, prob.Train.Y, false, spec, maskRNG, workers)
+		grads, comm, err := secureGradientN(sk, parties, prob.Train.Y, false, spec, maskRNG, workers, sink)
 		if err != nil {
 			return nil, fmt.Errorf("vfl: epoch %d training gradient: %w", t, err)
 		}
 		res.CommBytes += comm * ctBytes
 		// And the validation gradient blocks (Algorithm 3 line 4).
-		vals, comm2, err := secureGradientN(sk, parties, prob.Val.Y, true, spec, maskRNG, workers)
+		vals, comm2, err := secureGradientN(sk, parties, prob.Val.Y, true, spec, maskRNG, workers, sink)
 		if err != nil {
 			return nil, fmt.Errorf("vfl: epoch %d validation gradient: %w", t, err)
 		}
@@ -214,6 +242,8 @@ func RunSecureN(prob *Problem, cfg SecureConfig) (*SecureNResult, error) {
 		for i, p := range parties {
 			tensor.AXPY(-cfg.LR, grads[i], p.theta)
 		}
+		obs.Emit(sink, obs.Event{Kind: obs.KindEpochEnd, T: t,
+			Dur: obs.Since(sink, epochStart)})
 	}
 	for _, p := range parties {
 		res.Theta = append(res.Theta, p.theta...)
@@ -225,8 +255,12 @@ func RunSecureN(prob *Problem, cfg SecureConfig) (*SecureNResult, error) {
 // labels (owned by party 1). It returns every party's plaintext gradient
 // block and the number of ciphertexts exchanged. The per-element Paillier
 // operations run on the shared bounded pool with the given worker budget;
-// the decrypted outputs are bit-identical for any budget.
-func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float64, useVal bool, spec residualSpec, maskRNG *tensor.RNG, workers int) (grads [][]float64, ciphertexts int64, err error) {
+// the decrypted outputs are bit-identical for any budget. Each stage emits
+// its exact homomorphic-operation count to the sink: per call with m
+// samples, n parties and D total features that is m encryptions,
+// m·(n−1) + D·m additions (ring folds, accumulation combines, masks),
+// m·D plaintext multiplications and D decryptions.
+func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float64, useVal bool, spec residualSpec, maskRNG *tensor.RNG, workers int, sink obs.Sink) (grads [][]float64, ciphertexts int64, err error) {
 	pk := &sk.PublicKey
 	feats := func(p *secureParty) *tensor.Matrix {
 		if useVal {
@@ -250,14 +284,16 @@ func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float6
 		return nil, 0, err
 	}
 	ciphertexts += int64(m)
+	obs.Emit(sink, obs.Event{Kind: obs.KindPaillierEnc, N: int64(m)})
 
 	// Step 3 (ring): every other party folds in its local result; the
 	// completed [[d]] is then broadcast to all n parties.
 	for _, p := range parties[1:] {
 		u := tensor.MatVec(feats(p), p.theta)
-		parallel.For(m, workers, func(i int) {
+		parallel.ForObs(m, workers, sink, func(i int) {
 			encD[i] = pk.AddPlainFloat(encD[i], spec.u2Coeff*u[i])
 		})
+		obs.Emit(sink, obs.Event{Kind: obs.KindPaillierAdd, N: int64(m)})
 		ciphertexts += int64(m) // forwarding [[d]] along the ring
 	}
 	ciphertexts += int64(m * (len(parties) - 1)) // broadcast of the final [[d]]
@@ -282,7 +318,7 @@ func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float6
 			}, pk.Add)
 		}
 		if d >= workers {
-			parallel.For(d, workers, func(j int) {
+			parallel.ForObs(d, workers, sink, func(j int) {
 				enc[j] = pk.AddPlain(accumulate(j, 1), encodeAtScale2(pk, masks[j]))
 			})
 		} else {
@@ -290,12 +326,16 @@ func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float6
 				enc[j] = pk.AddPlain(accumulate(j, workers), encodeAtScale2(pk, masks[j]))
 			}
 		}
+		// Per feature: m plaintext multiplications, m−1 accumulation
+		// combines, one masking addition — batched into exact counters.
+		obs.Emit(sink, obs.Event{Kind: obs.KindPaillierMulPlain, N: int64(m) * int64(d)})
+		obs.Emit(sink, obs.Event{Kind: obs.KindPaillierAdd, N: int64(m) * int64(d)})
 		ciphertexts += int64(2 * d) // masked ciphertexts out, plaintexts back
 		// Step 5: third party decrypts; the party removes its mask.
 		out := make([]float64, d)
 		var decErr error
 		var decMu sync.Mutex
-		parallel.For(d, workers, func(j int) {
+		parallel.ForObs(d, workers, sink, func(j int) {
 			v, err := sk.DecryptFloatAtScale(enc[j], 2)
 			if err != nil {
 				decMu.Lock()
@@ -310,6 +350,7 @@ func secureGradientN(sk *paillier.PrivateKey, parties []*secureParty, y []float6
 		if decErr != nil {
 			return nil, 0, decErr
 		}
+		obs.Emit(sink, obs.Event{Kind: obs.KindPaillierDec, N: int64(d)})
 		grads[pi] = out
 	}
 	return grads, ciphertexts, nil

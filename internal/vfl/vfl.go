@@ -12,6 +12,7 @@ import (
 
 	"digfl/internal/dataset"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/tensor"
 )
 
@@ -82,9 +83,40 @@ func (p *Problem) validate() error {
 
 // Config holds the optimization hyperparameters.
 type Config struct {
-	Epochs  int
-	LR      float64
+	// Epochs is the number of synchronous rounds τ.
+	Epochs int
+	// LR is the learning rate α; LRSchedule overrides it when non-nil.
+	LR float64
+	// LRSchedule returns α_t for 1-based epoch t, mirroring the HFL
+	// trainer's hook. The per-epoch rate is recorded in Epoch.LR, which is
+	// all the estimators read — they never see Config.
+	LRSchedule func(t int) float64
+	// KeepLog retains the per-epoch training log in the result.
 	KeepLog bool
+	// Runtime is the unified worker-budget-plus-observability surface.
+	// Runtime.Sink receives EpochStart/End and Aggregate events. The
+	// plaintext vertical trainer has no per-participant fan-out (each
+	// round is one full-batch gradient), so Runtime.Workers is accepted
+	// for API symmetry but has no hot loop to feed here; the encrypted
+	// protocol (SecureConfig) is where the vertical worker budget matters.
+	Runtime obs.Runtime
+}
+
+func (c Config) lr(t int) float64 {
+	if c.LRSchedule != nil {
+		return c.LRSchedule(t)
+	}
+	return c.LR
+}
+
+func (c Config) validate() error {
+	if c.Epochs <= 0 {
+		return fmt.Errorf("vfl: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.LR <= 0 && c.LRSchedule == nil {
+		return fmt.Errorf("vfl: LR must be positive, got %v", c.LR)
+	}
+	return nil
 }
 
 // Epoch is one record of the VFL training log.
@@ -152,10 +184,11 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 	if err := tr.Problem.validate(); err != nil {
 		panic(err)
 	}
-	if tr.Cfg.Epochs <= 0 || tr.Cfg.LR <= 0 {
-		panic(fmt.Sprintf("vfl: invalid config %+v", tr.Cfg))
+	if err := tr.Cfg.validate(); err != nil {
+		panic(err)
 	}
 	prob := tr.Problem
+	sink := tr.Cfg.Runtime.Sink
 	model := prob.newModel()
 	active := make([]bool, prob.Parties())
 	for _, i := range subset {
@@ -166,9 +199,12 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 	res.InitLoss = model.Loss(prob.Val.X, prob.Val.Y)
 	res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 	for t := 1; t <= tr.Cfg.Epochs; t++ {
+		obs.Emit(sink, obs.Event{Kind: obs.KindEpochStart, T: t})
+		epochStart := obs.Start(sink)
+		lr := tr.Cfg.lr(t)
 		theta := tensor.Clone(model.Params())
 		grad := model.Grad(prob.Train.X, prob.Train.Y)
-		tensor.Scale(tr.Cfg.LR, grad)
+		tensor.Scale(lr, grad)
 		// Freeze removed blocks: diag(v̄) masking of the update.
 		for i, b := range prob.Blocks {
 			if !active[i] {
@@ -181,13 +217,14 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 			T:       t,
 			Theta:   theta,
 			Grad:    grad,
-			LR:      tr.Cfg.LR,
+			LR:      lr,
 			ValGrad: model.Grad(prob.Val.X, prob.Val.Y),
 			ValLoss: res.ValLossCurve[len(res.ValLossCurve)-1],
 		}
 		if tr.Reweighter != nil {
 			ep.Weights = tr.Reweighter.Weights(ep)
 		}
+		aggStart := obs.Start(sink)
 		update := grad
 		if ep.Weights != nil {
 			if len(ep.Weights) != prob.Parties() {
@@ -202,13 +239,18 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 			}
 		}
 		tensor.AXPY(-1, update, model.Params())
+		obs.Emit(sink, obs.Event{Kind: obs.KindAggregate, T: t,
+			N: int64(prob.Parties()), Dur: obs.Since(sink, aggStart)})
 		if tr.Observer != nil {
 			tr.Observer(ep)
 		}
 		if tr.Cfg.KeepLog {
 			res.Log = append(res.Log, ep)
 		}
-		res.ValLossCurve = append(res.ValLossCurve, model.Loss(prob.Val.X, prob.Val.Y))
+		loss := model.Loss(prob.Val.X, prob.Val.Y)
+		res.ValLossCurve = append(res.ValLossCurve, loss)
+		obs.Emit(sink, obs.Event{Kind: obs.KindEpochEnd, T: t,
+			Dur: obs.Since(sink, epochStart), Value: loss})
 	}
 	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
 	return res
