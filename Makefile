@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify
+.PHONY: build test bench verify verify-faults
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,14 @@ bench:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# verify-faults runs the fault-injection suite: the determinism gate
+# (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
+# checkpoint/resume lifecycle twice over 3 fixed seeds and fails on any
+# divergence in schedule, event trace, model bits, or attribution), the
+# crash-resume bit-identity checks, and the injector/trainer/secure-retry
+# fault tests across all packages. -count=1 defeats the test cache so the
+# lifecycle actually re-executes.
+verify-faults:
+	$(GO) test -count=1 -run 'Fault|Crash|Dropout|Retr|Survivor|Checkpoint|Resume|Straggl|Backoff' \
+		./internal/faults/ ./internal/hfl/ ./internal/vfl/ ./internal/logio/ ./internal/robust/ ./internal/experiments/

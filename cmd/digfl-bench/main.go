@@ -6,6 +6,7 @@
 //	digfl-bench -exp all            # every table and figure
 //	digfl-bench -exp fig3 -scale 1  # one experiment at full simulator scale
 //	digfl-bench -exp fig6 -trace t.jsonl  # also record an observability trace
+//	digfl-bench -exp faults -faults dropout=0.4,crash=8  # fault-tolerance check
 //	digfl-bench -list               # list experiment ids
 //
 // With -trace, every training run and estimator pass streams typed events
@@ -14,6 +15,11 @@
 //
 // Experiment ids map one-to-one to the paper's artifacts; fig2/table2,
 // fig4/table4 and fig5/table5 are aliases for the runners that produce both.
+// The extra "faults" id runs the fault-tolerance lifecycle (injected
+// dropout/straggler/crash with checkpoint+resume, plus secure-round
+// retries) and reports whether resume bit-identity, schedule determinism,
+// and retry transparency held; it is not part of the paper's evaluation,
+// so -exp all does not include it.
 package main
 
 import (
@@ -104,16 +110,36 @@ func runners() []runner {
 	}
 }
 
+// faultsRunner builds the fault-tolerance runner from a -faults spec. It is
+// not part of runners(): -exp all reproduces the paper's artifacts only, so
+// adding the robustness check never perturbs existing output.
+func faultsRunner(spec experiments.FaultSpec) runner {
+	return runner{
+		ids:  []string{"faults"},
+		desc: "fault tolerance: dropout/straggler/crash+resume, secure retry (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.FaultTolerance(spec, o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+		},
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
 	seed := flag.Int64("seed", 42, "random seed")
 	csvDir := flag.String("csv", "", "also write each table/figure's data as CSV into this directory")
 	trace := flag.String("trace", "", "write an observability trace (JSONL) to this file and print counter snapshots")
+	faultsSpec := flag.String("faults", "", "fault spec for -exp faults, comma-separated key=value (seed, dropout, straggler, delay, crash, secure, every, retries)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
-	rs := runners()
+	spec, err := experiments.ParseFaultSpec(*faultsSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
+		os.Exit(2)
+	}
+	rs := append(runners(), faultsRunner(spec))
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
@@ -165,6 +191,9 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, r := range rs {
+			if contains(r.ids, "faults") {
+				continue // robustness check is opt-in; 'all' stays the paper set
+			}
 			emit(r)
 		}
 		return

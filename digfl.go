@@ -68,12 +68,33 @@
 // WriteHFLLog/WriteVFLLog emit format version 2, which encodes non-finite
 // floats (NaN, ±Inf — routine in diverged runs) as the string sentinels
 // "NaN", "+Inf" and "-Inf"; version-1 files remain readable.
+//
+// # Fault tolerance
+//
+// The trainers survive the failures a real federation exhibits. A seeded,
+// deterministic FaultInjector (NewFaultInjector) drives per-epoch dropout,
+// straggler delay, crash-at-epoch-k, and transient secure-round failures;
+// every decision is a pure function of (seed, epoch, participant), so the
+// same seed reproduces the same fault schedule regardless of worker count
+// or resume point. Epochs where someone dropped out carry a Reported
+// survivor list; aggregation renormalizes over the survivors and the
+// estimators score missing participants zero for the epoch (Lemma 3
+// additivity). The Paillier protocol retries failed rounds with capped
+// exponential backoff (SecureConfig.MaxRetries). Configs with
+// CheckpointEvery hand periodic HFLTrainerCheckpoint/VFLTrainerCheckpoint
+// snapshots to a callback — persist them with WriteHFLCheckpoint together
+// with the online estimator's State() — and after a crash (a *CrashError
+// from RunE) the snapshot resumes training via Config.Resume with results
+// bit-identical to an uninterrupted run. With no injector configured, or a
+// configured injector that happens to fire nothing, outputs are
+// bit-identical to a build without fault tolerance at all.
 package digfl
 
 import (
 	"digfl/internal/baselines"
 	"digfl/internal/core"
 	"digfl/internal/dataset"
+	"digfl/internal/faults"
 	"digfl/internal/hfl"
 	"digfl/internal/logio"
 	"digfl/internal/metrics"
@@ -127,6 +148,18 @@ const (
 	KindPaillierMulPlain = obs.KindPaillierMulPlain
 	// KindPoolTask is one worker-pool dispatch.
 	KindPoolTask = obs.KindPoolTask
+	// KindDropout marks a participant missing an epoch.
+	KindDropout = obs.KindDropout
+	// KindStraggler marks a delayed participant report.
+	KindStraggler = obs.KindStraggler
+	// KindRetry marks a failed secure-round attempt about to be retried.
+	KindRetry = obs.KindRetry
+	// KindCrash marks an injected trainer crash.
+	KindCrash = obs.KindCrash
+	// KindCheckpoint marks a periodic checkpoint capture.
+	KindCheckpoint = obs.KindCheckpoint
+	// KindResume marks a run resuming from a checkpoint.
+	KindResume = obs.KindResume
 )
 
 // Observability constructors and helpers.
@@ -349,6 +382,56 @@ type (
 	MedianAggregator = robust.Median
 	// TrimmedMeanAggregator is coordinate-wise trimmed-mean aggregation.
 	TrimmedMeanAggregator = robust.TrimmedMean
+)
+
+// Robust-aggregation constructors.
+var (
+	// NewTrimmedMean validates the trim count at construction instead of
+	// panicking epochs into training.
+	NewTrimmedMean = robust.NewTrimmedMean
+)
+
+// Fault tolerance (internal/faults + checkpoint machinery).
+type (
+	// FaultConfig parameterizes the deterministic fault injector.
+	FaultConfig = faults.Config
+	// FaultInjector makes seeded, order-independent fault decisions; a nil
+	// injector injects nothing.
+	FaultInjector = faults.Injector
+	// CrashError reports an injected trainer crash; resume from the latest
+	// checkpoint via Config.Resume.
+	CrashError = faults.CrashError
+	// EstimatorState is the serializable state of an online estimator,
+	// captured by State and reinstalled by SetState around a crash.
+	EstimatorState = core.EstimatorState
+	// HFLTrainerCheckpoint is the HFL trainer's resumable snapshot.
+	HFLTrainerCheckpoint = hfl.Checkpoint
+	// VFLTrainerCheckpoint is the VFL trainer's resumable snapshot.
+	VFLTrainerCheckpoint = vfl.Checkpoint
+	// HFLCheckpoint bundles an HFL trainer snapshot with estimator state
+	// for persistence.
+	HFLCheckpoint = logio.HFLCheckpoint
+	// VFLCheckpoint bundles a VFL trainer snapshot with estimator state.
+	VFLCheckpoint = logio.VFLCheckpoint
+)
+
+// Fault-tolerance constructors and helpers.
+var (
+	// NewFaultInjector validates a FaultConfig and builds the injector.
+	NewFaultInjector = faults.New
+	// MustNewFaultInjector is NewFaultInjector, panicking on invalid config.
+	MustNewFaultInjector = faults.MustNew
+	// ErrRetriesExhausted reports a secure round that failed past
+	// SecureConfig.MaxRetries.
+	ErrRetriesExhausted = faults.ErrRetriesExhausted
+	// WriteHFLCheckpoint serializes an HFL checkpoint (trainer + estimator).
+	WriteHFLCheckpoint = logio.WriteHFLCheckpoint
+	// ReadHFLCheckpoint deserializes an HFL checkpoint.
+	ReadHFLCheckpoint = logio.ReadHFLCheckpoint
+	// WriteVFLCheckpoint serializes a VFL checkpoint.
+	WriteVFLCheckpoint = logio.WriteVFLCheckpoint
+	// ReadVFLCheckpoint deserializes a VFL checkpoint.
+	ReadVFLCheckpoint = logio.ReadVFLCheckpoint
 )
 
 // Training-log persistence: archive logs during training and evaluate

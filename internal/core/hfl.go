@@ -104,10 +104,12 @@ func (e *HFLEstimator) workers() int {
 
 // Observe ingests one training epoch and returns the per-epoch contributions
 // φ_{t,i}. Epochs must arrive in order starting at 1, and must carry one
-// delta per participant — for coalition (RunSubset) epochs with fewer
-// deltas, use ObserveMapped with the subset instead.
+// delta per participant unless the epoch is a degraded
+// (partial-participation) record carrying its own Reported mapping — for
+// coalition (RunSubset) epochs with fewer deltas and no Reported, use
+// ObserveMapped with the subset instead.
 func (e *HFLEstimator) Observe(ep *hfl.Epoch) []float64 {
-	if len(ep.Deltas) != e.n {
+	if ep.Reported == nil && len(ep.Deltas) != e.n {
 		panic(fmt.Sprintf("core: epoch carries %d deltas for %d participants; coalition runs need ObserveMapped", len(ep.Deltas), e.n))
 	}
 	return e.ObserveMapped(ep, nil)
@@ -121,9 +123,20 @@ func (e *HFLEstimator) Observe(ep *hfl.Epoch) []float64 {
 // — in Interactive mode — their ΔG-sum recursion is left frozen until they
 // rejoin. The first-term weight is 1/|S|, matching the trainer's uniform
 // coalition average.
+//
+// Degraded epochs carry their own mapping: when ep.Reported is non-nil it
+// names exactly the survivors that produced ep.Deltas and overrides idx
+// (the per-epoch record is more precise than the run-level subset). A
+// missing participant's δ is treated as a zero contribution for the epoch
+// — justified by Lemma 3, which makes per-epoch contributions additive
+// over reporting participants — instead of a shape panic. An all-dropped
+// epoch (empty Reported) records a zero φ row for every participant.
 func (e *HFLEstimator) ObserveMapped(ep *hfl.Epoch, idx []int) []float64 {
 	if ep.T != e.lastEpoch+1 {
 		panic(fmt.Sprintf("core: epoch %d observed after %d", ep.T, e.lastEpoch))
+	}
+	if ep.Reported != nil {
+		idx = ep.Reported
 	}
 	if idx == nil {
 		checkDim("deltas", len(ep.Deltas), e.n)
@@ -214,11 +227,20 @@ type HFLReweighter struct {
 	Estimator *HFLEstimator
 }
 
-// Weights implements hfl.Reweighter.
+// Weights implements hfl.Reweighter. The returned weights align with the
+// epoch's Deltas: for a degraded (partial-participation) epoch the
+// estimator's global φ vector is compacted to the reporting survivors.
 func (r *HFLReweighter) Weights(ep *hfl.Epoch) []float64 {
 	var phi []float64
 	if r.Estimator != nil {
 		phi = r.Estimator.Observe(ep)
+		if ep.Reported != nil {
+			survivors := make([]float64, len(ep.Reported))
+			for k, i := range ep.Reported {
+				survivors[k] = phi[i]
+			}
+			phi = survivors
+		}
 	} else {
 		n := len(ep.Deltas)
 		phi = make([]float64, n)

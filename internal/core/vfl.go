@@ -89,6 +89,12 @@ func NewVFLEstimator(blocks []dataset.Block, p int, mode Mode, hvp FullHVP) *VFL
 }
 
 // Observe ingests one VFL training epoch and returns φ_{t,i} per party.
+//
+// Degraded (partial-participation) epochs carry a non-nil Reported list; a
+// party absent from it gets a zero contribution for the epoch (its block
+// of the update was frozen at zero — Lemma 3 additivity over the reporting
+// parties) and, in Interactive mode, a frozen ΔG-sum recursion until it
+// rejoins.
 func (e *VFLEstimator) Observe(ep *vfl.Epoch) []float64 {
 	if ep.T != e.lastEpoch+1 {
 		panic(fmt.Sprintf("core: epoch %d observed after %d", ep.T, e.lastEpoch))
@@ -97,10 +103,23 @@ func (e *VFLEstimator) Observe(ep *vfl.Epoch) []float64 {
 	checkDim("grad", len(ep.Grad), e.p)
 	checkDim("valGrad", len(ep.ValGrad), e.p)
 
+	var reported []bool
+	if ep.Reported != nil {
+		reported = make([]bool, len(e.blocks))
+		for _, i := range ep.Reported {
+			if i < 0 || i >= len(e.blocks) {
+				panic(fmt.Sprintf("core: reported party %d out of range [0,%d)", i, len(e.blocks)))
+			}
+			reported[i] = true
+		}
+	}
 	sink := e.Runtime.Sink
 	roundStart := obs.Start(sink)
 	phi := make([]float64, len(e.blocks))
 	parallel.ForObs(len(e.blocks), e.workers(), sink, func(i int) {
+		if reported != nil && !reported[i] {
+			return
+		}
 		b := e.blocks[i]
 		// (E − diag(v̄_i))·G_t keeps exactly block i of the global gradient.
 		phi[i] = dotBlock(ep.ValGrad, ep.Grad, b.Lo, b.Hi)

@@ -8,8 +8,10 @@ package hfl
 
 import (
 	"fmt"
+	"time"
 
 	"digfl/internal/dataset"
+	"digfl/internal/faults"
 	"digfl/internal/nn"
 	"digfl/internal/obs"
 	"digfl/internal/parallel"
@@ -54,6 +56,55 @@ type Config struct {
 	// Deprecated: set Runtime.Workers instead. Ignored whenever
 	// Runtime.Workers is non-zero.
 	Workers int
+	// Faults optionally injects deterministic faults (per-epoch dropout,
+	// straggler delay, crash-at-epoch). Nil — or an injector whose
+	// schedule happens to fire nothing — leaves every output bit-identical
+	// to a fault-free run. Epochs where participants drop out proceed with
+	// the survivor subset: aggregation renormalizes over survivors and the
+	// epoch record's Reported field names who reported.
+	Faults *faults.Injector
+	// CheckpointEvery k > 0 invokes CheckpointFunc after every k-th
+	// completed epoch with a snapshot of the trainer state, enabling
+	// crash recovery via Resume.
+	CheckpointEvery int
+	// CheckpointFunc persists a checkpoint; a returned error aborts the
+	// run. The snapshot's slices are copies except Log, which aliases the
+	// retained epoch records — serialize, don't mutate.
+	CheckpointFunc func(ck *Checkpoint) error
+	// Resume, when non-nil, starts training after the checkpointed epoch
+	// instead of from scratch: the model is set to the checkpoint's Theta
+	// and epochs Resume.Epoch+1..Epochs are (re)run. With a deterministic
+	// fault schedule the resumed run is bit-identical to an uninterrupted
+	// one.
+	Resume *Checkpoint
+}
+
+// Checkpoint is the trainer state persisted every CheckpointEvery epochs:
+// everything RunSubsetE needs to continue a run as if it had never
+// stopped. Estimator state is checkpointed separately (core.EstimatorState
+// via logio) because the estimator is an observer, not trainer state.
+type Checkpoint struct {
+	// Epoch is the last completed epoch; training resumes at Epoch+1.
+	Epoch int
+	// Theta is the global model θ_Epoch.
+	Theta []float64
+	// ValLossCurve is loss^v(θ_t) for t = 0..Epoch.
+	ValLossCurve []float64
+	// Log is the retained training log so far (nil unless KeepLog).
+	Log []*Epoch
+}
+
+func (ck *Checkpoint) validate(p, epochs int) error {
+	if ck.Epoch < 1 || ck.Epoch > epochs {
+		return fmt.Errorf("hfl: resume epoch %d outside [1,%d]", ck.Epoch, epochs)
+	}
+	if len(ck.Theta) != p {
+		return fmt.Errorf("hfl: resume theta has %d params, model has %d", len(ck.Theta), p)
+	}
+	if len(ck.ValLossCurve) != ck.Epoch+1 {
+		return fmt.Errorf("hfl: resume loss curve has %d entries for epoch %d", len(ck.ValLossCurve), ck.Epoch)
+	}
+	return nil
 }
 
 // workers resolves the effective local-update pool size: Runtime.Workers
@@ -114,6 +165,13 @@ type Epoch struct {
 	// Weights are the aggregation weights actually used; nil means the
 	// uniform 1/n FedSGD average.
 	Weights []float64
+	// Reported, when non-nil, lists the global indices of the participants
+	// that reported this round, aligned with Deltas — a degraded
+	// (partial-participation) epoch. Nil means every participant of the
+	// run's subset reported, keeping fault-free epoch records bit-identical
+	// to builds without fault tolerance. An empty non-nil Reported is an
+	// all-dropped epoch: no deltas, no model update.
+	Reported []int
 }
 
 // Reweighter chooses per-epoch aggregation weights, the hook the DIG-FL
@@ -175,45 +233,101 @@ type Result struct {
 // function (Eq. 2) for the trained coalition.
 func (r *Result) Utility() float64 { return r.InitLoss - r.FinalLoss }
 
-// Run trains with all participants.
+// Run trains with all participants, panicking on error — the historical
+// convenience API. Fault-tolerant callers use RunE.
 func (tr *Trainer) Run() *Result {
+	res, err := tr.RunE()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE trains with all participants, returning mid-training failures
+// (config errors, plugin shape mismatches, injected crashes, checkpoint
+// write failures) as errors.
+func (tr *Trainer) RunE() (*Result, error) {
 	all := make([]int, len(tr.Parts))
 	for i := range all {
 		all[i] = i
 	}
-	return tr.RunSubset(all)
+	return tr.RunSubsetE(all)
 }
 
-// RunSubset trains with only the listed participants (the coalition S),
+// RunSubset is RunSubsetE panicking on error, kept for compatibility.
+func (tr *Trainer) RunSubset(subset []int) *Result {
+	res, err := tr.RunSubsetE(subset)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunSubsetE trains with only the listed participants (the coalition S),
 // averaging their updates with weight 1/|S|. An empty subset performs no
 // training, leaving θ at the initial model — the V(∅) case. The reweighter
 // and observer only see rounds of the subset run.
-func (tr *Trainer) RunSubset(subset []int) *Result {
+//
+// With Cfg.Faults attached, an epoch may run degraded: dropped
+// participants contribute no delta, aggregation renormalizes over the
+// survivors (1/|survivors|), and the epoch record's Reported field names
+// who reported. An injected crash aborts with a *faults.CrashError;
+// training then resumes from the latest checkpoint via Cfg.Resume.
+func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
 	if err := tr.Cfg.validate(len(tr.Parts)); err != nil {
-		panic(err)
+		return nil, err
 	}
 	model := tr.Model.Clone()
 	res := &Result{Model: model}
-	res.InitLoss = model.Loss(tr.Val.X, tr.Val.Y)
-	res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 
 	p := model.NumParams()
 	sink := tr.Cfg.Runtime.Sink
 	workers := tr.Cfg.workers()
-	for t := 1; t <= tr.Cfg.Epochs; t++ {
+	inj := tr.Cfg.Faults
+	startT := 1
+	if ck := tr.Cfg.Resume; ck != nil {
+		if err := ck.validate(p, tr.Cfg.Epochs); err != nil {
+			return nil, err
+		}
+		model.SetParams(tensor.Clone(ck.Theta))
+		res.ValLossCurve = append([]float64(nil), ck.ValLossCurve...)
+		res.InitLoss = res.ValLossCurve[0]
+		if tr.Cfg.KeepLog {
+			res.Log = append([]*Epoch(nil), ck.Log...)
+		}
+		startT = ck.Epoch + 1
+		obs.Emit(sink, obs.Event{Kind: obs.KindResume, T: startT})
+	} else {
+		res.InitLoss = model.Loss(tr.Val.X, tr.Val.Y)
+		res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
+	}
+	for t := startT; t <= tr.Cfg.Epochs; t++ {
 		if len(subset) == 0 {
 			res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 			continue
+		}
+		if inj.CrashesAt(t) {
+			obs.Emit(sink, obs.Event{Kind: obs.KindCrash, T: t})
+			return nil, &faults.CrashError{Epoch: t}
 		}
 		obs.Emit(sink, obs.Event{Kind: obs.KindEpochStart, T: t})
 		epochStart := obs.Start(sink)
 		lr := tr.Cfg.lr(t)
 		theta := tensor.Clone(model.Params())
+		active, droppedOut := inj.Survivors(t, subset)
+		for _, i := range droppedOut {
+			obs.Emit(sink, obs.Event{Kind: obs.KindDropout, T: t, Part: i})
+		}
 		steps := tr.Cfg.localSteps()
-		deltas := make([][]float64, len(subset))
+		deltas := make([][]float64, len(active))
 		localUpdate := func(k int) {
 			t0 := obs.Start(sink)
-			part := tr.Parts[subset[k]]
+			gi := active[k]
+			if d, ok := inj.Straggles(t, gi); ok {
+				obs.Emit(sink, obs.Event{Kind: obs.KindStraggler, T: t, Part: gi, Dur: d})
+				time.Sleep(d)
+			}
+			part := tr.Parts[gi]
 			if steps == 1 {
 				// model.Grad does not mutate the model, so concurrent
 				// single-step updates can share it.
@@ -229,9 +343,9 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 				deltas[k] = tensor.Sub(theta, local.Params())
 			}
 			obs.Emit(sink, obs.Event{Kind: obs.KindLocalUpdate, T: t,
-				Part: subset[k], Dur: obs.Since(sink, t0)})
+				Part: gi, Dur: obs.Since(sink, t0)})
 		}
-		parallel.ForObs(len(subset), workers, sink, localUpdate)
+		parallel.ForObs(len(active), workers, sink, localUpdate)
 		ep := &Epoch{
 			T:       t,
 			Theta:   theta,
@@ -240,36 +354,49 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 			ValGrad: model.Grad(tr.Val.X, tr.Val.Y),
 			ValLoss: res.ValLossCurve[len(res.ValLossCurve)-1],
 		}
+		if len(droppedOut) > 0 {
+			// Survivor epochs mark who reported; fault-free epochs keep the
+			// nil Reported so their records stay bit-identical to before.
+			ep.Reported = active
+		}
 		if tr.Reweighter != nil {
-			ep.Weights = tr.Reweighter.Weights(ep)
-		}
-		aggStart := obs.Start(sink)
-		var grad []float64
-		switch {
-		case tr.Aggregator != nil:
-			grad = tr.Aggregator.Aggregate(ep)
-			if len(grad) != p {
-				panic(fmt.Sprintf("hfl: aggregator returned %d values for %d params", len(grad), p))
-			}
-		case ep.Weights == nil:
-			grad = make([]float64, p)
-			inv := 1 / float64(len(subset))
-			for _, d := range deltas {
-				tensor.AXPY(inv, d, grad)
-			}
-		default:
-			if len(ep.Weights) != len(deltas) {
-				panic(fmt.Sprintf("hfl: reweighter returned %d weights for %d participants",
-					len(ep.Weights), len(deltas)))
-			}
-			grad = make([]float64, p)
-			for k, d := range deltas {
-				tensor.AXPY(ep.Weights[k], d, grad)
+			// The reweighter sees every epoch — an estimator wrapped inside
+			// one needs the all-dropped epochs too, to keep its epoch
+			// numbering sequential — but weights only apply when someone
+			// reported.
+			if w := tr.Reweighter.Weights(ep); len(deltas) > 0 {
+				ep.Weights = w
 			}
 		}
-		tensor.AXPY(-1, grad, model.Params())
-		obs.Emit(sink, obs.Event{Kind: obs.KindAggregate, T: t,
-			N: int64(len(deltas)), Dur: obs.Since(sink, aggStart)})
+		if len(deltas) > 0 {
+			aggStart := obs.Start(sink)
+			var grad []float64
+			switch {
+			case tr.Aggregator != nil:
+				grad = tr.Aggregator.Aggregate(ep)
+				if len(grad) != p {
+					return nil, fmt.Errorf("hfl: epoch %d: aggregator returned %d values for %d params", t, len(grad), p)
+				}
+			case ep.Weights == nil:
+				grad = make([]float64, p)
+				inv := 1 / float64(len(deltas))
+				for _, d := range deltas {
+					tensor.AXPY(inv, d, grad)
+				}
+			default:
+				if len(ep.Weights) != len(deltas) {
+					return nil, fmt.Errorf("hfl: epoch %d: reweighter returned %d weights for %d participants",
+						t, len(ep.Weights), len(deltas))
+				}
+				grad = make([]float64, p)
+				for k, d := range deltas {
+					tensor.AXPY(ep.Weights[k], d, grad)
+				}
+			}
+			tensor.AXPY(-1, grad, model.Params())
+			obs.Emit(sink, obs.Event{Kind: obs.KindAggregate, T: t,
+				N: int64(len(deltas)), Dur: obs.Since(sink, aggStart)})
+		}
 		if tr.Observer != nil {
 			tr.Observer(ep)
 		}
@@ -280,9 +407,21 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 		res.ValLossCurve = append(res.ValLossCurve, loss)
 		obs.Emit(sink, obs.Event{Kind: obs.KindEpochEnd, T: t,
 			Dur: obs.Since(sink, epochStart), Value: loss})
+		if tr.Cfg.CheckpointEvery > 0 && tr.Cfg.CheckpointFunc != nil && t%tr.Cfg.CheckpointEvery == 0 {
+			obs.Emit(sink, obs.Event{Kind: obs.KindCheckpoint, T: t})
+			ck := &Checkpoint{
+				Epoch:        t,
+				Theta:        tensor.Clone(model.Params()),
+				ValLossCurve: append([]float64(nil), res.ValLossCurve...),
+				Log:          res.Log,
+			}
+			if err := tr.Cfg.CheckpointFunc(ck); err != nil {
+				return nil, fmt.Errorf("hfl: checkpoint at epoch %d: %w", t, err)
+			}
+		}
 	}
 	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
-	return res
+	return res, nil
 }
 
 // Utility is the coalition utility function V(S) (Eq. 2) computed by full
@@ -292,6 +431,10 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 func (tr *Trainer) Utility(subset []int) float64 {
 	cfg := tr.Cfg
 	cfg.KeepLog = false
+	// Ground-truth utilities are defined on fault-free retraining: coalition
+	// sweeps never inherit the production run's injector or checkpoints.
+	cfg.Faults = nil
+	cfg.CheckpointEvery, cfg.CheckpointFunc, cfg.Resume = 0, nil, nil
 	sub := &Trainer{Model: tr.Model, Parts: tr.Parts, Val: tr.Val, Cfg: cfg}
 	return sub.RunSubset(subset).Utility()
 }

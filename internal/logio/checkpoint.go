@@ -1,0 +1,245 @@
+package logio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"digfl/internal/core"
+	"digfl/internal/hfl"
+	"digfl/internal/jsonf"
+	"digfl/internal/vfl"
+)
+
+// Checkpoint files make crash/resume durable: a trainer configured with
+// Config.CheckpointEvery hands periodic snapshots to Config.CheckpointFunc,
+// which typically serializes them here; after a crash the snapshot is read
+// back and handed to Config.Resume (plus Estimator into
+// core.{HFL,VFL}Estimator.SetState), and the resumed run is bit-identical
+// to one that never stopped.
+//
+// The format follows the training-log convention: line-delimited JSON with
+// non-finite floats as sentinels (internal/jsonf). One header line, one
+// meta line (epoch counter, model, loss curve, estimator state, retained
+// log length), then the retained training-log epochs — reusing the exact
+// per-epoch encoding of the log format, including the Reported survivor
+// lists of degraded epochs.
+
+const (
+	formatHFLCkpt = "digfl-hfl-ckpt"
+	formatVFLCkpt = "digfl-vfl-ckpt"
+	ckptVersion   = 1
+)
+
+// HFLCheckpoint bundles everything needed to resume an HFL run: the
+// trainer snapshot and, when contribution evaluation runs online alongside
+// training, the estimator state (nil when there is no online estimator).
+type HFLCheckpoint struct {
+	Trainer   hfl.Checkpoint
+	Estimator *core.EstimatorState
+}
+
+// VFLCheckpoint is the VFL counterpart of HFLCheckpoint.
+type VFLCheckpoint struct {
+	Trainer   vfl.Checkpoint
+	Estimator *core.EstimatorState
+}
+
+// estStateJSON mirrors core.EstimatorState with sentinel-aware floats.
+type estStateJSON struct {
+	LastEpoch int
+	PerEpoch  []jsonf.Vec
+	Totals    jsonf.Vec
+	DeltaGSum []jsonf.Vec `json:",omitempty"`
+}
+
+func toEstJSON(s *core.EstimatorState) *estStateJSON {
+	if s == nil {
+		return nil
+	}
+	j := &estStateJSON{LastEpoch: s.LastEpoch, Totals: jsonf.Vec(s.Totals)}
+	j.PerEpoch = make([]jsonf.Vec, len(s.PerEpoch))
+	for i, row := range s.PerEpoch {
+		j.PerEpoch[i] = jsonf.Vec(row)
+	}
+	if s.DeltaGSum != nil {
+		j.DeltaGSum = make([]jsonf.Vec, len(s.DeltaGSum))
+		for i, row := range s.DeltaGSum {
+			j.DeltaGSum[i] = jsonf.Vec(row)
+		}
+	}
+	return j
+}
+
+func (j *estStateJSON) state() *core.EstimatorState {
+	if j == nil {
+		return nil
+	}
+	s := &core.EstimatorState{LastEpoch: j.LastEpoch, Totals: j.Totals}
+	s.PerEpoch = make([][]float64, len(j.PerEpoch))
+	for i, row := range j.PerEpoch {
+		s.PerEpoch[i] = row
+	}
+	if j.DeltaGSum != nil {
+		s.DeltaGSum = make([][]float64, len(j.DeltaGSum))
+		for i, row := range j.DeltaGSum {
+			s.DeltaGSum[i] = row
+		}
+	}
+	return s
+}
+
+// ckptMeta is the second line of a checkpoint file: the trainer snapshot
+// minus the retained log, whose epochs follow as separate lines.
+type ckptMeta struct {
+	Epoch        int
+	Theta        jsonf.Vec
+	ValLossCurve jsonf.Vec
+	Estimator    *estStateJSON `json:",omitempty"`
+	LogLen       int
+}
+
+func checkCkptMeta(m *ckptMeta) error {
+	if m.Epoch < 1 {
+		return fmt.Errorf("logio: checkpoint epoch %d < 1", m.Epoch)
+	}
+	if len(m.Theta) == 0 {
+		return errors.New("logio: checkpoint has no model parameters")
+	}
+	if len(m.ValLossCurve) != m.Epoch+1 {
+		return fmt.Errorf("logio: checkpoint loss curve has %d entries for epoch %d", len(m.ValLossCurve), m.Epoch)
+	}
+	if m.LogLen != 0 && m.LogLen != m.Epoch {
+		return fmt.Errorf("logio: checkpoint retains %d log epochs for epoch %d (want 0 or %d)", m.LogLen, m.Epoch, m.Epoch)
+	}
+	return nil
+}
+
+// WriteHFLCheckpoint serializes an HFL checkpoint.
+func WriteHFLCheckpoint(w io.Writer, ck *HFLCheckpoint) error {
+	meta := &ckptMeta{Epoch: ck.Trainer.Epoch, Theta: jsonf.Vec(ck.Trainer.Theta),
+		ValLossCurve: jsonf.Vec(ck.Trainer.ValLossCurve),
+		Estimator:    toEstJSON(ck.Estimator), LogLen: len(ck.Trainer.Log)}
+	if err := checkCkptMeta(meta); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	h := header{Format: formatHFLCkpt, Version: ckptVersion,
+		Params: len(ck.Trainer.Theta), Parties: hflParties(ck.Trainer.Log)}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("logio: writing checkpoint header: %w", err)
+	}
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("logio: writing checkpoint meta: %w", err)
+	}
+	for i, ep := range ck.Trainer.Log {
+		if err := checkHFLShape(ep, h); err != nil {
+			return fmt.Errorf("logio: checkpoint epoch %d shape drifts from header: %w", i, err)
+		}
+		if err := enc.Encode(toHFLJSON(ep)); err != nil {
+			return fmt.Errorf("logio: writing checkpoint epoch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadHFLCheckpoint deserializes an HFL checkpoint, validating shapes.
+func ReadHFLCheckpoint(r io.Reader) (*HFLCheckpoint, error) {
+	h, dec, err := readHeader(r, formatHFLCkpt)
+	if err != nil {
+		return nil, err
+	}
+	meta := &ckptMeta{}
+	if err := dec.Decode(meta); err != nil {
+		return nil, fmt.Errorf("logio: reading checkpoint meta: %w", err)
+	}
+	if err := checkCkptMeta(meta); err != nil {
+		return nil, err
+	}
+	if len(meta.Theta) != h.Params {
+		return nil, fmt.Errorf("logio: checkpoint theta has %d params, header says %d", len(meta.Theta), h.Params)
+	}
+	ck := &HFLCheckpoint{Trainer: hfl.Checkpoint{Epoch: meta.Epoch,
+		Theta: meta.Theta, ValLossCurve: meta.ValLossCurve}, Estimator: meta.Estimator.state()}
+	for k := 0; k < meta.LogLen; k++ {
+		rec := &hflEpochJSON{}
+		if err := dec.Decode(rec); err != nil {
+			return nil, fmt.Errorf("logio: reading checkpoint epoch %d: %w", k, err)
+		}
+		ep := rec.epoch()
+		if len(ep.ValGrad) != h.Params {
+			return nil, fmt.Errorf("logio: checkpoint epoch %d shape mismatch", k)
+		}
+		if err := checkHFLShape(ep, h); err != nil {
+			return nil, fmt.Errorf("logio: checkpoint epoch %d shape mismatch: %w", k, err)
+		}
+		if ep.T != k+1 {
+			return nil, fmt.Errorf("logio: checkpoint epoch %d out of order (T=%d)", k, ep.T)
+		}
+		ck.Trainer.Log = append(ck.Trainer.Log, ep)
+	}
+	return ck, nil
+}
+
+// WriteVFLCheckpoint serializes a VFL checkpoint.
+func WriteVFLCheckpoint(w io.Writer, ck *VFLCheckpoint) error {
+	meta := &ckptMeta{Epoch: ck.Trainer.Epoch, Theta: jsonf.Vec(ck.Trainer.Theta),
+		ValLossCurve: jsonf.Vec(ck.Trainer.ValLossCurve),
+		Estimator:    toEstJSON(ck.Estimator), LogLen: len(ck.Trainer.Log)}
+	if err := checkCkptMeta(meta); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	h := header{Format: formatVFLCkpt, Version: ckptVersion, Params: len(ck.Trainer.Theta)}
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("logio: writing checkpoint header: %w", err)
+	}
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("logio: writing checkpoint meta: %w", err)
+	}
+	for i, ep := range ck.Trainer.Log {
+		if len(ep.Theta) != h.Params {
+			return fmt.Errorf("logio: checkpoint epoch %d shape drifts from header", i)
+		}
+		if err := enc.Encode(toVFLJSON(ep)); err != nil {
+			return fmt.Errorf("logio: writing checkpoint epoch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadVFLCheckpoint deserializes a VFL checkpoint, validating shapes.
+func ReadVFLCheckpoint(r io.Reader) (*VFLCheckpoint, error) {
+	h, dec, err := readHeader(r, formatVFLCkpt)
+	if err != nil {
+		return nil, err
+	}
+	meta := &ckptMeta{}
+	if err := dec.Decode(meta); err != nil {
+		return nil, fmt.Errorf("logio: reading checkpoint meta: %w", err)
+	}
+	if err := checkCkptMeta(meta); err != nil {
+		return nil, err
+	}
+	if len(meta.Theta) != h.Params {
+		return nil, fmt.Errorf("logio: checkpoint theta has %d params, header says %d", len(meta.Theta), h.Params)
+	}
+	ck := &VFLCheckpoint{Trainer: vfl.Checkpoint{Epoch: meta.Epoch,
+		Theta: meta.Theta, ValLossCurve: meta.ValLossCurve}, Estimator: meta.Estimator.state()}
+	for k := 0; k < meta.LogLen; k++ {
+		rec := &vflEpochJSON{}
+		if err := dec.Decode(rec); err != nil {
+			return nil, fmt.Errorf("logio: reading checkpoint epoch %d: %w", k, err)
+		}
+		ep := rec.epoch()
+		if len(ep.Theta) != h.Params || len(ep.Grad) != h.Params || len(ep.ValGrad) != h.Params {
+			return nil, fmt.Errorf("logio: checkpoint epoch %d shape mismatch", k)
+		}
+		if ep.T != k+1 {
+			return nil, fmt.Errorf("logio: checkpoint epoch %d out of order (T=%d)", k, ep.T)
+		}
+		ck.Trainer.Log = append(ck.Trainer.Log, ep)
+	}
+	return ck, nil
+}

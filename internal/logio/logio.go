@@ -46,15 +46,20 @@ const (
 )
 
 // hflEpochJSON mirrors hfl.Epoch field-for-field (same JSON keys as the
-// version-1 direct encoding) with sentinel-aware floats.
+// version-1 direct encoding) with sentinel-aware floats. Reported is a
+// pointer so the nil (full-participation) case is omitted entirely —
+// fault-free logs stay byte-identical to pre-fault-tolerance writers —
+// while an all-dropped epoch's empty-but-present list survives the round
+// trip.
 type hflEpochJSON struct {
-	T       int
-	Theta   jsonf.Vec
-	Deltas  []jsonf.Vec
-	LR      jsonf.F64
-	ValGrad jsonf.Vec
-	ValLoss jsonf.F64
-	Weights jsonf.Vec
+	T        int
+	Theta    jsonf.Vec
+	Deltas   []jsonf.Vec
+	LR       jsonf.F64
+	ValGrad  jsonf.Vec
+	ValLoss  jsonf.F64
+	Weights  jsonf.Vec
+	Reported *[]int `json:"Reported,omitempty"`
 }
 
 func toHFLJSON(ep *hfl.Epoch) *hflEpochJSON {
@@ -62,10 +67,14 @@ func toHFLJSON(ep *hfl.Epoch) *hflEpochJSON {
 	for i, d := range ep.Deltas {
 		deltas[i] = jsonf.Vec(d)
 	}
-	return &hflEpochJSON{
+	j := &hflEpochJSON{
 		T: ep.T, Theta: jsonf.Vec(ep.Theta), Deltas: deltas, LR: jsonf.F64(ep.LR),
 		ValGrad: jsonf.Vec(ep.ValGrad), ValLoss: jsonf.F64(ep.ValLoss), Weights: jsonf.Vec(ep.Weights),
 	}
+	if ep.Reported != nil {
+		j.Reported = &ep.Reported
+	}
+	return j
 }
 
 func (j *hflEpochJSON) epoch() *hfl.Epoch {
@@ -73,35 +82,99 @@ func (j *hflEpochJSON) epoch() *hfl.Epoch {
 	for i, d := range j.Deltas {
 		deltas[i] = d
 	}
-	return &hfl.Epoch{
+	ep := &hfl.Epoch{
 		T: j.T, Theta: j.Theta, Deltas: deltas, LR: float64(j.LR),
 		ValGrad: j.ValGrad, ValLoss: float64(j.ValLoss), Weights: j.Weights,
 	}
+	if j.Reported != nil {
+		ep.Reported = *j.Reported
+		if ep.Reported == nil {
+			ep.Reported = []int{}
+		}
+	}
+	return ep
 }
 
 // vflEpochJSON mirrors vfl.Epoch likewise.
 type vflEpochJSON struct {
-	T       int
-	Theta   jsonf.Vec
-	Grad    jsonf.Vec
-	LR      jsonf.F64
-	ValGrad jsonf.Vec
-	ValLoss jsonf.F64
-	Weights jsonf.Vec
+	T        int
+	Theta    jsonf.Vec
+	Grad     jsonf.Vec
+	LR       jsonf.F64
+	ValGrad  jsonf.Vec
+	ValLoss  jsonf.F64
+	Weights  jsonf.Vec
+	Reported *[]int `json:"Reported,omitempty"`
 }
 
 func toVFLJSON(ep *vfl.Epoch) *vflEpochJSON {
-	return &vflEpochJSON{
+	j := &vflEpochJSON{
 		T: ep.T, Theta: jsonf.Vec(ep.Theta), Grad: jsonf.Vec(ep.Grad), LR: jsonf.F64(ep.LR),
 		ValGrad: jsonf.Vec(ep.ValGrad), ValLoss: jsonf.F64(ep.ValLoss), Weights: jsonf.Vec(ep.Weights),
 	}
+	if ep.Reported != nil {
+		j.Reported = &ep.Reported
+	}
+	return j
 }
 
 func (j *vflEpochJSON) epoch() *vfl.Epoch {
-	return &vfl.Epoch{
+	ep := &vfl.Epoch{
 		T: j.T, Theta: j.Theta, Grad: j.Grad, LR: float64(j.LR),
 		ValGrad: j.ValGrad, ValLoss: float64(j.ValLoss), Weights: j.Weights,
 	}
+	if j.Reported != nil {
+		ep.Reported = *j.Reported
+		if ep.Reported == nil {
+			ep.Reported = []int{}
+		}
+	}
+	return ep
+}
+
+// hflParties derives the header party count: the delta count of any
+// full-participation epoch, or — in a log where every epoch is degraded —
+// the highest reported participant index plus one.
+func hflParties(log []*hfl.Epoch) int {
+	parties := 0
+	for _, ep := range log {
+		if ep.Reported == nil {
+			if len(ep.Deltas) > parties {
+				parties = len(ep.Deltas)
+			}
+			continue
+		}
+		for _, i := range ep.Reported {
+			if i+1 > parties {
+				parties = i + 1
+			}
+		}
+	}
+	return parties
+}
+
+// checkHFLShape validates one epoch against the header shape: a
+// full-participation epoch carries one delta per party; a degraded epoch
+// carries one delta per survivor, with survivor indices inside [0, parties).
+func checkHFLShape(ep *hfl.Epoch, h header) error {
+	if len(ep.Theta) != h.Params {
+		return errors.New("theta length drifts from header")
+	}
+	if ep.Reported == nil {
+		if len(ep.Deltas) != h.Parties {
+			return errors.New("delta count drifts from header")
+		}
+		return nil
+	}
+	if len(ep.Deltas) != len(ep.Reported) {
+		return fmt.Errorf("degraded epoch carries %d deltas for %d survivors", len(ep.Deltas), len(ep.Reported))
+	}
+	for _, i := range ep.Reported {
+		if i < 0 || i >= h.Parties {
+			return fmt.Errorf("reported party %d out of range [0,%d)", i, h.Parties)
+		}
+	}
+	return nil
 }
 
 // WriteHFL serializes an HFL training log.
@@ -111,13 +184,13 @@ func WriteHFL(w io.Writer, log []*hfl.Epoch) error {
 	}
 	enc := json.NewEncoder(w)
 	h := header{Format: formatHFL, Version: version,
-		Params: len(log[0].Theta), Parties: len(log[0].Deltas)}
+		Params: len(log[0].Theta), Parties: hflParties(log)}
 	if err := enc.Encode(h); err != nil {
 		return fmt.Errorf("logio: writing header: %w", err)
 	}
 	for i, ep := range log {
-		if len(ep.Theta) != h.Params || len(ep.Deltas) != h.Parties {
-			return fmt.Errorf("logio: epoch %d shape drifts from header", i)
+		if err := checkHFLShape(ep, h); err != nil {
+			return fmt.Errorf("logio: epoch %d shape drifts from header: %w", i, err)
 		}
 		if err := enc.Encode(toHFLJSON(ep)); err != nil {
 			return fmt.Errorf("logio: writing epoch %d: %w", i, err)
@@ -143,8 +216,11 @@ func ReadHFL(r io.Reader) ([]*hfl.Epoch, error) {
 			return nil, fmt.Errorf("logio: reading epoch %d: %w", len(log), err)
 		}
 		ep := rec.epoch()
-		if len(ep.Theta) != h.Params || len(ep.ValGrad) != h.Params || len(ep.Deltas) != h.Parties {
+		if len(ep.ValGrad) != h.Params {
 			return nil, fmt.Errorf("logio: epoch %d shape mismatch", len(log))
+		}
+		if err := checkHFLShape(ep, h); err != nil {
+			return nil, fmt.Errorf("logio: epoch %d shape mismatch: %w", len(log), err)
 		}
 		if ep.T != len(log)+1 {
 			return nil, fmt.Errorf("logio: epoch %d out of order (T=%d)", len(log), ep.T)

@@ -51,6 +51,21 @@ const (
 	// KindPoolTask is one bounded-pool batch: N tasks executed on Workers
 	// goroutines.
 	KindPoolTask
+	// KindDropout marks participant Part dropping out of round T (an
+	// injected or observed partial-participation epoch).
+	KindDropout
+	// KindStraggler marks participant Part straggling in round T; Dur is
+	// the injected delay.
+	KindStraggler
+	// KindRetry marks a failed secure-protocol round in epoch T being
+	// retried; N is the attempt number that failed (1-based).
+	KindRetry
+	// KindCrash marks an injected crash at the start of round T.
+	KindCrash
+	// KindCheckpoint marks trainer state persisted after round T.
+	KindCheckpoint
+	// KindResume marks training resuming from a checkpoint at round T.
+	KindResume
 
 	numKinds
 )
@@ -66,6 +81,12 @@ var kindNames = [numKinds]string{
 	KindPaillierAdd:      "paillier_add",
 	KindPaillierMulPlain: "paillier_mul_plain",
 	KindPoolTask:         "pool_task",
+	KindDropout:          "dropout",
+	KindStraggler:        "straggler",
+	KindRetry:            "retry",
+	KindCrash:            "crash",
+	KindCheckpoint:       "checkpoint",
+	KindResume:           "resume",
 }
 
 func (k Kind) String() string {

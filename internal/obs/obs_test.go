@@ -239,6 +239,8 @@ func TestKindString(t *testing.T) {
 		KindPaillierEnc:    "paillier_enc", KindPaillierDec: "paillier_dec",
 		KindPaillierAdd: "paillier_add", KindPaillierMulPlain: "paillier_mul_plain",
 		KindPoolTask: "pool_task",
+		KindDropout:  "dropout", KindStraggler: "straggler", KindRetry: "retry",
+		KindCrash: "crash", KindCheckpoint: "checkpoint", KindResume: "resume",
 	}
 	got := map[Kind]string{}
 	for k := Kind(0); k < numKinds; k++ {

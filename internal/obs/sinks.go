@@ -32,6 +32,11 @@ type Snapshot struct {
 	// executed, and PoolWorkersMax the widest effective worker count seen.
 	PoolBatches, PoolTasks int64
 	PoolWorkersMax         int64
+	// Dropouts, Stragglers, Retries, Crashes, Checkpoints and Resumes
+	// count fault-tolerance events: degraded-epoch participations, secure
+	// round retries, injected crashes, and checkpoint/resume boundaries.
+	Dropouts, Stragglers, Retries int64
+	Crashes, Checkpoints, Resumes int64
 	// EpochTime, LocalUpdateTime, AggregateTime and EstimatorTime are the
 	// summed durations of the corresponding timed events. LocalUpdateTime
 	// can exceed EpochTime when local updates run in parallel — it is CPU
@@ -58,6 +63,10 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" pool[batches=%d tasks=%d max_workers=%d]",
 			s.PoolBatches, s.PoolTasks, s.PoolWorkersMax)
 	}
+	if s.Dropouts+s.Stragglers+s.Retries+s.Crashes+s.Checkpoints+s.Resumes > 0 {
+		out += fmt.Sprintf(" faults[drop=%d straggle=%d retry=%d crash=%d ckpt=%d resume=%d]",
+			s.Dropouts, s.Stragglers, s.Retries, s.Crashes, s.Checkpoints, s.Resumes)
+	}
 	return out
 }
 
@@ -70,6 +79,8 @@ type Collector struct {
 	paillierEnc, paillierDec, paillierAdd, paillierMulPlain atomic.Int64
 	poolBatches, poolTasks, poolWorkersMax                  atomic.Int64
 	epochNanos, localUpdateNanos, aggregateNanos, estNanos  atomic.Int64
+	dropouts, stragglers, retries                           atomic.Int64
+	crashes, checkpoints, resumes                           atomic.Int64
 }
 
 // Emit implements Sink.
@@ -106,6 +117,18 @@ func (c *Collector) Emit(e Event) {
 				break
 			}
 		}
+	case KindDropout:
+		c.dropouts.Add(1)
+	case KindStraggler:
+		c.stragglers.Add(1)
+	case KindRetry:
+		c.retries.Add(1)
+	case KindCrash:
+		c.crashes.Add(1)
+	case KindCheckpoint:
+		c.checkpoints.Add(1)
+	case KindResume:
+		c.resumes.Add(1)
 	}
 }
 
@@ -125,6 +148,12 @@ func (c *Collector) Snapshot() Snapshot {
 		PoolBatches:      c.poolBatches.Load(),
 		PoolTasks:        c.poolTasks.Load(),
 		PoolWorkersMax:   c.poolWorkersMax.Load(),
+		Dropouts:         c.dropouts.Load(),
+		Stragglers:       c.stragglers.Load(),
+		Retries:          c.retries.Load(),
+		Crashes:          c.crashes.Load(),
+		Checkpoints:      c.checkpoints.Load(),
+		Resumes:          c.resumes.Load(),
 		EpochTime:        time.Duration(c.epochNanos.Load()),
 		LocalUpdateTime:  time.Duration(c.localUpdateNanos.Load()),
 		AggregateTime:    time.Duration(c.aggregateNanos.Load()),

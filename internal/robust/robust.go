@@ -42,14 +42,39 @@ type TrimmedMean struct {
 
 var _ hfl.Aggregator = TrimmedMean{}
 
-// Aggregate implements hfl.Aggregator.
+// NewTrimmedMean validates the trim count at construction — misconfiguration
+// surfaces before training starts instead of as a panic epochs in. The
+// participant count is a per-epoch property (dropouts shrink it), so it is
+// checked at aggregation time: full-participation epochs still reject an
+// oversized trim, degraded epochs degrade gracefully (see Aggregate).
+func NewTrimmedMean(trim int) (TrimmedMean, error) {
+	if trim < 0 {
+		return TrimmedMean{}, fmt.Errorf("robust: negative trim %d", trim)
+	}
+	return TrimmedMean{Trim: trim}, nil
+}
+
+// Aggregate implements hfl.Aggregator. On a degraded
+// (partial-participation) epoch whose survivor count is too small for the
+// configured trim, the per-side trim shrinks to the largest feasible value
+// — a transient dropout must not crash a run whose configuration is valid
+// for the full federation.
 func (t TrimmedMean) Aggregate(ep *hfl.Epoch) []float64 {
-	if t.Trim < 0 || 2*t.Trim >= len(ep.Deltas) {
-		panic(fmt.Sprintf("robust: trim %d invalid for %d participants", t.Trim, len(ep.Deltas)))
+	trim := t.Trim
+	if trim < 0 || 2*trim >= len(ep.Deltas) {
+		if ep.Reported == nil {
+			panic(fmt.Sprintf("robust: trim %d invalid for %d participants", trim, len(ep.Deltas)))
+		}
+		if trim < 0 {
+			trim = 0
+		}
+		if m := (len(ep.Deltas) - 1) / 2; trim > m {
+			trim = m
+		}
 	}
 	return aggregate(ep, func(vals []float64) float64 {
 		sort.Float64s(vals)
-		kept := vals[t.Trim : len(vals)-t.Trim]
+		kept := vals[trim : len(vals)-trim]
 		var s float64
 		for _, v := range kept {
 			s += v

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
+	"digfl/internal/faults"
 	"digfl/internal/obs"
 	"digfl/internal/paillier"
 	"digfl/internal/parallel"
@@ -51,6 +53,21 @@ type SecureConfig struct {
 	// value of both still selects GOMAXPROCS). Ignored whenever
 	// Runtime.Workers is non-zero.
 	Workers int
+	// Faults optionally injects deterministic transient secure-round
+	// failures (and straggler delays for individual parties). An injected
+	// failure models message loss before the round consumes any entropy,
+	// so a retried round is bit-identical to one that never failed.
+	Faults *faults.Injector
+	// MaxRetries bounds how many times a failed encrypted gradient round
+	// is retried (so a round runs at most 1+MaxRetries attempts); when the
+	// budget is exhausted the run fails with faults.ErrRetriesExhausted.
+	MaxRetries int
+	// RetryBase is the base of the capped exponential backoff between
+	// attempts (delay = RetryBase·2^attempt, clamped to RetryCap); 0
+	// disables sleeping, which is what deterministic tests use.
+	RetryBase time.Duration
+	// RetryCap clamps the backoff delay; 0 means uncapped.
+	RetryCap time.Duration
 }
 
 // workers resolves the effective Paillier pool size.
@@ -212,18 +229,50 @@ func RunSecureN(prob *Problem, cfg SecureConfig) (*SecureNResult, error) {
 	workers := cfg.workers()
 	sink := cfg.Runtime.Sink
 
+	inj := cfg.Faults
+	// secureRound wraps one encrypted gradient round (round 0: training,
+	// round 1: validation) with the transient-failure retry loop: an
+	// injected failure is retried with capped exponential backoff up to
+	// MaxRetries times. Failures are injected before the round consumes
+	// any mask entropy, so the eventual successful attempt produces
+	// ciphertexts and plaintexts bit-identical to a run that never failed.
+	secureRound := func(t, round int, y []float64, useVal bool) ([][]float64, int64, error) {
+		for attempt := 0; ; attempt++ {
+			if inj.SecureRoundFails(t, round, attempt) {
+				if attempt >= cfg.MaxRetries {
+					return nil, 0, fmt.Errorf("vfl: epoch %d secure round %d failed %d times: %w",
+						t, round, attempt+1, faults.ErrRetriesExhausted)
+				}
+				obs.Emit(sink, obs.Event{Kind: obs.KindRetry, T: t, N: int64(attempt + 1)})
+				if d := faults.Backoff(attempt, cfg.RetryBase, cfg.RetryCap); d > 0 {
+					time.Sleep(d)
+				}
+				continue
+			}
+			return secureGradientN(sk, parties, y, useVal, spec, maskRNG, workers, sink)
+		}
+	}
+
 	res := &SecureNResult{Shapley: make([]float64, len(parties))}
 	for t := 1; t <= cfg.Epochs; t++ {
 		obs.Emit(sink, obs.Event{Kind: obs.KindEpochStart, T: t})
 		epochStart := obs.Start(sink)
+		// Injected straggler delays: a slow party holds up the synchronous
+		// ring without changing any result.
+		for i := range parties {
+			if d, ok := inj.Straggles(t, i); ok {
+				obs.Emit(sink, obs.Event{Kind: obs.KindStraggler, T: t, Part: i, Dur: d})
+				time.Sleep(d)
+			}
+		}
 		// Jointly compute the (unmasked-to-owner) training gradient blocks.
-		grads, comm, err := secureGradientN(sk, parties, prob.Train.Y, false, spec, maskRNG, workers, sink)
+		grads, comm, err := secureRound(t, 0, prob.Train.Y, false)
 		if err != nil {
 			return nil, fmt.Errorf("vfl: epoch %d training gradient: %w", t, err)
 		}
 		res.CommBytes += comm * ctBytes
 		// And the validation gradient blocks (Algorithm 3 line 4).
-		vals, comm2, err := secureGradientN(sk, parties, prob.Val.Y, true, spec, maskRNG, workers, sink)
+		vals, comm2, err := secureRound(t, 1, prob.Val.Y, true)
 		if err != nil {
 			return nil, fmt.Errorf("vfl: epoch %d validation gradient: %w", t, err)
 		}

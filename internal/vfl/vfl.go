@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"digfl/internal/dataset"
+	"digfl/internal/faults"
 	"digfl/internal/nn"
 	"digfl/internal/obs"
 	"digfl/internal/tensor"
@@ -100,6 +101,50 @@ type Config struct {
 	// for API symmetry but has no hot loop to feed here; the encrypted
 	// protocol (SecureConfig) is where the vertical worker budget matters.
 	Runtime obs.Runtime
+	// Faults optionally injects deterministic faults (per-epoch party
+	// dropout, crash-at-epoch). A party dropping out of an epoch
+	// contributes nothing that round: its block of the global update is
+	// frozen at zero, exactly the paper's removal semantics applied for a
+	// single epoch, and the epoch record's Reported field names the
+	// parties that did report. Nil injects nothing and stays bit-identical.
+	Faults *faults.Injector
+	// CheckpointEvery k > 0 invokes CheckpointFunc after every k-th
+	// completed epoch.
+	CheckpointEvery int
+	// CheckpointFunc persists a checkpoint; a returned error aborts the
+	// run. The snapshot's slices are copies except Log, which aliases the
+	// retained epoch records.
+	CheckpointFunc func(ck *Checkpoint) error
+	// Resume, when non-nil, continues training after the checkpointed
+	// epoch; with a deterministic fault schedule the resumed run is
+	// bit-identical to an uninterrupted one.
+	Resume *Checkpoint
+}
+
+// Checkpoint is the vertical trainer state persisted every CheckpointEvery
+// epochs, mirroring the horizontal hfl.Checkpoint.
+type Checkpoint struct {
+	// Epoch is the last completed epoch; training resumes at Epoch+1.
+	Epoch int
+	// Theta is the global model θ_Epoch.
+	Theta []float64
+	// ValLossCurve is loss^v(θ_t) for t = 0..Epoch.
+	ValLossCurve []float64
+	// Log is the retained training log so far (nil unless KeepLog).
+	Log []*Epoch
+}
+
+func (ck *Checkpoint) validate(p, epochs int) error {
+	if ck.Epoch < 1 || ck.Epoch > epochs {
+		return fmt.Errorf("vfl: resume epoch %d outside [1,%d]", ck.Epoch, epochs)
+	}
+	if len(ck.Theta) != p {
+		return fmt.Errorf("vfl: resume theta has %d params, model has %d", len(ck.Theta), p)
+	}
+	if len(ck.ValLossCurve) != ck.Epoch+1 {
+		return fmt.Errorf("vfl: resume loss curve has %d entries for epoch %d", len(ck.ValLossCurve), ck.Epoch)
+	}
+	return nil
 }
 
 func (c Config) lr(t int) float64 {
@@ -138,6 +183,13 @@ type Epoch struct {
 	// Weights are the per-participant block weights applied to the update;
 	// nil means unweighted.
 	Weights []float64
+	// Reported, when non-nil, lists the global indices of the parties
+	// whose blocks were applied this round — a degraded
+	// (partial-participation) epoch; dropped parties' blocks of Grad are
+	// zero. Nil means every party of the run's subset reported, keeping
+	// fault-free epoch records bit-identical to builds without fault
+	// tolerance.
+	Reported []int
 }
 
 // Reweighter chooses per-epoch block weights (Eq. 31).
@@ -168,27 +220,56 @@ type Result struct {
 // Utility returns V = loss^v(θ_0) − loss^v(θ_τ) (Eq. 2).
 func (r *Result) Utility() float64 { return r.InitLoss - r.FinalLoss }
 
-// Run trains with all participants.
+// Run trains with all participants, panicking on error — the historical
+// convenience API. Fault-tolerant callers use RunE.
 func (tr *Trainer) Run() *Result {
+	res, err := tr.RunE()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunE trains with all participants, returning mid-training failures
+// (config errors, plugin shape mismatches, injected crashes, checkpoint
+// write failures) as errors.
+func (tr *Trainer) RunE() (*Result, error) {
 	all := make([]int, tr.Problem.Parties())
 	for i := range all {
 		all[i] = i
 	}
-	return tr.RunSubset(all)
+	return tr.RunSubsetE(all)
 }
 
-// RunSubset trains with only the blocks of the listed participants; the
-// remaining blocks stay frozen at zero — the paper's removal semantics
-// (a removed participant's local output is identically 0, Sec. II-C2).
+// RunSubset is RunSubsetE panicking on error, kept for compatibility.
 func (tr *Trainer) RunSubset(subset []int) *Result {
-	if err := tr.Problem.validate(); err != nil {
+	res, err := tr.RunSubsetE(subset)
+	if err != nil {
 		panic(err)
 	}
+	return res
+}
+
+// RunSubsetE trains with only the blocks of the listed participants; the
+// remaining blocks stay frozen at zero — the paper's removal semantics
+// (a removed participant's local output is identically 0, Sec. II-C2).
+//
+// With Cfg.Faults attached, a party may drop out of individual epochs: its
+// block of that epoch's update is frozen at zero (the same removal
+// semantics applied per-epoch, justified by Lemma 3 additivity) and the
+// epoch record's Reported field names the parties that reported. An
+// injected crash aborts with a *faults.CrashError; training then resumes
+// from the latest checkpoint via Cfg.Resume.
+func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
+	if err := tr.Problem.validate(); err != nil {
+		return nil, err
+	}
 	if err := tr.Cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	prob := tr.Problem
 	sink := tr.Cfg.Runtime.Sink
+	inj := tr.Cfg.Faults
 	model := prob.newModel()
 	active := make([]bool, prob.Parties())
 	for _, i := range subset {
@@ -196,18 +277,49 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 	}
 
 	res := &Result{Model: model}
-	res.InitLoss = model.Loss(prob.Val.X, prob.Val.Y)
-	res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
-	for t := 1; t <= tr.Cfg.Epochs; t++ {
+	startT := 1
+	if ck := tr.Cfg.Resume; ck != nil {
+		if err := ck.validate(model.NumParams(), tr.Cfg.Epochs); err != nil {
+			return nil, err
+		}
+		model.SetParams(tensor.Clone(ck.Theta))
+		res.ValLossCurve = append([]float64(nil), ck.ValLossCurve...)
+		res.InitLoss = res.ValLossCurve[0]
+		if tr.Cfg.KeepLog {
+			res.Log = append([]*Epoch(nil), ck.Log...)
+		}
+		startT = ck.Epoch + 1
+		obs.Emit(sink, obs.Event{Kind: obs.KindResume, T: startT})
+	} else {
+		res.InitLoss = model.Loss(prob.Val.X, prob.Val.Y)
+		res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
+	}
+	for t := startT; t <= tr.Cfg.Epochs; t++ {
+		if inj.CrashesAt(t) {
+			obs.Emit(sink, obs.Event{Kind: obs.KindCrash, T: t})
+			return nil, &faults.CrashError{Epoch: t}
+		}
 		obs.Emit(sink, obs.Event{Kind: obs.KindEpochStart, T: t})
 		epochStart := obs.Start(sink)
 		lr := tr.Cfg.lr(t)
 		theta := tensor.Clone(model.Params())
 		grad := model.Grad(prob.Train.X, prob.Train.Y)
 		tensor.Scale(lr, grad)
-		// Freeze removed blocks: diag(v̄) masking of the update.
+		reported, droppedOut := inj.Survivors(t, subset)
+		for _, i := range droppedOut {
+			obs.Emit(sink, obs.Event{Kind: obs.KindDropout, T: t, Part: i})
+		}
+		epochActive := active
+		if len(droppedOut) > 0 {
+			epochActive = make([]bool, prob.Parties())
+			for _, i := range reported {
+				epochActive[i] = true
+			}
+		}
+		// Freeze removed (and this epoch's dropped) blocks: diag(v̄) masking
+		// of the update.
 		for i, b := range prob.Blocks {
-			if !active[i] {
+			if !epochActive[i] {
 				for j := b.Lo; j < b.Hi; j++ {
 					grad[j] = 0
 				}
@@ -221,6 +333,9 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 			ValGrad: model.Grad(prob.Val.X, prob.Val.Y),
 			ValLoss: res.ValLossCurve[len(res.ValLossCurve)-1],
 		}
+		if len(droppedOut) > 0 {
+			ep.Reported = reported
+		}
 		if tr.Reweighter != nil {
 			ep.Weights = tr.Reweighter.Weights(ep)
 		}
@@ -228,8 +343,8 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 		update := grad
 		if ep.Weights != nil {
 			if len(ep.Weights) != prob.Parties() {
-				panic(fmt.Sprintf("vfl: reweighter returned %d weights for %d parties",
-					len(ep.Weights), prob.Parties()))
+				return nil, fmt.Errorf("vfl: epoch %d: reweighter returned %d weights for %d parties",
+					t, len(ep.Weights), prob.Parties())
 			}
 			update = tensor.Clone(grad)
 			for i, b := range prob.Blocks {
@@ -251,9 +366,21 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 		res.ValLossCurve = append(res.ValLossCurve, loss)
 		obs.Emit(sink, obs.Event{Kind: obs.KindEpochEnd, T: t,
 			Dur: obs.Since(sink, epochStart), Value: loss})
+		if tr.Cfg.CheckpointEvery > 0 && tr.Cfg.CheckpointFunc != nil && t%tr.Cfg.CheckpointEvery == 0 {
+			obs.Emit(sink, obs.Event{Kind: obs.KindCheckpoint, T: t})
+			ck := &Checkpoint{
+				Epoch:        t,
+				Theta:        tensor.Clone(model.Params()),
+				ValLossCurve: append([]float64(nil), res.ValLossCurve...),
+				Log:          res.Log,
+			}
+			if err := tr.Cfg.CheckpointFunc(ck); err != nil {
+				return nil, fmt.Errorf("vfl: checkpoint at epoch %d: %w", t, err)
+			}
+		}
 	}
 	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
-	return res
+	return res, nil
 }
 
 // Utility is the coalition utility V(S) by full retraining (Eq. 2) — the
@@ -261,6 +388,9 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 func (tr *Trainer) Utility(subset []int) float64 {
 	cfg := tr.Cfg
 	cfg.KeepLog = false
+	// Ground-truth utilities are defined on fault-free retraining.
+	cfg.Faults = nil
+	cfg.CheckpointEvery, cfg.CheckpointFunc, cfg.Resume = 0, nil, nil
 	sub := &Trainer{Problem: tr.Problem, Cfg: cfg}
 	return sub.RunSubset(subset).Utility()
 }
