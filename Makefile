@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify verify-faults
+.PHONY: build test bench verify verify-faults verify-net
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ bench:
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) verify-net
 
 # verify-faults runs the fault-injection suite: the determinism gate
 # (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
@@ -32,3 +33,14 @@ verify:
 verify-faults:
 	$(GO) test -count=1 -run 'Fault|Crash|Dropout|Retr|Survivor|Checkpoint|Resume|Straggl|Backoff' \
 		./internal/faults/ ./internal/hfl/ ./internal/vfl/ ./internal/logio/ ./internal/robust/ ./internal/experiments/
+
+# verify-net runs the networked-runtime determinism gate: the loopback
+# bit-identity test (3 participants over real HTTP vs the in-process
+# trainer, across 3 fixed seeds, model/curve/archive/phi compared bit for
+# bit), the straggler-deadline survivor equivalence, retry transparency
+# under injected request loss, and cancellation promptness — plus go vet on
+# the package. -count=1 defeats the test cache so the wire is actually
+# exercised.
+verify-net:
+	$(GO) vet ./internal/fednet/
+	$(GO) test -count=1 -run 'Loopback|LocalSource|Straggler|Retry|Cancel|Wire|Score' ./internal/fednet/

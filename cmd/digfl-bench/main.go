@@ -7,27 +7,38 @@
 //	digfl-bench -exp fig3 -scale 1  # one experiment at full simulator scale
 //	digfl-bench -exp fig6 -trace t.jsonl  # also record an observability trace
 //	digfl-bench -exp faults -faults dropout=0.4,crash=8  # fault-tolerance check
+//	digfl-bench -exp net -json out.json   # networked-runtime check + timings
 //	digfl-bench -list               # list experiment ids
 //
 // With -trace, every training run and estimator pass streams typed events
 // (epochs, local updates, aggregations, Paillier operations) to the named
 // JSONL file, and a counter snapshot is printed after each experiment.
 //
+// With -json, a machine-readable summary is written after the run: one
+// record per experiment with wall time, epoch count, and the p50/p99
+// per-round latency (epoch durations, plus closed networked rounds when
+// the experiment runs over the wire).
+//
 // Experiment ids map one-to-one to the paper's artifacts; fig2/table2,
 // fig4/table4 and fig5/table5 are aliases for the runners that produce both.
 // The extra "faults" id runs the fault-tolerance lifecycle (injected
 // dropout/straggler/crash with checkpoint+resume, plus secure-round
 // retries) and reports whether resume bit-identity, schedule determinism,
-// and retry transparency held; it is not part of the paper's evaluation,
-// so -exp all does not include it.
+// and retry transparency held; the extra "net" id runs the networked
+// coordinator/participant runtime over a loopback HTTP listener and checks
+// it reproduces the in-process trainer bit for bit. Neither is part of the
+// paper's evaluation, so -exp all includes neither.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
+	"time"
 
 	"digfl/internal/experiments"
 	"digfl/internal/obs"
@@ -124,6 +135,55 @@ func faultsRunner(spec experiments.FaultSpec) runner {
 	}
 }
 
+// netRunner exercises the networked coordinator/participant runtime over a
+// loopback HTTP listener. Like "faults", it is a robustness check outside
+// the paper's artifact set, so -exp all does not include it.
+func netRunner() runner {
+	return runner{
+		ids:  []string{"net"},
+		desc: "networked runtime: loopback HTTP run vs in-process trainer (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.Net(o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+		},
+	}
+}
+
+// benchRecord is one -json entry: machine-readable timing for an experiment.
+type benchRecord struct {
+	Exp    string  `json:"exp"`
+	WallMS float64 `json:"wall_ms"`
+	// Epochs counts the training epochs the experiment ran (across every
+	// run it performed).
+	Epochs int64 `json:"epochs"`
+	// RoundP50MS/RoundP99MS summarize per-round latency: epoch durations
+	// for in-process runs plus closed-round durations for networked ones.
+	RoundP50MS float64 `json:"round_p50_ms"`
+	RoundP99MS float64 `json:"round_p99_ms"`
+	Rounds     int     `json:"rounds"`
+}
+
+// benchSink harvests the per-round latencies a benchRecord summarizes.
+type benchSink struct {
+	mu   sync.Mutex
+	durs []time.Duration
+	eps  int64
+}
+
+func (s *benchSink) Emit(e obs.Event) {
+	switch e.Kind {
+	case obs.KindEpochEnd:
+		s.mu.Lock()
+		s.eps++
+		s.durs = append(s.durs, e.Dur)
+		s.mu.Unlock()
+	case obs.KindNetRoundEnd:
+		s.mu.Lock()
+		s.durs = append(s.durs, e.Dur)
+		s.mu.Unlock()
+	}
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	scale := flag.Float64("scale", 1.0, "workload scale in (0,1]")
@@ -131,6 +191,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table/figure's data as CSV into this directory")
 	trace := flag.String("trace", "", "write an observability trace (JSONL) to this file and print counter snapshots")
 	faultsSpec := flag.String("faults", "", "fault spec for -exp faults, comma-separated key=value (seed, dropout, straggler, delay, crash, secure, every, retries)")
+	jsonPath := flag.String("json", "", "write machine-readable results (wall time, epochs, round latency percentiles) as JSON to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -139,7 +200,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
 		os.Exit(2)
 	}
-	rs := append(runners(), faultsRunner(spec))
+	rs := append(runners(), faultsRunner(spec), netRunner())
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
@@ -175,8 +236,16 @@ func main() {
 		o.Sink = obs.Tee(collector, tw)
 	}
 
+	var records []benchRecord
 	emit := func(r runner) {
-		for _, res := range r.run(o) {
+		oo := o
+		var bs *benchSink
+		if *jsonPath != "" {
+			bs = &benchSink{}
+			oo.Sink = obs.Tee(o.Sink, bs)
+		}
+		start := time.Now()
+		for _, res := range r.run(oo) {
 			res.render(os.Stdout)
 			if *csvDir != "" {
 				if err := writeTables(*csvDir, res.tables); err != nil {
@@ -185,22 +254,47 @@ func main() {
 				}
 			}
 		}
+		if bs != nil {
+			records = append(records, benchRecord{
+				Exp:        r.ids[0],
+				WallMS:     float64(time.Since(start)) / float64(time.Millisecond),
+				Epochs:     bs.eps,
+				RoundP50MS: float64(experiments.Quantile(bs.durs, 0.50)) / float64(time.Millisecond),
+				RoundP99MS: float64(experiments.Quantile(bs.durs, 0.99)) / float64(time.Millisecond),
+				Rounds:     len(bs.durs),
+			})
+		}
 		if collector != nil {
 			fmt.Printf("\n[obs] %s\n", collector.Snapshot())
 		}
 	}
+	flush := func() {
+		if *jsonPath == "" {
+			return
+		}
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "digfl-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *exp == "all" {
 		for _, r := range rs {
-			if contains(r.ids, "faults") {
-				continue // robustness check is opt-in; 'all' stays the paper set
+			if contains(r.ids, "faults") || contains(r.ids, "net") {
+				continue // robustness checks are opt-in; 'all' stays the paper set
 			}
 			emit(r)
 		}
+		flush()
 		return
 	}
 	for _, r := range rs {
 		if contains(r.ids, *exp) {
 			emit(r)
+			flush()
 			return
 		}
 	}

@@ -13,6 +13,7 @@
 //	internal/core        DIG-FL estimators and the reweight mechanism
 //	internal/hfl         horizontal FL substrate (FedSGD / FedAvg-style)
 //	internal/vfl         vertical FL substrate (plaintext + Paillier protocol)
+//	internal/fednet      networked coordinator/participant runtime (HTTP)
 //	internal/nn          models with hand-derived gradients and HVPs
 //	internal/dataset     synthetic data generators, partitioners, corruptions
 //	internal/shapley     exact Shapley, TMC-Shapley, GT-Shapley
@@ -45,15 +46,25 @@
 // interactive HFL estimator, per-block replay for the VFL estimator,
 // per-element Paillier operations for the secure protocol): 1 forces the
 // serial path, > 1 sets the pool size, negative selects GOMAXPROCS, and 0
-// defers to each component's deprecated legacy fields (HFLConfig.Parallel
-// and .Workers, HFLEstimator.Workers, SecureConfig.Workers) so zero-valued
-// configs behave exactly as before this API existed. A non-zero
-// Runtime.Workers always wins over the legacy fields. Pool outputs are
-// bit-identical to the serial path, so parallelism is purely a wall-clock
-// knob; parallel estimator paths require a concurrency-safe HVPProvider
-// (LocalHVP and TrainHVP both are — each in-flight call works on its own
-// pooled model clone). ExactShapley's parallel twin
-// (shapley.ExactParallel) evaluates the 2^n coalitions on the same pool.
+// defers to each component's deprecated legacy fields so zero-valued
+// configs behave exactly as before this API existed. Every component
+// resolves its pool size through the single Runtime.Resolve rule — a
+// non-zero Runtime.Workers always wins over the legacy fields.
+//
+// Deprecated legacy fields, kept only for source compatibility (each is
+// ignored whenever Runtime.Workers is non-zero): HFLConfig.Parallel and
+// HFLConfig.Workers (the historical bool+cap pair; Parallel defaulted to
+// GOMAXPROCS when Workers was unset), HFLEstimator.Workers (already the
+// Resolve convention), and SecureConfig.Workers (0 historically meant
+// GOMAXPROCS, preserved through Resolve's legacy argument). New code sets
+// Runtime.Workers and nothing else.
+//
+// Pool outputs are bit-identical to the serial path, so parallelism is
+// purely a wall-clock knob; parallel estimator paths require a
+// concurrency-safe HVPProvider (LocalHVP and TrainHVP both are — each
+// in-flight call works on its own pooled model clone). ExactShapley's
+// parallel twin (shapley.ExactParallel) evaluates the 2^n coalitions on
+// the same pool.
 //
 // Runtime.Sink attaches an observability sink receiving typed Events
 // (epoch boundaries, local updates, aggregations, estimator rounds,
@@ -88,6 +99,39 @@
 // bit-identical to an uninterrupted run. With no injector configured, or a
 // configured injector that happens to fire nothing, outputs are
 // bit-identical to a build without fault tolerance at all.
+//
+// # Networked runtime
+//
+// The fednet layer runs the same training and estimation over a real HTTP
+// boundary. A NetCoordinator owns the global model and validation set,
+// serves the versioned wire protocol (join / round / update / aggregate /
+// score), and drives ordinary HFL epochs through the trainer's RoundSource
+// seam; a NetParticipant wraps one local dataset shard and polls for
+// rounds. RunLoopback wires N participants to a coordinator over a
+// loopback listener in one call:
+//
+//	coord := &digfl.NetCoordinator{N: 3, Model: model, Val: val,
+//		Cfg: digfl.HFLConfig{Epochs: 30, LR: 0.1, KeepLog: true},
+//		Estimator: digfl.NewHFLEstimator(3, model.NumParams(), digfl.ResourceSaving, nil)}
+//	res, perrs, err := digfl.RunLoopback(ctx, coord, func(i int) *digfl.NetParticipant {
+//		return &digfl.NetParticipant{Index: i, Model: model, Data: parts[i], Retries: 3}
+//	})
+//
+// The determinism contract: a fault-free networked run reproduces the
+// in-process trainer's model, loss curve, and contributions φ bit for bit
+// (floats cross the wire as exact-round-trip JSON; deltas are slotted by
+// participant index, so aggregation never depends on arrival order). A
+// participant missing the coordinator's RoundDeadline degrades that epoch
+// to the survivors with the same Reported semantics as injected dropout,
+// and transient request failures are retried with capped exponential
+// backoff, invisibly to the result.
+//
+// Long-running sessions use the context-aware entry points RunContext /
+// RunSubsetContext on both trainers: cancellation is observed at the next
+// epoch boundary, returns the context's error, and never corrupts
+// checkpoint state, so a canceled run resumes bit-identically via
+// Config.Resume. Run and RunE remain thin wrappers over
+// context.Background().
 package digfl
 
 import (
@@ -95,6 +139,7 @@ import (
 	"digfl/internal/core"
 	"digfl/internal/dataset"
 	"digfl/internal/faults"
+	"digfl/internal/fednet"
 	"digfl/internal/hfl"
 	"digfl/internal/logio"
 	"digfl/internal/metrics"
@@ -160,6 +205,15 @@ const (
 	KindCheckpoint = obs.KindCheckpoint
 	// KindResume marks a run resuming from a checkpoint.
 	KindResume = obs.KindResume
+	// KindNetRoundStart marks a networked round broadcast.
+	KindNetRoundStart = obs.KindNetRoundStart
+	// KindNetRoundEnd marks a networked round closing (N carries the
+	// reporter count, Dur the round latency).
+	KindNetRoundEnd = obs.KindNetRoundEnd
+	// KindNetRequest counts wire-protocol requests.
+	KindNetRequest = obs.KindNetRequest
+	// KindNetTimeout marks a participant missing a round deadline.
+	KindNetTimeout = obs.KindNetTimeout
 )
 
 // Observability constructors and helpers.
@@ -263,6 +317,36 @@ type (
 	// SecureNResult is the n-party encrypted protocol outcome.
 	SecureNResult = vfl.SecureNResult
 )
+
+// Networked runtime (internal/fednet) and the trainer's RoundSource seam.
+type (
+	// NetCoordinator serves the wire protocol and drives HFL epochs whose
+	// local updates arrive over HTTP.
+	NetCoordinator = fednet.Coordinator
+	// NetParticipant is the matching client wrapping one dataset shard.
+	NetParticipant = fednet.Participant
+	// NetLocalSource is the in-process reference RoundSource the networked
+	// runtime is measured against.
+	NetLocalSource = fednet.LocalSource
+	// HFLRoundSource supplies an epoch's local updates from outside the
+	// trainer — the seam NetCoordinator plugs into.
+	HFLRoundSource = hfl.RoundSource
+	// HFLRoundSpec is the server's per-round broadcast.
+	HFLRoundSpec = hfl.RoundSpec
+	// HFLRoundResult carries one round's collected local updates.
+	HFLRoundResult = hfl.RoundResult
+)
+
+// Networked runtime helpers.
+var (
+	// RunLoopback runs a coordinator and its N participants over a real
+	// loopback HTTP listener in one call.
+	RunLoopback = fednet.Loopback
+)
+
+// NetProtocol is the wire-protocol version string; both sides refuse to
+// talk across a version mismatch.
+const NetProtocol = fednet.Protocol
 
 // Vertical model kinds.
 const (
@@ -445,7 +529,14 @@ var (
 	WriteVFLLog = logio.WriteVFL
 	// ReadVFLLog deserializes a VFL training log.
 	ReadVFLLog = logio.ReadVFL
+	// NewHFLLogWriter opens a streaming HFL archive: epochs are written as
+	// they complete (byte-identical to WriteHFLLog), the form the networked
+	// coordinator's Archive uses.
+	NewHFLLogWriter = logio.NewHFLWriter
 )
+
+// HFLLogWriter streams an HFL training log one epoch at a time.
+type HFLLogWriter = logio.HFLWriter
 
 // Shapley and baseline functions.
 var (

@@ -88,18 +88,12 @@ func NewHFLEstimator(n, p int, mode Mode, hvp HVPProvider) *HFLEstimator {
 	return e
 }
 
+// workers resolves the effective pool size through the unified
+// obs.Runtime.Resolve rule; the deprecated Workers field is the legacy
+// fallback (0 or 1 serial, > 1 pool, negative GOMAXPROCS — already the
+// shared convention).
 func (e *HFLEstimator) workers() int {
-	if e.Runtime.Workers != 0 {
-		return parallel.Workers(e.Runtime.Workers)
-	}
-	switch {
-	case e.Workers > 1:
-		return e.Workers
-	case e.Workers < 0:
-		return parallel.Workers(0)
-	default:
-		return 1
-	}
+	return e.Runtime.Resolve(e.Workers)
 }
 
 // Observe ingests one training epoch and returns the per-epoch contributions

@@ -57,11 +57,10 @@ type VFLEstimator struct {
 	Runtime obs.Runtime
 }
 
+// workers resolves the effective pool size through the unified
+// obs.Runtime.Resolve rule; the VFL estimator has no legacy field.
 func (e *VFLEstimator) workers() int {
-	if e.Runtime.Workers != 0 {
-		return parallel.Workers(e.Runtime.Workers)
-	}
-	return 1
+	return e.Runtime.Resolve(0)
 }
 
 // NewVFLEstimator creates an estimator over the given per-participant

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNetExperiment(t *testing.T) {
+	r := Net(QuickOpts())
+	if !r.BitIdentical {
+		t.Error("loopback run should be bit-identical to the in-process trainer")
+	}
+	if r.Rounds != int64(r.Epochs) {
+		t.Errorf("closed %d rounds for %d epochs", r.Rounds, r.Epochs)
+	}
+	if r.Timeouts != 0 {
+		t.Errorf("fault-free run recorded %d timeouts", r.Timeouts)
+	}
+	if r.Requests == 0 {
+		t.Error("no wire requests counted")
+	}
+	if len(r.Totals) != r.Participants {
+		t.Fatalf("totals for %d participants, want %d", len(r.Totals), r.Participants)
+	}
+
+	var sb strings.Builder
+	r.Render(&sb)
+	for _, want := range []string{"Networked runtime", "bit-identical", "p50"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	rows, ok := r.Tables()["net"]
+	if !ok || len(rows) < 9 {
+		t.Fatalf("tables missing net rows: %v", rows)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	durs := []time.Duration{4, 1, 3, 2} // unsorted on purpose
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+	if got := Quantile(durs, 0); got != 1 {
+		t.Errorf("q=0: %v, want 1", got)
+	}
+	if got := Quantile(durs, 1); got != 4 {
+		t.Errorf("q=1: %v, want 4", got)
+	}
+	if got := Quantile(durs, 0.5); got != 2 {
+		t.Errorf("q=0.5: %v, want 2 (interpolated midpoint of 2,3 floors to 2.5→2)", got)
+	}
+}

@@ -52,11 +52,19 @@ type Config struct {
 	// (modeling message loss); the secure protocol retries it with capped
 	// exponential backoff.
 	SecureFailure float64
+	// NetFailure is the per-attempt probability that a networked
+	// participant's wire-protocol request fails transiently before
+	// touching the wire (modeling a lossy link); the participant retries
+	// with capped exponential backoff. Because the decision is a pure
+	// function of (seed, round, participant, attempt), the injected loss
+	// pattern is identical across runs regardless of request interleaving.
+	NetFailure float64
 }
 
 func (c Config) validate() error {
 	for name, r := range map[string]float64{
-		"Dropout": c.Dropout, "Straggler": c.Straggler, "SecureFailure": c.SecureFailure,
+		"Dropout": c.Dropout, "Straggler": c.Straggler,
+		"SecureFailure": c.SecureFailure, "NetFailure": c.NetFailure,
 	} {
 		if r < 0 || r >= 1 {
 			return fmt.Errorf("faults: %s rate %v outside [0,1)", name, r)
@@ -113,6 +121,7 @@ const (
 	domainDropout = 1 + iota
 	domainStraggler
 	domainSecure
+	domainNet
 )
 
 // uniform maps (seed, domain, a, b, c) to a uniform variate in [0,1) via a
@@ -169,6 +178,18 @@ func (in *Injector) SecureRoundFails(epoch, round, attempt int) bool {
 	return in.uniform(domainSecure, uint64(epoch), uint64(round), uint64(attempt)) < in.cfg.SecureFailure
 }
 
+// RequestFails reports whether the given attempt of a networked
+// participant's wire request fails transiently. round is the training round
+// the request belongs to (0 for join); attempts are hashed independently,
+// so the number of consecutive injected failures per request is
+// deterministic for a seed.
+func (in *Injector) RequestFails(round, part, attempt int) bool {
+	if in == nil || in.cfg.NetFailure == 0 {
+		return false
+	}
+	return in.uniform(domainNet, uint64(round), uint64(part), uint64(attempt)) < in.cfg.NetFailure
+}
+
 // Survivors partitions the subset for an epoch into the participants that
 // report and those that drop out, preserving subset order. When nobody
 // drops (including for a nil injector) it returns the subset slice itself
@@ -223,9 +244,10 @@ func (e *CrashError) Error() string {
 	return fmt.Sprintf("faults: injected crash at epoch %d", e.Epoch)
 }
 
-// ErrRetriesExhausted marks a secure round that failed more times than the
-// configured retry budget allows.
-var ErrRetriesExhausted = errors.New("faults: secure-round retry budget exhausted")
+// ErrRetriesExhausted marks an operation that failed more times than the
+// configured retry budget allows — a secure-protocol round or a networked
+// participant's wire request.
+var ErrRetriesExhausted = errors.New("faults: retry budget exhausted")
 
 // Backoff returns the capped exponential backoff delay before retry
 // attempt+1: base·2^attempt, clamped to max when max is positive. A

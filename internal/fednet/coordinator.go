@@ -1,0 +1,469 @@
+package fednet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"digfl/internal/core"
+	"digfl/internal/dataset"
+	"digfl/internal/hfl"
+	"digfl/internal/jsonf"
+	"digfl/internal/logio"
+	"digfl/internal/nn"
+	"digfl/internal/obs"
+	"digfl/internal/tensor"
+)
+
+// Coordinator is the server side of the networked runtime: it owns the
+// global model, the validation set, and the round loop, and serves the
+// wire protocol to N participants. It implements hfl.RoundSource — Run
+// drives an ordinary hfl.Trainer whose per-epoch local updates arrive over
+// HTTP instead of from in-process dataset shards.
+//
+// Zero-valued fields mean: no reweighter, no aggregator override, no
+// estimator (score endpoint disabled), no round deadline (each round waits
+// for every active participant — appropriate only when participants are
+// trusted to always report), no archive.
+type Coordinator struct {
+	// N is the expected participant count; Run blocks until all N joined.
+	N int
+	// Model is the global model prototype (the trainer clones it).
+	Model nn.Model
+	// Val is the server-side validation dataset.
+	Val dataset.Dataset
+	// Cfg holds the training hyperparameters. Cfg.Runtime.Sink also
+	// receives the networked runtime's events: one NetRoundStart/End pair
+	// per round, a NetRequest per wire request handled, and a NetTimeout
+	// per participant that missed a round deadline.
+	Cfg hfl.Config
+	// Reweighter, Aggregator and Observer are passed through to the
+	// underlying trainer.
+	Reweighter hfl.Reweighter
+	Aggregator hfl.Aggregator
+	Observer   hfl.Observer
+	// Estimator, when non-nil, observes every epoch (under the
+	// coordinator's lock) and backs the /v1/score endpoint, so
+	// contribution evaluation runs server-side inside the live round loop.
+	Estimator *core.HFLEstimator
+	// RoundDeadline bounds how long a round stays open once broadcast.
+	// Participants that have not reported when it expires are dropped from
+	// the epoch (Epoch.Reported survivor semantics); 0 waits for everyone.
+	RoundDeadline time.Duration
+	// Archive, when non-nil, streams every closed epoch to this writer in
+	// the logio HFL training-log format as the run progresses.
+	Archive io.Writer
+
+	mu      sync.Mutex
+	changed chan struct{}
+	joined  []bool
+	nJoined int
+	started bool
+	round   *openRound
+	aggs    map[int]*aggregateReply
+	lastRes *hfl.RoundResult
+	done    bool
+	runErr  error
+}
+
+// openRound is the coordinator's mutable view of the in-flight round.
+type openRound struct {
+	t        int
+	lr       float64
+	theta    []float64
+	deadline time.Time // zero = none
+	slots    map[int]int
+	order    []int
+	deltas   [][]float64
+	got      int
+	closed   bool
+}
+
+// initLocked lazily initializes the shared state; callers hold mu.
+func (c *Coordinator) initLocked() {
+	if c.changed == nil {
+		c.changed = make(chan struct{})
+		c.joined = make([]bool, c.N)
+		c.aggs = make(map[int]*aggregateReply)
+	}
+}
+
+// bcastLocked wakes every waiter; callers hold mu.
+func (c *Coordinator) bcastLocked() {
+	close(c.changed)
+	c.changed = make(chan struct{})
+}
+
+// Run waits for all N participants to join, trains Cfg.Epochs rounds over
+// the wire, and returns the result — bit-identical to the in-process
+// trainer when every participant reports every round. On return (success
+// or failure) the protocol state is marked done, so polling participants
+// exit cleanly. Run must be called exactly once.
+func (c *Coordinator) Run(ctx context.Context) (*hfl.Result, error) {
+	if c.N <= 0 {
+		return nil, errors.New("fednet: coordinator needs N > 0 participants")
+	}
+	if c.Model == nil {
+		return nil, errors.New("fednet: coordinator needs a model prototype")
+	}
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return nil, errors.New("fednet: coordinator already run")
+	}
+	c.started = true
+	c.initLocked()
+	c.mu.Unlock()
+
+	res, err := c.run(ctx)
+	c.mu.Lock()
+	c.done = true
+	c.runErr = err
+	if err == nil && c.Cfg.Epochs > 0 {
+		agg := &aggregateReply{State: StateClosed, T: c.Cfg.Epochs,
+			Theta: tensor.Clone(res.Model.Params()), Final: true}
+		if c.lastRes != nil && c.lastRes.Reported != nil {
+			agg.Reported = c.lastRes.Reported
+		}
+		c.aggs[c.Cfg.Epochs] = agg
+	}
+	c.bcastLocked()
+	c.mu.Unlock()
+	return res, err
+}
+
+func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
+	// Join barrier: every round broadcast assumes the full population is
+	// listening, so training starts only when all N slots are claimed.
+	for {
+		c.mu.Lock()
+		joined := c.nJoined
+		ch := c.changed
+		c.mu.Unlock()
+		if joined == c.N {
+			break
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fednet: waiting for %d/%d participants: %w", joined, c.N, ctx.Err())
+		}
+	}
+
+	cfg := c.Cfg
+	cfg.Participants = c.N
+	observer := c.Observer
+	if c.Estimator != nil {
+		est, user := c.Estimator, c.Observer
+		observer = func(ep *hfl.Epoch) {
+			c.mu.Lock()
+			est.Observe(ep)
+			c.mu.Unlock()
+			if user != nil {
+				user(ep)
+			}
+		}
+	}
+	if c.Archive != nil {
+		sw, err := logio.NewHFLWriter(c.Archive, c.Model.NumParams(), c.N)
+		if err != nil {
+			return nil, fmt.Errorf("fednet: opening archive: %w", err)
+		}
+		user := observer
+		observer = func(ep *hfl.Epoch) {
+			// A poisoned archive must not abort training; the sticky error
+			// surfaces through the writer's Err.
+			_ = sw.WriteEpoch(ep)
+			if user != nil {
+				user(ep)
+			}
+		}
+	}
+	tr := &hfl.Trainer{
+		Model: c.Model, Val: c.Val, Cfg: cfg,
+		Reweighter: c.Reweighter, Aggregator: c.Aggregator,
+		Observer: observer, Rounds: c,
+	}
+	return tr.RunContext(ctx)
+}
+
+// Round implements hfl.RoundSource: it broadcasts the round to the polling
+// participants, waits until every active participant has reported or the
+// round deadline expires, and returns the collected deltas in active
+// order. A deadline expiry degrades the epoch to the survivors.
+func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.RoundResult, error) {
+	sink := c.Cfg.Runtime.Sink
+	r := &openRound{
+		t: spec.T, lr: spec.LR, theta: spec.Theta,
+		order:  spec.Active,
+		slots:  make(map[int]int, len(spec.Active)),
+		deltas: make([][]float64, len(spec.Active)),
+	}
+	for k, i := range spec.Active {
+		r.slots[i] = k
+	}
+	var deadlineCh <-chan time.Time
+	if c.RoundDeadline > 0 {
+		r.deadline = time.Now().Add(c.RoundDeadline)
+		timer := time.NewTimer(c.RoundDeadline)
+		defer timer.Stop()
+		deadlineCh = timer.C
+	}
+
+	c.mu.Lock()
+	c.initLocked()
+	// Publish the previous round's aggregate: this round's broadcast theta
+	// IS the post-aggregation model of round t-1.
+	if spec.T > 1 {
+		agg := &aggregateReply{State: StateClosed, T: spec.T - 1, Theta: tensor.Clone(spec.Theta)}
+		if c.lastRes != nil && c.lastRes.Reported != nil {
+			agg.Reported = c.lastRes.Reported
+		}
+		c.aggs[spec.T-1] = agg
+	}
+	c.round = r
+	c.bcastLocked()
+	c.mu.Unlock()
+	obs.Emit(sink, obs.Event{Kind: obs.KindNetRoundStart, T: spec.T, N: int64(len(spec.Active))})
+	start := obs.Start(sink)
+
+	timedOut := false
+	for !timedOut {
+		c.mu.Lock()
+		got := r.got
+		ch := c.changed
+		c.mu.Unlock()
+		if got == len(r.order) {
+			break
+		}
+		select {
+		case <-ch:
+		case <-deadlineCh:
+			timedOut = true
+		case <-ctx.Done():
+			c.mu.Lock()
+			r.closed = true
+			c.bcastLocked()
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		}
+	}
+
+	c.mu.Lock()
+	r.closed = true
+	res := &hfl.RoundResult{}
+	var missed []int
+	if r.got == len(r.order) {
+		res.Deltas = r.deltas
+	} else {
+		reported := make([]int, 0, r.got)
+		deltas := make([][]float64, 0, r.got)
+		for k, i := range r.order {
+			if r.deltas[k] != nil {
+				reported = append(reported, i)
+				deltas = append(deltas, r.deltas[k])
+			} else {
+				missed = append(missed, i)
+			}
+		}
+		res.Deltas, res.Reported = deltas, reported
+	}
+	c.lastRes = res
+	c.bcastLocked()
+	c.mu.Unlock()
+	for _, i := range missed {
+		obs.Emit(sink, obs.Event{Kind: obs.KindNetTimeout, T: spec.T, Part: i})
+	}
+	obs.Emit(sink, obs.Event{Kind: obs.KindNetRoundEnd, T: spec.T,
+		N: int64(len(res.Deltas)), Dur: obs.Since(sink, start)})
+	return res, nil
+}
+
+// Handler returns the coordinator's wire-protocol handler, mountable on
+// any http.Server (or httptest server). Safe to call before Run; requests
+// arriving before the run starts simply wait.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", c.handleJoin)
+	mux.HandleFunc("GET /v1/round", c.handleRound)
+	mux.HandleFunc("POST /v1/update", c.handleUpdate)
+	mux.HandleFunc("GET /v1/aggregate", c.handleAggregate)
+	mux.HandleFunc("GET /v1/score", c.handleScore)
+	sink := c.Cfg.Runtime.Sink
+	if sink == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		obs.Emit(sink, obs.Event{Kind: obs.KindNetRequest, N: 1})
+		mux.ServeHTTP(w, req)
+	})
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
+	var jr joinRequest
+	if err := readJSON(req.Body, &jr); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if jr.Protocol != Protocol {
+		writeError(w, http.StatusBadRequest, "protocol %q, want %q", jr.Protocol, Protocol)
+		return
+	}
+	if jr.Index < 0 || jr.Index >= c.N {
+		writeError(w, http.StatusBadRequest, "participant index %d outside [0,%d)", jr.Index, c.N)
+		return
+	}
+	c.mu.Lock()
+	c.initLocked()
+	// Idempotent: a retried join (the first reply was lost) succeeds.
+	if !c.joined[jr.Index] {
+		c.joined[jr.Index] = true
+		c.nJoined++
+		c.bcastLocked()
+	}
+	c.mu.Unlock()
+	steps := c.Cfg.LocalSteps
+	if steps < 1 {
+		steps = 1
+	}
+	writeJSON(w, http.StatusOK, joinReply{
+		Protocol: Protocol, N: c.N, Epochs: c.Cfg.Epochs, LocalSteps: steps,
+	})
+}
+
+// longPollWait bounds one server-side long-poll leg; clients re-poll on a
+// pending reply.
+const longPollWait = 10 * time.Second
+
+func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
+	t, err := strconv.Atoi(req.URL.Query().Get("t"))
+	if err != nil || t < 1 {
+		writeError(w, http.StatusBadRequest, "bad round number %q", req.URL.Query().Get("t"))
+		return
+	}
+	timer := time.NewTimer(longPollWait)
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		c.initLocked()
+		if c.done {
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, roundReply{State: StateDone})
+			return
+		}
+		// A round at or past the requested one serves the request: a
+		// participant that missed rounds must jump forward, never wait for
+		// a round that already closed.
+		if r := c.round; r != nil && !r.closed && r.t >= t {
+			reply := roundReply{State: StateOpen, T: r.t, LR: jsonf.F64(r.lr), Theta: r.theta}
+			if !r.deadline.IsZero() {
+				if rem := time.Until(r.deadline); rem > 0 {
+					reply.DeadlineMS = rem.Milliseconds()
+				}
+			}
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, reply)
+			return
+		}
+		ch := c.changed
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			writeJSON(w, http.StatusOK, roundReply{State: StatePending})
+			return
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	var ur updateRequest
+	if err := readJSON(req.Body, &ur); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if ur.Protocol != Protocol {
+		writeError(w, http.StatusBadRequest, "protocol %q, want %q", ur.Protocol, Protocol)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.round
+	switch {
+	case r == nil || r.t != ur.T || r.closed:
+		// The round is gone — the participant straggled past the deadline
+		// (or submitted for a future round). Not an error: the epoch
+		// proceeded with the survivors.
+		writeJSON(w, http.StatusOK, updateReply{Reason: "closed"})
+	default:
+		k, active := r.slots[ur.Index]
+		switch {
+		case !active:
+			writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
+		case len(ur.Delta) != len(r.theta):
+			writeJSON(w, http.StatusOK, updateReply{Reason: "shape"})
+		case r.deltas[k] != nil:
+			// Idempotent: a retried submission (the first ack was lost)
+			// is acknowledged without overwriting.
+			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		default:
+			r.deltas[k] = ur.Delta
+			r.got++
+			c.bcastLocked()
+			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		}
+	}
+}
+
+func (c *Coordinator) handleAggregate(w http.ResponseWriter, req *http.Request) {
+	t, err := strconv.Atoi(req.URL.Query().Get("t"))
+	if err != nil || t < 1 {
+		writeError(w, http.StatusBadRequest, "bad round number %q", req.URL.Query().Get("t"))
+		return
+	}
+	timer := time.NewTimer(longPollWait)
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		c.initLocked()
+		if agg, ok := c.aggs[t]; ok {
+			c.mu.Unlock()
+			writeJSON(w, http.StatusOK, *agg)
+			return
+		}
+		if c.done {
+			c.mu.Unlock()
+			writeError(w, http.StatusNotFound, "round %d has no aggregate (run ended)", t)
+			return
+		}
+		ch := c.changed
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			writeJSON(w, http.StatusOK, aggregateReply{State: StatePending})
+			return
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func (c *Coordinator) handleScore(w http.ResponseWriter, req *http.Request) {
+	if c.Estimator == nil {
+		writeError(w, http.StatusNotFound, "coordinator has no estimator attached")
+		return
+	}
+	c.mu.Lock()
+	attr := c.Estimator.Attribution()
+	reply := scoreReply{Epochs: len(attr.PerEpoch), Totals: append([]float64(nil), attr.Totals...)}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, reply)
+}

@@ -1,0 +1,47 @@
+package fednet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"digfl/internal/hfl"
+)
+
+// Loopback runs a coordinator and its N participants over a real HTTP
+// listener on the loopback interface — the in-process harness the
+// determinism tests and examples use. parts builds the i-th participant;
+// Loopback fills in its BaseURL. It returns the coordinator's training
+// result alongside any per-participant errors (indexed by participant).
+//
+// Every byte still crosses a real TCP connection and the full wire
+// protocol, so a Loopback run exercises exactly what a distributed
+// deployment would — it just happens to schedule both sides in one process.
+func Loopback(ctx context.Context, c *Coordinator, parts func(i int) *Participant) (*hfl.Result, []error, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("fednet: loopback listener: %w", err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	base := "http://" + ln.Addr().String()
+	perrs := make([]error, c.N)
+	var wg sync.WaitGroup
+	for i := 0; i < c.N; i++ {
+		p := parts(i)
+		p.BaseURL = base
+		wg.Add(1)
+		go func(i int, p *Participant) {
+			defer wg.Done()
+			perrs[i] = p.Run(ctx)
+		}(i, p)
+	}
+
+	res, runErr := c.Run(ctx)
+	wg.Wait()
+	return res, perrs, runErr
+}

@@ -1,0 +1,218 @@
+package fednet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"digfl/internal/dataset"
+	"digfl/internal/faults"
+	"digfl/internal/nn"
+	"digfl/internal/obs"
+	"digfl/internal/tensor"
+)
+
+// Participant is the client side of the networked runtime: it wraps one
+// local dataset shard, polls the coordinator for rounds, computes the local
+// update δ_{t,i} with exactly the trainer's arithmetic, and submits it.
+type Participant struct {
+	// Index is the participant's global index; identity maps to a dataset
+	// shard, so the participant declares it at join time.
+	Index int
+	// BaseURL is the coordinator's address, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Model is the local model prototype; it must match the coordinator's
+	// architecture. The participant clones it per round.
+	Model nn.Model
+	// Data is the local dataset shard.
+	Data dataset.Dataset
+	// Client is the HTTP client; nil uses http.DefaultClient.
+	Client *http.Client
+	// Retries bounds the retry attempts per request beyond the first;
+	// 0 means no retries.
+	Retries int
+	// Base and Cap shape the capped exponential backoff between retries;
+	// zero values use 10ms / 1s.
+	Base, Cap time.Duration
+	// Faults optionally injects deterministic client-side faults: an
+	// injected request failure (Config.NetFailure) drops the request before
+	// it touches the wire and costs one attempt, so the retry loop is
+	// exercised without a flaky network.
+	Faults *faults.Injector
+	// Delay, when non-nil, sleeps before computing round t's update — the
+	// test hook that turns this participant into a straggler.
+	Delay func(t int)
+	// Sink receives a KindNetRequest per attempted request and a KindRetry
+	// per retried one.
+	Sink obs.Sink
+}
+
+func (p *Participant) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return http.DefaultClient
+}
+
+func (p *Participant) backoff(attempt int) time.Duration {
+	base, cap := p.Base, p.Cap
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = time.Second
+	}
+	return faults.Backoff(attempt, base, cap)
+}
+
+// do runs one request with injected-failure checks, retries, and backoff.
+// build must return a fresh request each attempt (bodies are single-use);
+// round identifies the request for the deterministic failure schedule.
+func (p *Participant) do(ctx context.Context, round int, build func() (*http.Request, error), out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= p.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			obs.Emit(p.Sink, obs.Event{Kind: obs.KindRetry, T: round, Part: p.Index, N: int64(attempt)})
+			select {
+			case <-time.After(p.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		obs.Emit(p.Sink, obs.Event{Kind: obs.KindNetRequest, T: round, Part: p.Index, N: 1})
+		if p.Faults.RequestFails(round, p.Index, attempt) {
+			lastErr = fmt.Errorf("fednet: injected request failure (round %d attempt %d)", round, attempt)
+			continue
+		}
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		resp, err := p.client().Do(req.WithContext(ctx))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = func() error {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				var er errorReply
+				_ = readJSON(resp.Body, &er)
+				return fmt.Errorf("fednet: %s %s: %s (%s)", req.Method, req.URL.Path, resp.Status, er.Error)
+			}
+			return readJSON(resp.Body, out)
+		}()
+		if err != nil {
+			// Non-2xx is a protocol rejection, not a transport flake; the
+			// coordinator will refuse the retry identically.
+			if resp.StatusCode != http.StatusOK {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	// faults.ErrRetriesExhausted is the module-wide retry sentinel, shared
+	// with the secure protocol's round retries.
+	return fmt.Errorf("%w: %d attempts: %w", faults.ErrRetriesExhausted, p.Retries+1, lastErr)
+}
+
+func (p *Participant) get(ctx context.Context, round int, path string, out any) error {
+	return p.do(ctx, round, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, p.BaseURL+path, nil)
+	}, out)
+}
+
+func (p *Participant) post(ctx context.Context, round int, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("fednet: encoding request: %w", err)
+	}
+	return p.do(ctx, round, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, p.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, out)
+}
+
+// Run joins the coordinator and serves rounds until the run completes. The
+// returned error is nil on a normal shutdown (StateDone), even if some of
+// this participant's updates missed their round deadlines — partial
+// participation is the protocol working, not an error.
+func (p *Participant) Run(ctx context.Context) error {
+	if p.Model == nil {
+		return errors.New("fednet: participant needs a model prototype")
+	}
+	var join joinReply
+	err := p.post(ctx, 0, "/v1/join", joinRequest{Protocol: Protocol, Index: p.Index}, &join)
+	if err != nil {
+		return fmt.Errorf("fednet: participant %d join: %w", p.Index, err)
+	}
+	if join.Protocol != Protocol {
+		return fmt.Errorf("fednet: participant %d: coordinator speaks %q, want %q", p.Index, join.Protocol, Protocol)
+	}
+
+	next := 1
+	for {
+		var round roundReply
+		if err := p.get(ctx, next, fmt.Sprintf("/v1/round?t=%d", next), &round); err != nil {
+			return fmt.Errorf("fednet: participant %d round %d: %w", p.Index, next, err)
+		}
+		switch round.State {
+		case StateDone:
+			return nil
+		case StatePending:
+			continue // long-poll leg expired; re-poll
+		case StateOpen:
+		default:
+			return fmt.Errorf("fednet: participant %d: unknown round state %q", p.Index, round.State)
+		}
+		if round.T < next {
+			continue // stale broadcast; re-poll
+		}
+
+		if p.Delay != nil {
+			p.Delay(round.T)
+		}
+		delta := p.localUpdate(round.Theta, float64(round.LR), join.LocalSteps)
+		var ack updateReply
+		err := p.post(ctx, round.T, "/v1/update", updateRequest{
+			Protocol: Protocol, T: round.T, Index: p.Index, Delta: delta,
+		}, &ack)
+		if err != nil {
+			return fmt.Errorf("fednet: participant %d update %d: %w", p.Index, round.T, err)
+		}
+		// A rejected update (round closed while we straggled, or we were
+		// not in the round's active set) is survivable: move on.
+		next = round.T + 1
+	}
+}
+
+// localUpdate computes δ_{t,i} with the trainer's exact arithmetic — the
+// single-step Grad+Scale or the multi-step local-drift form — so a
+// loopback run is bit-identical to the in-process one.
+func (p *Participant) localUpdate(theta []float64, lr float64, steps int) []float64 {
+	model := p.Model.Clone()
+	model.SetParams(tensor.Clone(theta))
+	if steps <= 1 {
+		g := model.Grad(p.Data.X, p.Data.Y)
+		tensor.Scale(lr, g)
+		return g
+	}
+	local := model.Clone()
+	for s := 0; s < steps; s++ {
+		tensor.AXPY(-lr, local.Grad(p.Data.X, p.Data.Y), local.Params())
+	}
+	return tensor.Sub(model.Params(), local.Params())
+}

@@ -1,0 +1,137 @@
+// Package fednet is the networked federated runtime: a stdlib-only
+// coordinator/participant pair that runs HFL training and DIG-FL
+// contribution estimation over a real HTTP boundary instead of an
+// in-process loop. The Coordinator serves a versioned wire protocol
+// (join / round / update / aggregate / score) and drives internal/hfl
+// epochs through the trainer's RoundSource seam; the Participant is the
+// matching client wrapping one local dataset shard.
+//
+// Determinism contract: a fault-free loopback run (every participant
+// reports every round) produces the same model bits, validation-loss
+// curve, training log, and per-participant contributions φ as the
+// in-process hfl.Trainer on the same seed. The wire cannot perturb floats
+// — theta and delta vectors cross it as JSON, and Go's float64 JSON
+// encoding is exact round-trip (non-finite values use the internal/jsonf
+// sentinels) — and cannot perturb order: deltas are slotted by participant
+// index into the round's active order, so aggregation order never depends
+// on arrival order. A participant that misses a round deadline degrades
+// that epoch to the survivors with exactly the Epoch.Reported semantics of
+// injected dropout, so contribution scores survive real network failures
+// the way Lemma 3 promises.
+package fednet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"digfl/internal/jsonf"
+)
+
+// Protocol is the wire-protocol version string; both sides refuse to talk
+// across a version mismatch.
+const Protocol = "digfl-fednet/1"
+
+// Round states returned by the /v1/round and /v1/aggregate endpoints.
+const (
+	// StatePending means the requested object does not exist yet; poll
+	// again.
+	StatePending = "pending"
+	// StateOpen means the returned round is accepting updates.
+	StateOpen = "open"
+	// StateClosed means the returned aggregate is final for its round.
+	StateClosed = "closed"
+	// StateDone means training has finished (or aborted); no more rounds.
+	StateDone = "done"
+)
+
+// joinRequest claims a participant slot. Participants declare their index —
+// identity maps to a dataset shard, so the server must not assign it.
+type joinRequest struct {
+	Protocol string `json:"protocol"`
+	Index    int    `json:"index"`
+}
+
+// joinReply confirms the slot and carries the run's static configuration.
+type joinReply struct {
+	Protocol   string `json:"protocol"`
+	N          int    `json:"n"`
+	Epochs     int    `json:"epochs"`
+	LocalSteps int    `json:"local_steps"`
+}
+
+// roundReply is the /v1/round long-poll response: the open round's
+// broadcast, or a pending/done marker.
+type roundReply struct {
+	State string    `json:"state"`
+	T     int       `json:"t,omitempty"`
+	LR    jsonf.F64 `json:"lr,omitempty"`
+	Theta jsonf.Vec `json:"theta,omitempty"`
+	// DeadlineMS is the remaining round deadline in milliseconds at the
+	// moment the reply was built; 0 means the round has no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// updateRequest submits one local update δ_{t,i}.
+type updateRequest struct {
+	Protocol string    `json:"protocol"`
+	T        int       `json:"t"`
+	Index    int       `json:"index"`
+	Delta    jsonf.Vec `json:"delta"`
+}
+
+// updateReply acknowledges (or rejects) a submitted update.
+type updateReply struct {
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// aggregateReply is the /v1/aggregate long-poll response: the global model
+// after the requested round closed, with the round's survivor list.
+type aggregateReply struct {
+	State string    `json:"state"`
+	T     int       `json:"t,omitempty"`
+	Theta jsonf.Vec `json:"theta,omitempty"`
+	// Reported lists the participants whose updates the round aggregated;
+	// nil means full participation.
+	Reported []int `json:"reported,omitempty"`
+	// Final marks the last round of the run.
+	Final bool `json:"final,omitempty"`
+}
+
+// scoreReply is the /v1/score response: the estimator's live attribution.
+type scoreReply struct {
+	Epochs int       `json:"epochs"`
+	Totals jsonf.Vec `json:"totals"`
+}
+
+// errorReply is the JSON body of every non-2xx response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes an errorReply.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a request body into v, bounding the read.
+func readJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("fednet: decoding request: %w", err)
+	}
+	return nil
+}
+
+// maxBodyBytes bounds a request/response body; generous for full model
+// vectors, small enough to shrug off garbage.
+const maxBodyBytes = 64 << 20

@@ -7,6 +7,7 @@
 package hfl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,6 +78,10 @@ type Config struct {
 	// fault schedule the resumed run is bit-identical to an uninterrupted
 	// one.
 	Resume *Checkpoint
+	// Participants declares the population size when the trainer computes
+	// no local updates itself — a networked run where Parts is nil and a
+	// RoundSource supplies the deltas. Ignored whenever Parts is non-empty.
+	Participants int
 }
 
 // Checkpoint is the trainer state persisted every CheckpointEvery epochs:
@@ -107,17 +112,18 @@ func (ck *Checkpoint) validate(p, epochs int) error {
 	return nil
 }
 
-// workers resolves the effective local-update pool size: Runtime.Workers
-// wins when non-zero, then the deprecated Parallel/Workers pair, then
-// serial.
+// workers resolves the effective local-update pool size through the
+// unified obs.Runtime.Resolve rule: Runtime.Workers wins when non-zero,
+// then the deprecated Parallel/Workers pair, then serial.
 func (c Config) workers() int {
-	if c.Runtime.Workers != 0 {
-		return parallel.Workers(c.Runtime.Workers)
-	}
+	legacy := 0
 	if c.Parallel {
-		return parallel.Workers(c.Workers)
+		legacy = c.Workers
+		if legacy <= 0 {
+			legacy = -1 // historical Parallel default: GOMAXPROCS
+		}
 	}
-	return 1
+	return c.Runtime.Resolve(legacy)
 }
 
 func (c Config) localSteps() int {
@@ -193,6 +199,46 @@ type Aggregator interface {
 // fixed; DIG-FL's online estimators observe training through this hook.
 type Observer func(ep *Epoch)
 
+// RoundSpec is the server's broadcast for one training round: everything a
+// participant needs to compute its local update δ_{t,i}.
+type RoundSpec struct {
+	// T is the 1-based round number.
+	T int
+	// LR is α_T.
+	LR float64
+	// Theta is the global model θ_{T-1} broadcast this round. The slice is
+	// retained by the trainer's epoch record; sources must not mutate it.
+	Theta []float64
+	// Active lists the global indices of the participants expected to
+	// report this round (the run's subset minus injected dropouts).
+	Active []int
+	// LocalSteps is the number of local gradient steps per round.
+	LocalSteps int
+}
+
+// RoundResult carries one round's collected local updates back to the
+// server.
+type RoundResult struct {
+	// Deltas are the local updates, aligned with Reported (or with the
+	// spec's Active list when Reported is nil).
+	Deltas [][]float64
+	// Reported, when non-nil, names the subset of Active that actually
+	// reported (in Active order) — participants that missed the round
+	// deadline are absent and the epoch degrades to the survivors with the
+	// same Epoch.Reported semantics as injected dropout. Nil means every
+	// active participant reported.
+	Reported []int
+}
+
+// RoundSource supplies an epoch's local updates from somewhere other than
+// the trainer's in-process Parts — the seam the networked coordinator
+// (internal/fednet) plugs real participants into. The trainer calls Round
+// once per epoch, in order; the source may block until its participants
+// report or a deadline passes, and must honor ctx cancellation.
+type RoundSource interface {
+	Round(ctx context.Context, spec *RoundSpec) (*RoundResult, error)
+}
+
 // Trainer runs FedSGD over a fixed participant population.
 type Trainer struct {
 	// Model is the initial global model prototype; Run clones it, so a
@@ -213,6 +259,14 @@ type Trainer struct {
 	Aggregator Aggregator
 	// Observer optionally watches each epoch record.
 	Observer Observer
+	// Rounds, when non-nil, replaces the in-process local-update
+	// computation: each epoch the trainer calls Rounds.Round with the
+	// broadcast (θ_{t-1}, α_t, active set) and aggregates the returned
+	// deltas instead of training on Parts. Parts may then be nil, with
+	// Cfg.Participants declaring the population size. Injected straggler
+	// delays do not apply (the source owns its own timing); injected
+	// dropout and crashes still do.
+	Rounds RoundSource
 }
 
 // Result is the outcome of a training run.
@@ -233,6 +287,15 @@ type Result struct {
 // function (Eq. 2) for the trained coalition.
 func (r *Result) Utility() float64 { return r.InitLoss - r.FinalLoss }
 
+// participants resolves the population size: the in-process shards when
+// present, otherwise the declared Cfg.Participants of a networked run.
+func (tr *Trainer) participants() int {
+	if len(tr.Parts) > 0 {
+		return len(tr.Parts)
+	}
+	return tr.Cfg.Participants
+}
+
 // Run trains with all participants, panicking on error — the historical
 // convenience API. Fault-tolerant callers use RunE.
 func (tr *Trainer) Run() *Result {
@@ -245,13 +308,22 @@ func (tr *Trainer) Run() *Result {
 
 // RunE trains with all participants, returning mid-training failures
 // (config errors, plugin shape mismatches, injected crashes, checkpoint
-// write failures) as errors.
+// write failures) as errors. It is RunContext without cancellation.
 func (tr *Trainer) RunE() (*Result, error) {
-	all := make([]int, len(tr.Parts))
+	return tr.RunContext(context.Background())
+}
+
+// RunContext trains with all participants under a cancelable context:
+// cancellation is observed at the next epoch boundary (and inside a blocked
+// RoundSource), returns the context's error, and never corrupts trainer
+// state — checkpoints written for completed epochs remain valid resume
+// points, so a canceled run continues bit-identically via Cfg.Resume.
+func (tr *Trainer) RunContext(ctx context.Context) (*Result, error) {
+	all := make([]int, tr.participants())
 	for i := range all {
 		all[i] = i
 	}
-	return tr.RunSubsetE(all)
+	return tr.RunSubsetContext(ctx, all)
 }
 
 // RunSubset is RunSubsetE panicking on error, kept for compatibility.
@@ -263,8 +335,13 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 	return res
 }
 
-// RunSubsetE trains with only the listed participants (the coalition S),
-// averaging their updates with weight 1/|S|. An empty subset performs no
+// RunSubsetE is RunSubsetContext without cancellation.
+func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
+	return tr.RunSubsetContext(context.Background(), subset)
+}
+
+// RunSubsetContext trains with only the listed participants (the coalition
+// S), averaging their updates with weight 1/|S|. An empty subset performs no
 // training, leaving θ at the initial model — the V(∅) case. The reweighter
 // and observer only see rounds of the subset run.
 //
@@ -273,8 +350,12 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 // survivors (1/|survivors|), and the epoch record's Reported field names
 // who reported. An injected crash aborts with a *faults.CrashError;
 // training then resumes from the latest checkpoint via Cfg.Resume.
-func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
-	if err := tr.Cfg.validate(len(tr.Parts)); err != nil {
+//
+// Cancellation is checked at every epoch boundary: a canceled ctx aborts
+// before the next epoch mutates anything, so checkpoints already written
+// stay valid resume points.
+func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result, error) {
+	if err := tr.Cfg.validate(tr.participants()); err != nil {
 		return nil, err
 	}
 	model := tr.Model.Clone()
@@ -302,6 +383,9 @@ func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
 		res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 	}
 	for t := startT; t <= tr.Cfg.Epochs; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hfl: run canceled before epoch %d: %w", t, err)
+		}
 		if len(subset) == 0 {
 			res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 			continue
@@ -319,33 +403,58 @@ func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
 			obs.Emit(sink, obs.Event{Kind: obs.KindDropout, T: t, Part: i})
 		}
 		steps := tr.Cfg.localSteps()
-		deltas := make([][]float64, len(active))
-		localUpdate := func(k int) {
-			t0 := obs.Start(sink)
-			gi := active[k]
-			if d, ok := inj.Straggles(t, gi); ok {
-				obs.Emit(sink, obs.Event{Kind: obs.KindStraggler, T: t, Part: gi, Dur: d})
-				time.Sleep(d)
+		reported := active
+		var deltas [][]float64
+		if tr.Rounds != nil {
+			rr, err := tr.Rounds.Round(ctx, &RoundSpec{
+				T: t, LR: lr, Theta: theta, Active: active, LocalSteps: steps,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("hfl: epoch %d: round source: %w", t, err)
 			}
-			part := tr.Parts[gi]
-			if steps == 1 {
-				// model.Grad does not mutate the model, so concurrent
-				// single-step updates can share it.
-				g := model.Grad(part.X, part.Y)
-				tensor.Scale(lr, g)
-				deltas[k] = g
-			} else {
-				// Multi-step local training: δ_{t,i} = θ_{t-1} − θ_{t-1,i}.
-				local := model.Clone()
-				for s := 0; s < steps; s++ {
-					tensor.AXPY(-lr, local.Grad(part.X, part.Y), local.Params())
+			deltas = rr.Deltas
+			if rr.Reported != nil {
+				reported = rr.Reported
+			}
+			if len(deltas) != len(reported) {
+				return nil, fmt.Errorf("hfl: epoch %d: round source returned %d deltas for %d reporters",
+					t, len(deltas), len(reported))
+			}
+			for k, d := range deltas {
+				if len(d) != p {
+					return nil, fmt.Errorf("hfl: epoch %d: delta %d has %d params, model has %d",
+						t, k, len(d), p)
 				}
-				deltas[k] = tensor.Sub(theta, local.Params())
 			}
-			obs.Emit(sink, obs.Event{Kind: obs.KindLocalUpdate, T: t,
-				Part: gi, Dur: obs.Since(sink, t0)})
+		} else {
+			deltas = make([][]float64, len(active))
+			localUpdate := func(k int) {
+				t0 := obs.Start(sink)
+				gi := active[k]
+				if d, ok := inj.Straggles(t, gi); ok {
+					obs.Emit(sink, obs.Event{Kind: obs.KindStraggler, T: t, Part: gi, Dur: d})
+					time.Sleep(d)
+				}
+				part := tr.Parts[gi]
+				if steps == 1 {
+					// model.Grad does not mutate the model, so concurrent
+					// single-step updates can share it.
+					g := model.Grad(part.X, part.Y)
+					tensor.Scale(lr, g)
+					deltas[k] = g
+				} else {
+					// Multi-step local training: δ_{t,i} = θ_{t-1} − θ_{t-1,i}.
+					local := model.Clone()
+					for s := 0; s < steps; s++ {
+						tensor.AXPY(-lr, local.Grad(part.X, part.Y), local.Params())
+					}
+					deltas[k] = tensor.Sub(theta, local.Params())
+				}
+				obs.Emit(sink, obs.Event{Kind: obs.KindLocalUpdate, T: t,
+					Part: gi, Dur: obs.Since(sink, t0)})
+			}
+			parallel.ForObs(len(active), workers, sink, localUpdate)
 		}
-		parallel.ForObs(len(active), workers, sink, localUpdate)
 		ep := &Epoch{
 			T:       t,
 			Theta:   theta,
@@ -354,10 +463,12 @@ func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
 			ValGrad: model.Grad(tr.Val.X, tr.Val.Y),
 			ValLoss: res.ValLossCurve[len(res.ValLossCurve)-1],
 		}
-		if len(droppedOut) > 0 {
-			// Survivor epochs mark who reported; fault-free epochs keep the
-			// nil Reported so their records stay bit-identical to before.
-			ep.Reported = active
+		if len(droppedOut) > 0 || len(reported) != len(active) {
+			// Survivor epochs mark who reported — whether the loss was an
+			// injected dropout or a round-source participant missing its
+			// deadline; fault-free epochs keep the nil Reported so their
+			// records stay bit-identical to before.
+			ep.Reported = reported
 		}
 		if tr.Reweighter != nil {
 			// The reweighter sees every epoch — an estimator wrapped inside

@@ -1,0 +1,71 @@
+package logio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"digfl/internal/hfl"
+)
+
+// HFLWriter archives an HFL training log one epoch at a time — the
+// streaming counterpart of WriteHFL for runs that must not buffer the whole
+// log in memory (the networked coordinator archives each round as it
+// closes). Output is byte-identical to WriteHFL on the same epochs, so
+// ReadHFL reads both interchangeably.
+//
+// Unlike WriteHFL, which derives the header's party count from the finished
+// log, the streaming writer needs the run shape up front. Errors are
+// sticky: the first failed write poisons the writer and every later call
+// returns the same error, so a full disk never corrupts an archive
+// mid-line without the caller noticing.
+type HFLWriter struct {
+	enc    *json.Encoder
+	shape  header
+	epochs int
+	err    error
+}
+
+// NewHFLWriter starts a streaming HFL archive on w by writing the header
+// line for a run with the given model parameter and participant counts.
+func NewHFLWriter(w io.Writer, params, parties int) (*HFLWriter, error) {
+	if params <= 0 || parties <= 0 {
+		return nil, fmt.Errorf("logio: invalid stream shape params=%d parties=%d", params, parties)
+	}
+	sw := &HFLWriter{
+		enc:   json.NewEncoder(w),
+		shape: header{Format: formatHFL, Version: version, Params: params, Parties: parties},
+	}
+	if err := sw.enc.Encode(sw.shape); err != nil {
+		return nil, fmt.Errorf("logio: writing header: %w", err)
+	}
+	return sw, nil
+}
+
+// WriteEpoch appends one epoch record. Epochs must arrive in order starting
+// at 1, matching the shape declared at construction.
+func (sw *HFLWriter) WriteEpoch(ep *hfl.Epoch) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if ep.T != sw.epochs+1 {
+		sw.err = fmt.Errorf("logio: epoch %d written after %d", ep.T, sw.epochs)
+		return sw.err
+	}
+	if err := checkHFLShape(ep, sw.shape); err != nil {
+		sw.err = fmt.Errorf("logio: epoch %d shape drifts from header: %w", sw.epochs, err)
+		return sw.err
+	}
+	if err := sw.enc.Encode(toHFLJSON(ep)); err != nil {
+		sw.err = fmt.Errorf("logio: writing epoch %d: %w", sw.epochs, err)
+		return sw.err
+	}
+	sw.epochs++
+	return nil
+}
+
+// Err returns the sticky error, if any.
+func (sw *HFLWriter) Err() error { return sw.err }
+
+// Epochs returns the number of epochs written so far.
+func (sw *HFLWriter) Epochs() int { return sw.epochs }

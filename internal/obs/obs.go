@@ -17,7 +17,10 @@
 // scalar measurements, so attaching one leaves every output bit-identical.
 package obs
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Kind discriminates the event taxonomy.
 type Kind uint8
@@ -66,6 +69,20 @@ const (
 	KindCheckpoint
 	// KindResume marks training resuming from a checkpoint at round T.
 	KindResume
+	// KindNetRoundStart marks the networked coordinator opening round T to
+	// its participants; N is the number of participants expected to report.
+	KindNetRoundStart
+	// KindNetRoundEnd marks the coordinator closing networked round T; N is
+	// the number of participants that reported in time and Dur the round's
+	// open-to-close wall clock (the paper's per-round network latency).
+	KindNetRoundEnd
+	// KindNetRequest is one wire-protocol request: handled, on the
+	// coordinator side, or attempted, on the participant side. Part is the
+	// participant index when known.
+	KindNetRequest
+	// KindNetTimeout marks participant Part missing networked round T's
+	// deadline; the round proceeds with the survivors (Epoch.Reported).
+	KindNetTimeout
 
 	numKinds
 )
@@ -87,6 +104,10 @@ var kindNames = [numKinds]string{
 	KindCrash:            "crash",
 	KindCheckpoint:       "checkpoint",
 	KindResume:           "resume",
+	KindNetRoundStart:    "net_round_start",
+	KindNetRoundEnd:      "net_round_end",
+	KindNetRequest:       "net_request",
+	KindNetTimeout:       "net_timeout",
 }
 
 func (k Kind) String() string {
@@ -173,4 +194,27 @@ type Runtime struct {
 	// Sink receives observability events; nil (the default) disables
 	// instrumentation at the cost of one branch per instrumentation point.
 	Sink Sink
+}
+
+// Resolve collapses the repository's historical three-way parallelism
+// configuration (Runtime.Workers plus each component's deprecated legacy
+// fields) into the one effective pool size every concurrent hot path uses.
+// legacy is the component's deprecated fallback request, pre-mapped to the
+// shared convention: > 0 is an explicit pool size, negative selects
+// GOMAXPROCS, and 0 selects the serial path. Runtime.Workers follows the
+// same convention and, when non-zero, always wins over legacy. Components
+// without a legacy field pass 0.
+func (r Runtime) Resolve(legacy int) int {
+	w := r.Workers
+	if w == 0 {
+		w = legacy
+	}
+	switch {
+	case w > 0:
+		return w
+	case w < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
 }

@@ -241,6 +241,8 @@ func TestKindString(t *testing.T) {
 		KindPoolTask: "pool_task",
 		KindDropout:  "dropout", KindStraggler: "straggler", KindRetry: "retry",
 		KindCrash: "crash", KindCheckpoint: "checkpoint", KindResume: "resume",
+		KindNetRoundStart: "net_round_start", KindNetRoundEnd: "net_round_end",
+		KindNetRequest: "net_request", KindNetTimeout: "net_timeout",
 	}
 	got := map[Kind]string{}
 	for k := Kind(0); k < numKinds; k++ {

@@ -37,6 +37,12 @@ type Snapshot struct {
 	// round retries, injected crashes, and checkpoint/resume boundaries.
 	Dropouts, Stragglers, Retries int64
 	Crashes, Checkpoints, Resumes int64
+	// NetRounds, NetRequests and NetTimeouts count networked-runtime
+	// events: closed coordinator rounds, wire-protocol requests, and
+	// participants that missed a round deadline. NetRoundTime is the
+	// summed open-to-close wall clock of the closed rounds.
+	NetRounds, NetRequests, NetTimeouts int64
+	NetRoundTime                        time.Duration
 	// EpochTime, LocalUpdateTime, AggregateTime and EstimatorTime are the
 	// summed durations of the corresponding timed events. LocalUpdateTime
 	// can exceed EpochTime when local updates run in parallel — it is CPU
@@ -67,6 +73,10 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" faults[drop=%d straggle=%d retry=%d crash=%d ckpt=%d resume=%d]",
 			s.Dropouts, s.Stragglers, s.Retries, s.Crashes, s.Checkpoints, s.Resumes)
 	}
+	if s.NetRounds+s.NetRequests+s.NetTimeouts > 0 {
+		out += fmt.Sprintf(" net[rounds=%d (%.3fs) reqs=%d timeouts=%d]",
+			s.NetRounds, s.NetRoundTime.Seconds(), s.NetRequests, s.NetTimeouts)
+	}
 	return out
 }
 
@@ -81,6 +91,7 @@ type Collector struct {
 	epochNanos, localUpdateNanos, aggregateNanos, estNanos  atomic.Int64
 	dropouts, stragglers, retries                           atomic.Int64
 	crashes, checkpoints, resumes                           atomic.Int64
+	netRounds, netRequests, netTimeouts, netRoundNanos      atomic.Int64
 }
 
 // Emit implements Sink.
@@ -129,6 +140,15 @@ func (c *Collector) Emit(e Event) {
 		c.checkpoints.Add(1)
 	case KindResume:
 		c.resumes.Add(1)
+	case KindNetRoundStart:
+		// Counted at NetRoundEnd so NetRounds means closed rounds.
+	case KindNetRoundEnd:
+		c.netRounds.Add(1)
+		c.netRoundNanos.Add(int64(e.Dur))
+	case KindNetRequest:
+		c.netRequests.Add(1)
+	case KindNetTimeout:
+		c.netTimeouts.Add(1)
 	}
 }
 
@@ -154,6 +174,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Crashes:          c.crashes.Load(),
 		Checkpoints:      c.checkpoints.Load(),
 		Resumes:          c.resumes.Load(),
+		NetRounds:        c.netRounds.Load(),
+		NetRequests:      c.netRequests.Load(),
+		NetTimeouts:      c.netTimeouts.Load(),
+		NetRoundTime:     time.Duration(c.netRoundNanos.Load()),
 		EpochTime:        time.Duration(c.epochNanos.Load()),
 		LocalUpdateTime:  time.Duration(c.localUpdateNanos.Load()),
 		AggregateTime:    time.Duration(c.aggregateNanos.Load()),

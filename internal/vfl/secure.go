@@ -70,12 +70,15 @@ type SecureConfig struct {
 	RetryCap time.Duration
 }
 
-// workers resolves the effective Paillier pool size.
+// workers resolves the effective Paillier pool size through the unified
+// obs.Runtime.Resolve rule. The deprecated Workers field's historical zero
+// default is GOMAXPROCS (not serial), so 0 maps to the negative sentinel.
 func (c SecureConfig) workers() int {
-	if c.Runtime.Workers != 0 {
-		return parallel.Workers(c.Runtime.Workers)
+	legacy := c.Workers
+	if legacy <= 0 {
+		legacy = -1
 	}
-	return parallel.Workers(c.Workers)
+	return c.Runtime.Resolve(legacy)
 }
 
 // SecureResult reports the outcome of a secure run together with the

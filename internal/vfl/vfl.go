@@ -8,6 +8,7 @@
 package vfl
 
 import (
+	"context"
 	"fmt"
 
 	"digfl/internal/dataset"
@@ -232,13 +233,22 @@ func (tr *Trainer) Run() *Result {
 
 // RunE trains with all participants, returning mid-training failures
 // (config errors, plugin shape mismatches, injected crashes, checkpoint
-// write failures) as errors.
+// write failures) as errors. It is RunContext without cancellation.
 func (tr *Trainer) RunE() (*Result, error) {
+	return tr.RunContext(context.Background())
+}
+
+// RunContext trains with all participants under a cancelable context:
+// cancellation is observed at the next epoch boundary, returns the
+// context's error, and never corrupts trainer state — checkpoints written
+// for completed epochs remain valid resume points, so a canceled run
+// continues bit-identically via Cfg.Resume.
+func (tr *Trainer) RunContext(ctx context.Context) (*Result, error) {
 	all := make([]int, tr.Problem.Parties())
 	for i := range all {
 		all[i] = i
 	}
-	return tr.RunSubsetE(all)
+	return tr.RunSubsetContext(ctx, all)
 }
 
 // RunSubset is RunSubsetE panicking on error, kept for compatibility.
@@ -250,8 +260,13 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 	return res
 }
 
-// RunSubsetE trains with only the blocks of the listed participants; the
-// remaining blocks stay frozen at zero — the paper's removal semantics
+// RunSubsetE is RunSubsetContext without cancellation.
+func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
+	return tr.RunSubsetContext(context.Background(), subset)
+}
+
+// RunSubsetContext trains with only the blocks of the listed participants;
+// the remaining blocks stay frozen at zero — the paper's removal semantics
 // (a removed participant's local output is identically 0, Sec. II-C2).
 //
 // With Cfg.Faults attached, a party may drop out of individual epochs: its
@@ -260,7 +275,11 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 // epoch record's Reported field names the parties that reported. An
 // injected crash aborts with a *faults.CrashError; training then resumes
 // from the latest checkpoint via Cfg.Resume.
-func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
+//
+// Cancellation is checked at every epoch boundary: a canceled ctx aborts
+// before the next epoch mutates anything, so checkpoints already written
+// stay valid resume points.
+func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result, error) {
 	if err := tr.Problem.validate(); err != nil {
 		return nil, err
 	}
@@ -295,6 +314,9 @@ func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
 		res.ValLossCurve = append(res.ValLossCurve, res.InitLoss)
 	}
 	for t := startT; t <= tr.Cfg.Epochs; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("vfl: run canceled before epoch %d: %w", t, err)
+		}
 		if inj.CrashesAt(t) {
 			obs.Emit(sink, obs.Event{Kind: obs.KindCrash, T: t})
 			return nil, &faults.CrashError{Epoch: t}
