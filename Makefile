@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify verify-faults verify-net
+.PHONY: build test bench verify verify-faults verify-net verify-adv
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) verify-net
+	$(MAKE) verify-adv
 
 # verify-faults runs the fault-injection suite: the determinism gate
 # (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
@@ -44,3 +45,16 @@ verify-faults:
 verify-net:
 	$(GO) vet ./internal/fednet/
 	$(GO) test -count=1 -run 'Loopback|LocalSource|Straggler|Retry|Cancel|Wire|Score' ./internal/fednet/
+
+# verify-adv runs the adversarial-robustness gate: the efficacy test (30%
+# sign-flip attackers across 3 seeds — undefended run diverges >=2x while
+# the defended run stays within 10% of clean, attackers rank below every
+# honest participant by total phi, quarantine bans exactly the attackers,
+# and the no-attack defended run is bit-identical to the baseline), the
+# attack-simulator determinism tests, the screen/quarantine/Krum unit
+# tests, the wire-level rejection tests, and the faults+attacks chaos
+# property test. -count=1 defeats the test cache so the gate re-executes.
+verify-adv:
+	$(GO) vet ./internal/adversary/ ./internal/robust/
+	$(GO) test -count=1 -run 'Adversar|Attack|Tamper|Quarantine|Screen|Krum|NormBound|Mutate|Poison|Fires|NonFinite|Reject' \
+		./internal/adversary/ ./internal/robust/ ./internal/hfl/ ./internal/vfl/ ./internal/fednet/ ./internal/experiments/

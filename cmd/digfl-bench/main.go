@@ -8,6 +8,7 @@
 //	digfl-bench -exp fig6 -trace t.jsonl  # also record an observability trace
 //	digfl-bench -exp faults -faults dropout=0.4,crash=8  # fault-tolerance check
 //	digfl-bench -exp net -json out.json   # networked-runtime check + timings
+//	digfl-bench -exp adversarial -attacks kind=sign_flip,frac=0.3  # defense check
 //	digfl-bench -list               # list experiment ids
 //
 // With -trace, every training run and estimator pass streams typed events
@@ -26,8 +27,11 @@
 // retries) and reports whether resume bit-identity, schedule determinism,
 // and retry transparency held; the extra "net" id runs the networked
 // coordinator/participant runtime over a loopback HTTP listener and checks
-// it reproduces the in-process trainer bit for bit. Neither is part of the
-// paper's evaluation, so -exp all includes neither.
+// it reproduces the in-process trainer bit for bit; the extra "adversarial"
+// id attacks a federation per the -attacks spec and reports how the defense
+// stack (update screening + contribution-guided quarantine) held up against
+// the undefended run. None is part of the paper's evaluation, so -exp all
+// includes none of them.
 package main
 
 import (
@@ -149,6 +153,20 @@ func netRunner() runner {
 	}
 }
 
+// adversarialRunner builds the adversarial-robustness runner from an
+// -attacks spec. Like "faults" and "net", it is outside the paper's
+// artifact set, so -exp all does not include it.
+func adversarialRunner(spec experiments.AdvSpec) runner {
+	return runner{
+		ids:  []string{"adversarial"},
+		desc: "adversarial defense: attacks vs screening+quarantine (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.Adversarial(spec, o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+		},
+	}
+}
+
 // benchRecord is one -json entry: machine-readable timing for an experiment.
 type benchRecord struct {
 	Exp    string  `json:"exp"`
@@ -191,6 +209,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table/figure's data as CSV into this directory")
 	trace := flag.String("trace", "", "write an observability trace (JSONL) to this file and print counter snapshots")
 	faultsSpec := flag.String("faults", "", "fault spec for -exp faults, comma-separated key=value (seed, dropout, straggler, delay, crash, secure, every, retries)")
+	attacksSpec := flag.String("attacks", "", "attack spec for -exp adversarial, comma-separated key=value (seed, kind, frac, n, scale, noise, rate, flip, clip, patience)")
 	jsonPath := flag.String("json", "", "write machine-readable results (wall time, epochs, round latency percentiles) as JSON to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -200,7 +219,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
 		os.Exit(2)
 	}
-	rs := append(runners(), faultsRunner(spec), netRunner())
+	advSpec, err := experiments.ParseAdvSpec(*attacksSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
+		os.Exit(2)
+	}
+	rs := append(runners(), faultsRunner(spec), netRunner(), adversarialRunner(advSpec))
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
@@ -283,7 +307,7 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, r := range rs {
-			if contains(r.ids, "faults") || contains(r.ids, "net") {
+			if contains(r.ids, "faults") || contains(r.ids, "net") || contains(r.ids, "adversarial") {
 				continue // robustness checks are opt-in; 'all' stays the paper set
 			}
 			emit(r)

@@ -126,6 +126,30 @@
 // and transient request failures are retried with capped exponential
 // backoff, invisibly to the result.
 //
+// # Adversarial robustness
+//
+// The runtime defends contribution evaluation against Byzantine and
+// free-riding participants, and uses contribution evaluation itself as a
+// defense. Deterministic attack simulators (NewAdversary, wrapped around
+// any round source via AdversarySource, or applied to shards via
+// PoisonShards) model label flipping, sign flipping, scaled model
+// poisoning, additive-noise free riding, and colluding cliques; every
+// attack decision hashes (seed, round, participant), so attacked runs are
+// exactly reproducible. Server-side, an UpdateScreen vets each round's
+// updates before aggregation — wrong shapes and non-finite values are
+// rejected, outlier L2 norms are clipped against a running median — and
+// Byzantine-resilient aggregators (MedianAggregator, TrimmedMeanAggregator,
+// KrumAggregator, MultiKrumAggregator, NormBoundAggregator) replace the
+// mean wholesale. The contribution-guided Quarantine closes the loop: it
+// reweights by rectified per-epoch φ (Eq. 17) and permanently zero-weights
+// participants whose smoothed contribution stays non-positive, surfacing
+// bans on the networked coordinator's /v1/score endpoint. The networked
+// coordinator additionally rejects malformed updates at the wire with
+// typed errors (WireError codes WireStaleRound, WireBadShape,
+// WireNonFinite). With no adversary configured and defenses attached, every
+// run is bit-identical to an undefended build — the defense stack costs
+// nothing until it fires.
+//
 // Long-running sessions use the context-aware entry points RunContext /
 // RunSubsetContext on both trainers: cancellation is observed at the next
 // epoch boundary, returns the context's error, and never corrupts
@@ -135,6 +159,7 @@
 package digfl
 
 import (
+	"digfl/internal/adversary"
 	"digfl/internal/baselines"
 	"digfl/internal/core"
 	"digfl/internal/dataset"
@@ -214,6 +239,14 @@ const (
 	KindNetRequest = obs.KindNetRequest
 	// KindNetTimeout marks a participant missing a round deadline.
 	KindNetTimeout = obs.KindNetTimeout
+	// KindAttackInjected marks a simulated adversary corrupting an update.
+	KindAttackInjected = obs.KindAttackInjected
+	// KindUpdateRejected marks the defense discarding an update.
+	KindUpdateRejected = obs.KindUpdateRejected
+	// KindUpdateClipped marks the screen clipping an outlier update norm.
+	KindUpdateClipped = obs.KindUpdateClipped
+	// KindQuarantine marks a participant being quarantined.
+	KindQuarantine = obs.KindQuarantine
 )
 
 // Observability constructors and helpers.
@@ -348,6 +381,22 @@ var (
 // talk across a version mismatch.
 const NetProtocol = fednet.Protocol
 
+// WireError is a typed wire-protocol rejection (any non-2xx reply); match
+// with errors.As and inspect Code.
+type WireError = fednet.WireError
+
+// Wire rejection codes carried in WireError.Code.
+const (
+	// WireStaleRound rejects an update for a round that is not open —
+	// benign for the client (the epoch proceeded with the survivors).
+	WireStaleRound = fednet.CodeStaleRound
+	// WireBadShape rejects a wrong-length update. Fatal for the client.
+	WireBadShape = fednet.CodeBadShape
+	// WireNonFinite rejects an update carrying NaN/±Inf. Fatal for the
+	// client.
+	WireNonFinite = fednet.CodeNonFinite
+)
+
 // Vertical model kinds.
 const (
 	// VFLLinReg is vertical linear regression (the running example).
@@ -466,6 +515,20 @@ type (
 	MedianAggregator = robust.Median
 	// TrimmedMeanAggregator is coordinate-wise trimmed-mean aggregation.
 	TrimmedMeanAggregator = robust.TrimmedMean
+	// KrumAggregator selects the single update closest to its neighbors
+	// (Krum), tolerating F Byzantine participants when n ≥ 2F+3.
+	KrumAggregator = robust.Krum
+	// MultiKrumAggregator averages the M best-scored updates (Multi-Krum).
+	MultiKrumAggregator = robust.MultiKrum
+	// NormBoundAggregator clips every update to a maximum L2 norm before
+	// the mean.
+	NormBoundAggregator = robust.NormBound
+	// HFLAggregatorE is the error-returning aggregation plugin interface;
+	// the trainer prefers it over the legacy panicking HFLAggregator.
+	HFLAggregatorE = hfl.AggregatorE
+	// HFLScreener vets a round's collected updates before aggregation,
+	// returning the positions to drop.
+	HFLScreener = hfl.Screener
 )
 
 // Robust-aggregation constructors.
@@ -473,6 +536,68 @@ var (
 	// NewTrimmedMean validates the trim count at construction instead of
 	// panicking epochs into training.
 	NewTrimmedMean = robust.NewTrimmedMean
+)
+
+// Adversarial defense (internal/robust screening + quarantine).
+type (
+	// ScreenConfig parameterizes the server-side update screen.
+	ScreenConfig = robust.ScreenConfig
+	// UpdateScreen is the hfl.Screener rejecting malformed updates and
+	// clipping outlier norms against a running median.
+	UpdateScreen = robust.UpdateScreen
+	// Quarantine is the contribution-guided reweighter: rectified Eq. 17
+	// weights plus permanent exclusion of persistently negative
+	// contributors.
+	Quarantine = robust.Quarantine
+)
+
+// Adversarial-defense constructors.
+var (
+	// NewUpdateScreen validates a ScreenConfig and builds the screen.
+	NewUpdateScreen = robust.NewUpdateScreen
+	// MustNewUpdateScreen is NewUpdateScreen panicking on invalid config.
+	MustNewUpdateScreen = robust.MustNewUpdateScreen
+	// NewQuarantine validates a Quarantine policy and builds it.
+	NewQuarantine = robust.NewQuarantine
+	// MustNewQuarantine is NewQuarantine panicking on invalid config.
+	MustNewQuarantine = robust.MustNewQuarantine
+)
+
+// Attack simulation (internal/adversary).
+type (
+	// AttackKind selects the simulated attack behavior.
+	AttackKind = adversary.Kind
+	// AttackConfig parameterizes a deterministic adversary.
+	AttackConfig = adversary.Config
+	// Adversary makes seed-driven attack decisions; nil attacks nothing.
+	Adversary = adversary.Adversary
+	// AdversarySource wraps any HFLRoundSource, corrupting attacker updates
+	// after the honest computation.
+	AdversarySource = adversary.Source
+)
+
+// Attack kinds.
+const (
+	// AttackLabelFlip poisons attacker shards at setup (data poisoning).
+	AttackLabelFlip = adversary.LabelFlip
+	// AttackSignFlip negates and amplifies attacker updates.
+	AttackSignFlip = adversary.SignFlip
+	// AttackScalePoison amplifies attacker updates (model replacement).
+	AttackScalePoison = adversary.ScalePoison
+	// AttackFreeRider replaces attacker updates with low-magnitude noise.
+	AttackFreeRider = adversary.FreeRider
+	// AttackCollude makes all attackers push one shared malicious direction.
+	AttackCollude = adversary.Collude
+)
+
+// Attack-simulation constructors.
+var (
+	// NewAdversary validates an AttackConfig and builds the adversary.
+	NewAdversary = adversary.New
+	// MustNewAdversary is NewAdversary panicking on invalid config.
+	MustNewAdversary = adversary.MustNew
+	// ParseAttackKind maps the wire/CLI names ("sign_flip", ...) to a Kind.
+	ParseAttackKind = adversary.ParseKind
 )
 
 // Fault tolerance (internal/faults + checkpoint machinery).
@@ -508,6 +633,9 @@ var (
 	// ErrRetriesExhausted reports a secure round that failed past
 	// SecureConfig.MaxRetries.
 	ErrRetriesExhausted = faults.ErrRetriesExhausted
+	// ErrVFLNonFinite is the sentinel wrapped by VFLConfig.FailNonFinite
+	// aborts when an epoch's update or validation loss turns NaN/±Inf.
+	ErrVFLNonFinite = vfl.ErrNonFinite
 	// WriteHFLCheckpoint serializes an HFL checkpoint (trainer + estimator).
 	WriteHFLCheckpoint = logio.WriteHFLCheckpoint
 	// ReadHFLCheckpoint deserializes an HFL checkpoint.

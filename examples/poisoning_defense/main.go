@@ -1,0 +1,91 @@
+// poisoning_defense: a federation under model-poisoning attack, defended by
+// the full robustness stack. Three of ten participants are compromised and
+// submit sign-flipped, amplified updates — gradient ascent on the global
+// objective. The same federation is trained three times: a clean reference,
+// the attacked run with plain FedAvg (which the attackers wreck), and the
+// attacked run behind the defenses — an update screen that clips outlier
+// norms against a running median, plus a contribution-guided quarantine
+// that reweights every epoch by rectified DIG-FL φ (Eq. 17) and permanently
+// bans participants whose smoothed contribution stays negative. The defense
+// needs no knowledge of who the attackers are: the contribution scores
+// identify them.
+//
+//	go run ./examples/poisoning_defense
+package main
+
+import (
+	"fmt"
+
+	"digfl"
+	"digfl/internal/tensor"
+)
+
+func main() {
+	const (
+		nParts = 10
+		epochs = 15
+		seed   = 11
+	)
+	rng := tensor.NewRNG(seed)
+	full := digfl.SynthImages(digfl.ImageConfig{
+		Name: "clinics", N: 2000, Side: 8, Classes: 10, Noise: 0.9, Seed: seed,
+	})
+	train, val := full.Split(0.1, rng)
+	parts := digfl.PartitionIID(train, nParts, rng)
+	model := digfl.NewSoftmaxRegression(train.Dim(), train.Classes)
+
+	// Participants 0–2 are compromised: every round they negate their honest
+	// update and triple it. Decisions hash (seed, round, participant), so
+	// this attack trace is bit-identical on every machine.
+	adv := digfl.MustNewAdversary(digfl.AttackConfig{
+		Seed: seed, Attackers: []int{0, 1, 2}, Kind: digfl.AttackSignFlip,
+	})
+
+	run := func(a *digfl.Adversary, defended bool) (*digfl.HFLResult, *digfl.HFLEstimator, *digfl.Quarantine) {
+		est := digfl.NewHFLEstimator(nParts, model.NumParams(), digfl.ResourceSaving, nil)
+		tr := &digfl.HFLTrainer{
+			Model: model, Val: val,
+			Cfg:    digfl.HFLConfig{Epochs: epochs, LR: 0.3, Participants: nParts},
+			Rounds: &digfl.AdversarySource{Inner: &digfl.NetLocalSource{Model: model, Parts: parts}, Adversary: a},
+		}
+		var q *digfl.Quarantine
+		if defended {
+			q = digfl.MustNewQuarantine(digfl.Quarantine{Estimator: est})
+			tr.Screen = digfl.MustNewUpdateScreen(digfl.ScreenConfig{})
+			tr.Reweighter = q
+		} else {
+			tr.Observer = func(ep *digfl.HFLEpoch) { est.Observe(ep) }
+		}
+		res, err := tr.RunE()
+		if err != nil {
+			panic(err)
+		}
+		return res, est, q
+	}
+
+	clean, _, _ := run(nil, false)
+	attacked, _, _ := run(adv, false)
+	defendedRes, est, q := run(adv, true)
+
+	fmt.Println("=== poisoning attack: 3/10 participants sign-flip their updates ===")
+	fmt.Printf("clean run:              final val loss %.4f\n", clean.FinalLoss)
+	fmt.Printf("attacked, no defense:   final val loss %.4f (%.1fx clean)\n",
+		attacked.FinalLoss, attacked.FinalLoss/clean.FinalLoss)
+	fmt.Printf("attacked, defended:     final val loss %.4f (%.2fx clean)\n",
+		defendedRes.FinalLoss, defendedRes.FinalLoss/clean.FinalLoss)
+
+	fmt.Printf("\nquarantined participants: %v (true attackers: %v)\n",
+		q.Quarantined(), adv.Attackers())
+	fmt.Println("\nper-participant total contribution φ (defended run):")
+	attr := est.Attribution()
+	for i, phi := range attr.Totals {
+		tag := ""
+		if adv.IsAttacker(i) {
+			tag = "  <- attacker"
+		}
+		fmt.Printf("  participant %d: %+.4f%s\n", i, phi, tag)
+	}
+	fmt.Println("\nThe attackers' contributions go negative within a few epochs, the")
+	fmt.Println("quarantine zero-weights them permanently, and training proceeds on")
+	fmt.Println("the honest majority — no attacker identities were configured anywhere.")
+}

@@ -1,0 +1,48 @@
+package adversary
+
+import (
+	"context"
+
+	"digfl/internal/hfl"
+	"digfl/internal/obs"
+)
+
+// Source wraps any hfl.RoundSource and corrupts the compromised
+// participants' updates on the way back to the server — the
+// participant/local-update seam where a real attacker sits. The inner
+// source computes every update honestly (for LabelFlip, honestly on
+// poisoned shards planted via PoisonShards); Source then applies
+// MutateDelta to the attackers' reported deltas.
+//
+// With a nil Adversary (or one that never fires) the wrapper is
+// pass-through and the run is bit-identical to using Inner directly.
+type Source struct {
+	// Inner supplies the honest updates.
+	Inner hfl.RoundSource
+	// Adversary decides who attacks when, and how. Nil attacks nothing.
+	Adversary *Adversary
+	// Sink optionally receives a KindAttackInjected event per fired
+	// mutation (Part = attacker, T = round).
+	Sink obs.Sink
+}
+
+// Round delegates to Inner, then corrupts the attackers' deltas in place.
+func (s *Source) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.RoundResult, error) {
+	res, err := s.Inner.Round(ctx, spec)
+	if err != nil || res == nil {
+		return res, err
+	}
+	reported := res.Reported
+	if reported == nil {
+		reported = spec.Active
+	}
+	for k, i := range reported {
+		if k >= len(res.Deltas) {
+			break
+		}
+		if s.Adversary.MutateDelta(spec.T, i, res.Deltas[k]) {
+			obs.Emit(s.Sink, obs.Event{Kind: obs.KindAttackInjected, T: spec.T, Part: i})
+		}
+	}
+	return res, nil
+}

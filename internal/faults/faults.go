@@ -124,11 +124,17 @@ const (
 	domainNet
 )
 
-// uniform maps (seed, domain, a, b, c) to a uniform variate in [0,1) via a
+// Uniform maps (seed, domain, a, b, c) to a uniform variate in [0,1) via a
 // splitmix64-style finalizer. Coordinates are offset by 1 so the zero
-// coordinate still perturbs the hash.
-func (in *Injector) uniform(domain, a, b, c uint64) float64 {
-	x := uint64(in.cfg.Seed)
+// coordinate still perturbs the hash. It is the shared deterministic-schedule
+// primitive of the runtime: the fault injector's decisions and the attack
+// simulators in internal/adversary both hash through it, so both schedules
+// are pure functions of (seed, coordinates) — independent of call order,
+// worker count, and resume point. Callers must pick domain values that do
+// not collide with another consumer using the same seed (this package uses
+// 1–4; internal/adversary uses 101+).
+func Uniform(seed int64, domain, a, b, c uint64) float64 {
+	x := uint64(seed)
 	x ^= (domain + 1) * 0x9e3779b97f4a7c15
 	x ^= (a + 1) * 0xbf58476d1ce4e5b9
 	x ^= (b + 1) * 0x94d049bb133111eb
@@ -139,6 +145,11 @@ func (in *Injector) uniform(domain, a, b, c uint64) float64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return float64(x>>11) * 0x1p-53
+}
+
+// uniform is Uniform bound to the injector's seed.
+func (in *Injector) uniform(domain, a, b, c uint64) float64 {
+	return Uniform(in.cfg.Seed, domain, a, b, c)
 }
 
 // DropsOut reports whether the participant drops out of the given epoch.

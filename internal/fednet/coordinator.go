@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"digfl/internal/logio"
 	"digfl/internal/nn"
 	"digfl/internal/obs"
+	"digfl/internal/robust"
 	"digfl/internal/tensor"
 )
 
@@ -47,6 +49,17 @@ type Coordinator struct {
 	Reweighter hfl.Reweighter
 	Aggregator hfl.Aggregator
 	Observer   hfl.Observer
+	// Screen, when non-nil, vets every round's collected updates before
+	// aggregation (hfl.Trainer.Screen semantics) — the second line of
+	// defense behind the wire-level shape and finiteness rejections.
+	Screen hfl.Screener
+	// Quarantine, when non-nil, is wired as the trainer's reweighter (the
+	// Reweighter field must then be nil) and its ban state is surfaced on
+	// /v1/score. When Quarantine.Estimator is nil and Estimator is set,
+	// the coordinator hands its estimator to the policy, so one φ stream
+	// feeds the score endpoint and the bans; the estimator is then fed
+	// through the quarantine's Weights call instead of the Observer.
+	Quarantine *robust.Quarantine
 	// Estimator, when non-nil, observes every epoch (under the
 	// coordinator's lock) and backs the /v1/score endpoint, so
 	// contribution evaluation runs server-side inside the live round loop.
@@ -157,8 +170,26 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 
 	cfg := c.Cfg
 	cfg.Participants = c.N
+	reweighter := c.Reweighter
+	estimatorObserves := c.Estimator != nil
+	if c.Quarantine != nil {
+		if c.Reweighter != nil {
+			return nil, errors.New("fednet: set Reweighter or Quarantine, not both")
+		}
+		if c.Quarantine.Estimator == nil && c.Estimator != nil {
+			c.Quarantine.Estimator = c.Estimator
+		}
+		if c.Quarantine.Estimator == c.Estimator {
+			// The quarantine's Weights call feeds the estimator; observing
+			// again would double-count the epoch.
+			estimatorObserves = false
+		}
+		// Weights mutates quarantine state read by /v1/score handlers, so
+		// serialize it with the coordinator's lock.
+		reweighter = &lockedReweighter{c: c, rw: c.Quarantine}
+	}
 	observer := c.Observer
-	if c.Estimator != nil {
+	if estimatorObserves {
 		est, user := c.Estimator, c.Observer
 		observer = func(ep *hfl.Epoch) {
 			c.mu.Lock()
@@ -186,10 +217,23 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 	}
 	tr := &hfl.Trainer{
 		Model: c.Model, Val: c.Val, Cfg: cfg,
-		Reweighter: c.Reweighter, Aggregator: c.Aggregator,
-		Observer: observer, Rounds: c,
+		Reweighter: reweighter, Aggregator: c.Aggregator,
+		Screen: c.Screen, Observer: observer, Rounds: c,
 	}
 	return tr.RunContext(ctx)
+}
+
+// lockedReweighter serializes a reweighter whose state is also read by the
+// coordinator's HTTP handlers (the quarantine ban list).
+type lockedReweighter struct {
+	c  *Coordinator
+	rw hfl.Reweighter
+}
+
+func (l *lockedReweighter) Weights(ep *hfl.Epoch) []float64 {
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	return l.rw.Weights(ep)
 }
 
 // Round implements hfl.RoundSource: it broadcasts the round to the polling
@@ -393,22 +437,32 @@ func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "protocol %q, want %q", ur.Protocol, Protocol)
 		return
 	}
+	sink := c.Cfg.Runtime.Sink
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := c.round
 	switch {
 	case r == nil || r.t != ur.T || r.closed:
 		// The round is gone — the participant straggled past the deadline
-		// (or submitted for a future round). Not an error: the epoch
-		// proceeded with the survivors.
-		writeJSON(w, http.StatusOK, updateReply{Reason: "closed"})
+		// (or submitted for a round that is not open). Benign for a
+		// well-behaved client: the epoch proceeded with the survivors.
+		writeCodedError(w, http.StatusConflict, CodeStaleRound,
+			"round %d is not open", ur.T)
 	default:
 		k, active := r.slots[ur.Index]
 		switch {
 		case !active:
 			writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
 		case len(ur.Delta) != len(r.theta):
-			writeJSON(w, http.StatusOK, updateReply{Reason: "shape"})
+			// An honest client can never produce a wrong-length delta from
+			// this round's broadcast; refuse it outright.
+			obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ur.T, Part: ur.Index})
+			writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
+				"delta has %d params, model has %d", len(ur.Delta), len(r.theta))
+		case !finiteVec(ur.Delta):
+			obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ur.T, Part: ur.Index})
+			writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
+				"delta carries non-finite values")
 		case r.deltas[k] != nil:
 			// Idempotent: a retried submission (the first ack was lost)
 			// is acknowledged without overwriting.
@@ -420,6 +474,16 @@ func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
 			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 		}
 	}
+}
+
+// finiteVec reports whether every coordinate is finite.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Coordinator) handleAggregate(w http.ResponseWriter, req *http.Request) {
@@ -464,6 +528,9 @@ func (c *Coordinator) handleScore(w http.ResponseWriter, req *http.Request) {
 	c.mu.Lock()
 	attr := c.Estimator.Attribution()
 	reply := scoreReply{Epochs: len(attr.PerEpoch), Totals: append([]float64(nil), attr.Totals...)}
+	if c.Quarantine != nil {
+		reply.Quarantined = c.Quarantine.Quarantined()
+	}
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, reply)
 }

@@ -350,9 +350,10 @@ func TestWireValidation(t *testing.T) {
 			t.Fatalf("join attempt %d: status %d body %s", k, resp.StatusCode, body)
 		}
 	}
-	// An update with no open round is survivable, not an error.
+	// An update with no open round is a typed stale-round conflict — benign
+	// for a well-behaved participant, but no longer a silent 200.
 	resp, body := post("/v1/update", updateRequest{Protocol: Protocol, T: 1, Index: 0, Delta: []float64{1}})
-	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "closed") {
+	if resp.StatusCode != http.StatusConflict || !strings.Contains(body, CodeStaleRound) {
 		t.Errorf("update with no round: status %d body %s", resp.StatusCode, body)
 	}
 	if resp, body := post("/v1/update", updateRequest{Protocol: "nope", T: 1, Index: 0}); resp.StatusCode != http.StatusBadRequest {

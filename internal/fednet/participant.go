@@ -46,6 +46,10 @@ type Participant struct {
 	// Delay, when non-nil, sleeps before computing round t's update — the
 	// test hook that turns this participant into a straggler.
 	Delay func(t int)
+	// Tamper, when non-nil, mutates round t's update in place after the
+	// honest computation and before submission — the wire-level adversary
+	// hook the defense tests drive malformed and poisoned payloads through.
+	Tamper func(t int, delta []float64)
 	// Sink receives a KindNetRequest per attempted request and a KindRetry
 	// per retried one.
 	Sink obs.Sink
@@ -105,7 +109,8 @@ func (p *Participant) do(ctx context.Context, round int, build func() (*http.Req
 			if resp.StatusCode != http.StatusOK {
 				var er errorReply
 				_ = readJSON(resp.Body, &er)
-				return fmt.Errorf("fednet: %s %s: %s (%s)", req.Method, req.URL.Path, resp.Status, er.Error)
+				return &WireError{Status: resp.StatusCode, Code: er.Code,
+					Msg: fmt.Sprintf("%s %s: %s", req.Method, req.URL.Path, er.Error)}
 			}
 			return readJSON(resp.Body, out)
 		}()
@@ -186,15 +191,27 @@ func (p *Participant) Run(ctx context.Context) error {
 			p.Delay(round.T)
 		}
 		delta := p.localUpdate(round.Theta, float64(round.LR), join.LocalSteps)
+		if p.Tamper != nil {
+			p.Tamper(round.T, delta)
+		}
 		var ack updateReply
 		err := p.post(ctx, round.T, "/v1/update", updateRequest{
 			Protocol: Protocol, T: round.T, Index: p.Index, Delta: delta,
 		}, &ack)
 		if err != nil {
+			// A stale-round rejection means we straggled past the deadline
+			// and the epoch proceeded with the survivors — the protocol
+			// working, not an error. Every other wire rejection (bad shape,
+			// non-finite payload) is fatal and unretryable.
+			var we *WireError
+			if errors.As(err, &we) && we.Code == CodeStaleRound {
+				next = round.T + 1
+				continue
+			}
 			return fmt.Errorf("fednet: participant %d update %d: %w", p.Index, round.T, err)
 		}
-		// A rejected update (round closed while we straggled, or we were
-		// not in the round's active set) is survivable: move on.
+		// A rejected update (we were not in the round's active set) is
+		// survivable: move on.
 		next = round.T + 1
 	}
 }

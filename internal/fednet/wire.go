@@ -100,15 +100,55 @@ type aggregateReply struct {
 	Final bool `json:"final,omitempty"`
 }
 
-// scoreReply is the /v1/score response: the estimator's live attribution.
+// scoreReply is the /v1/score response: the estimator's live attribution,
+// with the coordinator's current quarantine list when a quarantine policy
+// is attached.
 type scoreReply struct {
-	Epochs int       `json:"epochs"`
-	Totals jsonf.Vec `json:"totals"`
+	Epochs      int       `json:"epochs"`
+	Totals      jsonf.Vec `json:"totals"`
+	Quarantined []int     `json:"quarantined,omitempty"`
 }
 
-// errorReply is the JSON body of every non-2xx response.
+// errorReply is the JSON body of every non-2xx response. Code, when
+// present, machine-names the rejection so clients can distinguish benign
+// refusals (a stale round) from fatal ones (a malformed update).
 type errorReply struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Wire error codes carried in errorReply.Code.
+const (
+	// CodeStaleRound rejects an update for a round that is not the open
+	// one — closed past its deadline, not yet opened, or never to open.
+	// Benign for the client: the epoch proceeded with the survivors.
+	CodeStaleRound = "stale_round"
+	// CodeBadShape rejects an update whose delta length does not match the
+	// broadcast model. Fatal for the client.
+	CodeBadShape = "bad_shape"
+	// CodeNonFinite rejects an update carrying NaN or ±Inf coordinates.
+	// Fatal for the client.
+	CodeNonFinite = "non_finite"
+)
+
+// WireError is a typed protocol rejection (any non-2xx reply). The
+// participant surfaces it unretried: the coordinator would refuse the
+// identical retry identically.
+type WireError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable rejection code (may be empty for
+	// generic protocol errors).
+	Code string
+	// Msg is the server's human-readable error.
+	Msg string
+}
+
+func (e *WireError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("fednet: wire error %d (%s): %s", e.Status, e.Code, e.Msg)
+	}
+	return fmt.Sprintf("fednet: wire error %d: %s", e.Status, e.Msg)
 }
 
 // writeJSON writes v with the given status code.
@@ -118,9 +158,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError writes an errorReply.
+// writeError writes an errorReply with no code.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeCodedError writes an errorReply with a machine-readable code.
+func writeCodedError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // readJSON decodes a request body into v, bounding the read.

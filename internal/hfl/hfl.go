@@ -195,6 +195,27 @@ type Aggregator interface {
 	Aggregate(ep *Epoch) []float64
 }
 
+// AggregatorE is the error-returning variant of Aggregator. When the
+// trainer's Aggregator also implements AggregatorE, the trainer calls
+// AggregateE instead and surfaces the error through the RunE contract — a
+// misconfigured robust rule fails the run instead of panicking mid-epoch.
+type AggregatorE interface {
+	AggregateE(ep *Epoch) ([]float64, error)
+}
+
+// Screener vets an epoch's local updates server-side before weights are
+// chosen or anything is aggregated — the hook robust.UpdateScreen plugs
+// into. reported lists the global participant indices aligned with
+// ep.Deltas (the run's active set when nobody dropped). The screener may
+// mutate deltas in place (norm clipping) and returns the positions into
+// ep.Deltas to discard outright; the trainer then compacts the epoch to
+// the survivors with the same Reported semantics as injected dropout. A
+// screener returning no drops and not mutating leaves the epoch
+// bit-identical.
+type Screener interface {
+	Screen(ep *Epoch, reported []int) (drop []int, err error)
+}
+
 // Observer receives each epoch record after the aggregation weights are
 // fixed; DIG-FL's online estimators observe training through this hook.
 type Observer func(ep *Epoch)
@@ -257,6 +278,11 @@ type Trainer struct {
 	// updates (robust aggregation rules). When set, it consumes the epoch
 	// record (including any Reweighter weights) and produces G_t itself.
 	Aggregator Aggregator
+	// Screen optionally vets each epoch's updates before the Reweighter and
+	// aggregation run: dropped updates are removed from the epoch record
+	// (degrading it to the survivors, like an injected dropout) and clipped
+	// updates are mutated in place. Nil skips screening entirely.
+	Screen Screener
 	// Observer optionally watches each epoch record.
 	Observer Observer
 	// Rounds, when non-nil, replaces the in-process local-update
@@ -470,6 +496,33 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 			// records stay bit-identical to before.
 			ep.Reported = reported
 		}
+		if tr.Screen != nil && len(deltas) > 0 {
+			drop, err := tr.Screen.Screen(ep, reported)
+			if err != nil {
+				return nil, fmt.Errorf("hfl: epoch %d: screen: %w", t, err)
+			}
+			if len(drop) > 0 {
+				rejected := make(map[int]bool, len(drop))
+				for _, k := range drop {
+					if k < 0 || k >= len(deltas) {
+						return nil, fmt.Errorf("hfl: epoch %d: screener dropped position %d of %d", t, k, len(deltas))
+					}
+					rejected[k] = true
+				}
+				// Compact to the survivors; a screened epoch is a degraded
+				// epoch, so Reported must be non-nil even if it started full.
+				kept := make([][]float64, 0, len(deltas)-len(rejected))
+				keptIdx := make([]int, 0, len(deltas)-len(rejected))
+				for k, d := range deltas {
+					if !rejected[k] {
+						kept = append(kept, d)
+						keptIdx = append(keptIdx, reported[k])
+					}
+				}
+				deltas, reported = kept, keptIdx
+				ep.Deltas, ep.Reported = kept, keptIdx
+			}
+		}
 		if tr.Reweighter != nil {
 			// The reweighter sees every epoch — an estimator wrapped inside
 			// one needs the all-dropped epochs too, to keep its epoch
@@ -484,7 +537,14 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 			var grad []float64
 			switch {
 			case tr.Aggregator != nil:
-				grad = tr.Aggregator.Aggregate(ep)
+				if agg, ok := tr.Aggregator.(AggregatorE); ok {
+					var err error
+					if grad, err = agg.AggregateE(ep); err != nil {
+						return nil, fmt.Errorf("hfl: epoch %d: aggregator: %w", t, err)
+					}
+				} else {
+					grad = tr.Aggregator.Aggregate(ep)
+				}
 				if len(grad) != p {
 					return nil, fmt.Errorf("hfl: epoch %d: aggregator returned %d values for %d params", t, len(grad), p)
 				}

@@ -83,6 +83,22 @@ const (
 	// KindNetTimeout marks participant Part missing networked round T's
 	// deadline; the round proceeds with the survivors (Epoch.Reported).
 	KindNetTimeout
+	// KindAttackInjected marks an adversarial participant Part corrupting
+	// its round-T update (internal/adversary simulators, or a poisoned shard
+	// planted at setup, in which case T is 0).
+	KindAttackInjected
+	// KindUpdateRejected marks participant Part's round-T update being
+	// dropped before aggregation — wrong shape, non-finite values, or a
+	// wire-level validation failure on the networked coordinator. The epoch
+	// proceeds without it (Epoch.Reported survivor semantics).
+	KindUpdateRejected
+	// KindUpdateClipped marks participant Part's round-T update being
+	// norm-clipped by the server-side screen; Value is the pre-clip L2 norm.
+	KindUpdateClipped
+	// KindQuarantine marks participant Part being demoted to zero
+	// aggregation weight after round T by the contribution-guided
+	// quarantine policy.
+	KindQuarantine
 
 	numKinds
 )
@@ -108,6 +124,10 @@ var kindNames = [numKinds]string{
 	KindNetRoundEnd:      "net_round_end",
 	KindNetRequest:       "net_request",
 	KindNetTimeout:       "net_timeout",
+	KindAttackInjected:   "attack_injected",
+	KindUpdateRejected:   "update_rejected",
+	KindUpdateClipped:    "update_clipped",
+	KindQuarantine:       "quarantine",
 }
 
 func (k Kind) String() string {

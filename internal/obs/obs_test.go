@@ -243,6 +243,8 @@ func TestKindString(t *testing.T) {
 		KindCrash: "crash", KindCheckpoint: "checkpoint", KindResume: "resume",
 		KindNetRoundStart: "net_round_start", KindNetRoundEnd: "net_round_end",
 		KindNetRequest: "net_request", KindNetTimeout: "net_timeout",
+		KindAttackInjected: "attack_injected", KindUpdateRejected: "update_rejected",
+		KindUpdateClipped: "update_clipped", KindQuarantine: "quarantine",
 	}
 	got := map[Kind]string{}
 	for k := Kind(0); k < numKinds; k++ {

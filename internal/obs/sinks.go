@@ -43,6 +43,11 @@ type Snapshot struct {
 	// summed open-to-close wall clock of the closed rounds.
 	NetRounds, NetRequests, NetTimeouts int64
 	NetRoundTime                        time.Duration
+	// AttacksInjected, UpdatesRejected, UpdatesClipped and Quarantines
+	// count adversarial-robustness events: simulated update corruptions,
+	// updates dropped by screening or wire validation, updates norm-clipped
+	// by the screen, and participants demoted by the quarantine policy.
+	AttacksInjected, UpdatesRejected, UpdatesClipped, Quarantines int64
 	// EpochTime, LocalUpdateTime, AggregateTime and EstimatorTime are the
 	// summed durations of the corresponding timed events. LocalUpdateTime
 	// can exceed EpochTime when local updates run in parallel — it is CPU
@@ -77,6 +82,10 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" net[rounds=%d (%.3fs) reqs=%d timeouts=%d]",
 			s.NetRounds, s.NetRoundTime.Seconds(), s.NetRequests, s.NetTimeouts)
 	}
+	if s.AttacksInjected+s.UpdatesRejected+s.UpdatesClipped+s.Quarantines > 0 {
+		out += fmt.Sprintf(" adv[attacks=%d rejected=%d clipped=%d quarantined=%d]",
+			s.AttacksInjected, s.UpdatesRejected, s.UpdatesClipped, s.Quarantines)
+	}
 	return out
 }
 
@@ -92,6 +101,8 @@ type Collector struct {
 	dropouts, stragglers, retries                           atomic.Int64
 	crashes, checkpoints, resumes                           atomic.Int64
 	netRounds, netRequests, netTimeouts, netRoundNanos      atomic.Int64
+	attacksInjected, updatesRejected                        atomic.Int64
+	updatesClipped, quarantines                             atomic.Int64
 }
 
 // Emit implements Sink.
@@ -149,6 +160,14 @@ func (c *Collector) Emit(e Event) {
 		c.netRequests.Add(1)
 	case KindNetTimeout:
 		c.netTimeouts.Add(1)
+	case KindAttackInjected:
+		c.attacksInjected.Add(1)
+	case KindUpdateRejected:
+		c.updatesRejected.Add(1)
+	case KindUpdateClipped:
+		c.updatesClipped.Add(1)
+	case KindQuarantine:
+		c.quarantines.Add(1)
 	}
 }
 
@@ -178,6 +197,10 @@ func (c *Collector) Snapshot() Snapshot {
 		NetRequests:      c.netRequests.Load(),
 		NetTimeouts:      c.netTimeouts.Load(),
 		NetRoundTime:     time.Duration(c.netRoundNanos.Load()),
+		AttacksInjected:  c.attacksInjected.Load(),
+		UpdatesRejected:  c.updatesRejected.Load(),
+		UpdatesClipped:   c.updatesClipped.Load(),
+		Quarantines:      c.quarantines.Load(),
 		EpochTime:        time.Duration(c.epochNanos.Load()),
 		LocalUpdateTime:  time.Duration(c.localUpdateNanos.Load()),
 		AggregateTime:    time.Duration(c.aggregateNanos.Load()),

@@ -1,0 +1,227 @@
+package robust
+
+import (
+	"fmt"
+	"sort"
+
+	"digfl/internal/core"
+	"digfl/internal/hfl"
+	"digfl/internal/obs"
+	"digfl/internal/tensor"
+)
+
+// Quarantine is the contribution-guided defense the paper gestures at:
+// contribution evaluation *as* an admission policy. It is an
+// hfl.Reweighter that consumes the live DIG-FL φ stream (through an
+// HFLEstimator, or the first-order projection when none is attached),
+// maintains a rectified EWMA of each participant's per-epoch contribution,
+// and permanently demotes persistent non-contributors to zero aggregation
+// weight once their EWMA has stayed non-positive for Patience consecutive
+// observed epochs while the federation median is positive. The median
+// guard encodes the honest-majority assumption: when training has stalled
+// for everyone (median ≤ 0), nobody is banned for it.
+//
+// For participants not yet quarantined the returned weights are exactly
+// the paper's Eq. 17 rectification over the non-banned cohort, so a run in
+// which nobody is ever banned is bit-identical to using core.HFLReweighter
+// directly.
+//
+// Quarantine keeps per-run state and is not safe for concurrent use; the
+// trainer calls it serially once per epoch.
+type Quarantine struct {
+	// Estimator, when non-nil, supplies φ_{t,·} (and accumulates the run's
+	// attribution as a side effect, like core.HFLReweighter). When nil, the
+	// first-order projection (1/|S|)·∇loss^v·δ is computed per epoch.
+	Estimator *core.HFLEstimator
+	// Lambda is the EWMA rate: ewma ← (1−Lambda)·ewma + Lambda·φ.
+	// Defaults to 0.3.
+	Lambda float64
+	// Patience is the number of consecutive observed epochs a
+	// participant's rectified EWMA must stay non-positive (against a
+	// positive federation median) before it is quarantined. Defaults to 3.
+	Patience int
+	// Sink optionally receives one KindQuarantine event per ban.
+	Sink obs.Sink
+
+	ewma    []float64
+	seen    []bool
+	streak  []int
+	banned  []bool
+	nBanned int
+}
+
+var _ hfl.Reweighter = (*Quarantine)(nil)
+
+// NewQuarantine validates the policy parameters and fills defaults.
+func NewQuarantine(q Quarantine) (*Quarantine, error) {
+	if q.Lambda < 0 || q.Lambda > 1 {
+		return nil, fmt.Errorf("robust: quarantine Lambda %v outside [0,1]", q.Lambda)
+	}
+	if q.Patience < 0 {
+		return nil, fmt.Errorf("robust: negative quarantine Patience %d", q.Patience)
+	}
+	if q.Lambda == 0 {
+		q.Lambda = 0.3
+	}
+	if q.Patience == 0 {
+		q.Patience = 3
+	}
+	return &q, nil
+}
+
+// MustNewQuarantine is NewQuarantine panicking on invalid configuration.
+func MustNewQuarantine(q Quarantine) *Quarantine {
+	out, err := NewQuarantine(q)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// grow lazily sizes the per-participant state to at least n.
+func (q *Quarantine) grow(n int) {
+	for len(q.ewma) < n {
+		q.ewma = append(q.ewma, 0)
+		q.seen = append(q.seen, false)
+		q.streak = append(q.streak, 0)
+		q.banned = append(q.banned, false)
+	}
+}
+
+// Weights implements hfl.Reweighter: observe the epoch's φ, update the
+// quarantine state, and return Eq. 17 weights over the non-banned
+// reporters (banned reporters get exactly 0).
+func (q *Quarantine) Weights(ep *hfl.Epoch) []float64 {
+	if q.Lambda == 0 {
+		q.Lambda = 0.3
+	}
+	if q.Patience == 0 {
+		q.Patience = 3
+	}
+	// reporters are the global indices aligned with ep.Deltas.
+	reporters := ep.Reported
+	var phi []float64 // aligned with reporters/ep.Deltas
+	if q.Estimator != nil {
+		global := q.Estimator.Observe(ep)
+		if reporters == nil {
+			phi = global
+		} else {
+			phi = make([]float64, len(reporters))
+			for k, i := range reporters {
+				phi[k] = global[i]
+			}
+		}
+	} else {
+		phi = make([]float64, len(ep.Deltas))
+		inv := 1 / float64(len(ep.Deltas))
+		for k, delta := range ep.Deltas {
+			phi[k] = inv * tensor.Dot(ep.ValGrad, delta)
+		}
+	}
+	if len(ep.Deltas) == 0 {
+		return nil
+	}
+	if reporters == nil {
+		reporters = make([]int, len(ep.Deltas))
+		for k := range reporters {
+			reporters[k] = k
+		}
+	}
+	maxIdx := 0
+	for _, i := range reporters {
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	q.grow(maxIdx + 1)
+
+	// Update EWMAs for this epoch's reporters only — absent participants
+	// keep their state frozen, like the estimator's ΔG recursion.
+	for k, i := range reporters {
+		if !q.seen[i] {
+			q.ewma[i], q.seen[i] = phi[k], true
+		} else {
+			q.ewma[i] = (1-q.Lambda)*q.ewma[i] + q.Lambda*phi[k]
+		}
+	}
+	// Federation health: median EWMA over this epoch's reporters.
+	meds := make([]float64, len(reporters))
+	for k, i := range reporters {
+		meds[k] = q.ewma[i]
+	}
+	sort.Float64s(meds)
+	med := meds[len(meds)/2]
+	if len(meds)%2 == 0 {
+		med = (meds[len(meds)/2-1] + meds[len(meds)/2]) / 2
+	}
+	for _, i := range reporters {
+		if q.banned[i] {
+			continue
+		}
+		if med > 0 && q.ewma[i] <= 0 {
+			q.streak[i]++
+			if q.streak[i] >= q.Patience {
+				q.banned[i] = true
+				q.nBanned++
+				obs.Emit(q.Sink, obs.Event{Kind: obs.KindQuarantine, T: ep.T, Part: i})
+			}
+		} else {
+			q.streak[i] = 0
+		}
+	}
+
+	// Eq. 17 rectification over the non-banned reporters; banned reporters
+	// get exactly zero weight. With no bans this reproduces core.Weights
+	// bit-for-bit.
+	w := make([]float64, len(phi))
+	var sum float64
+	active := 0
+	for k, i := range reporters {
+		if q.banned[i] {
+			continue
+		}
+		active++
+		if phi[k] > 0 {
+			w[k] = phi[k]
+			sum += phi[k]
+		}
+	}
+	if sum == 0 {
+		if active == 0 {
+			// Everyone reporting is banned: zero weights freeze the model
+			// this round.
+			return w
+		}
+		for k, i := range reporters {
+			if !q.banned[i] {
+				w[k] = 1 / float64(active)
+			}
+		}
+		return w
+	}
+	for k := range w {
+		w[k] /= sum
+	}
+	return w
+}
+
+// IsQuarantined reports whether participant i is currently banned.
+func (q *Quarantine) IsQuarantined(i int) bool {
+	return i >= 0 && i < len(q.banned) && q.banned[i]
+}
+
+// Quarantined returns the sorted banned participant indices (nil when
+// nobody is banned).
+func (q *Quarantine) Quarantined() []int {
+	if q.nBanned == 0 {
+		return nil
+	}
+	out := make([]int, 0, q.nBanned)
+	for i, b := range q.banned {
+		if b {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

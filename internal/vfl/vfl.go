@@ -10,6 +10,7 @@ package vfl
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"digfl/internal/dataset"
 	"digfl/internal/faults"
@@ -120,7 +121,19 @@ type Config struct {
 	// epoch; with a deterministic fault schedule the resumed run is
 	// bit-identical to an uninterrupted one.
 	Resume *Checkpoint
+	// FailNonFinite, when true, aborts the run with an error wrapping
+	// ErrNonFinite as soon as an epoch's applied update or validation loss
+	// turns NaN/±Inf — the vertical counterpart of the horizontal update
+	// screen, catching a divergent (or poisoned) run at the epoch it breaks
+	// instead of silently training on garbage. Off by default: existing
+	// callers keep the historical propagate-NaN behavior bit-identically.
+	FailNonFinite bool
 }
+
+// ErrNonFinite is the sentinel wrapped by FailNonFinite aborts; match it
+// with errors.Is. The wrapping error names the epoch and the value
+// (update or validation loss) that went non-finite.
+var ErrNonFinite = fmt.Errorf("vfl: non-finite value")
 
 // Checkpoint is the vertical trainer state persisted every CheckpointEvery
 // epochs, mirroring the horizontal hfl.Checkpoint.
@@ -375,6 +388,9 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 				}
 			}
 		}
+		if tr.Cfg.FailNonFinite && !finiteVec(update) {
+			return nil, fmt.Errorf("vfl: epoch %d: update: %w", t, ErrNonFinite)
+		}
 		tensor.AXPY(-1, update, model.Params())
 		obs.Emit(sink, obs.Event{Kind: obs.KindAggregate, T: t,
 			N: int64(prob.Parties()), Dur: obs.Since(sink, aggStart)})
@@ -385,6 +401,9 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 			res.Log = append(res.Log, ep)
 		}
 		loss := model.Loss(prob.Val.X, prob.Val.Y)
+		if tr.Cfg.FailNonFinite && (math.IsNaN(loss) || math.IsInf(loss, 0)) {
+			return nil, fmt.Errorf("vfl: epoch %d: validation loss: %w", t, ErrNonFinite)
+		}
 		res.ValLossCurve = append(res.ValLossCurve, loss)
 		obs.Emit(sink, obs.Event{Kind: obs.KindEpochEnd, T: t,
 			Dur: obs.Since(sink, epochStart), Value: loss})
@@ -403,6 +422,16 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 	}
 	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
 	return res, nil
+}
+
+// finiteVec reports whether every coordinate is finite.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // Utility is the coalition utility V(S) by full retraining (Eq. 2) — the
