@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify verify-faults verify-net verify-adv
+.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ verify:
 	$(GO) test -race ./...
 	$(MAKE) verify-net
 	$(MAKE) verify-adv
+	$(MAKE) verify-scale
 
 # verify-faults runs the fault-injection suite: the determinism gate
 # (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
@@ -45,6 +46,19 @@ verify-faults:
 verify-net:
 	$(GO) vet ./internal/fednet/
 	$(GO) test -count=1 -run 'Loopback|LocalSource|Straggler|Retry|Cancel|Wire|Score' ./internal/fednet/
+
+# verify-scale runs the 100k-participant scaling gate: deterministic cohort
+# sampling (3 seeds x rerun and crash/resume bit-identity, sampling composed
+# with dropout faults), the streaming-aggregation equivalence tests
+# (in-process streamed == flat-streamed loopback == two-level cohort tree,
+# bit for bit across 3 seeds), the delta-retention release tests, and the
+# bounded-memory gate (a 100k-participant streamed round must complete with
+# total allocations bounded by the cohort, not the population). -count=1
+# defeats the test cache so the memory measurement re-executes.
+verify-scale:
+	$(GO) vet ./internal/sampling/ ./internal/hfl/ ./internal/fednet/
+	$(GO) test -count=1 -run 'Sample|Sampled|Cohort|Stream|MeanFold|Scale100k|Retain|Tree|TotalsOnly|LongPoll' \
+		./internal/sampling/ ./internal/hfl/ ./internal/core/ ./internal/fednet/ ./internal/vfl/
 
 # verify-adv runs the adversarial-robustness gate: the efficacy test (30%
 # sign-flip attackers across 3 seeds — undefended run diverges >=2x while

@@ -279,12 +279,13 @@ func main() {
 			}
 		}
 		if bs != nil {
+			lq := experiments.Quantiles(bs.durs, 0.50, 0.99)
 			records = append(records, benchRecord{
 				Exp:        r.ids[0],
 				WallMS:     float64(time.Since(start)) / float64(time.Millisecond),
 				Epochs:     bs.eps,
-				RoundP50MS: float64(experiments.Quantile(bs.durs, 0.50)) / float64(time.Millisecond),
-				RoundP99MS: float64(experiments.Quantile(bs.durs, 0.99)) / float64(time.Millisecond),
+				RoundP50MS: float64(lq[0]) / float64(time.Millisecond),
+				RoundP99MS: float64(lq[1]) / float64(time.Millisecond),
 				Rounds:     len(bs.durs),
 			})
 		}

@@ -171,6 +171,7 @@ import (
 	"digfl/internal/nn"
 	"digfl/internal/obs"
 	"digfl/internal/robust"
+	"digfl/internal/sampling"
 	"digfl/internal/shapley"
 	"digfl/internal/vfl"
 )
@@ -375,6 +376,72 @@ var (
 	// RunLoopback runs a coordinator and its N participants over a real
 	// loopback HTTP listener in one call.
 	RunLoopback = fednet.Loopback
+	// RunTreeLoopback runs a two-level cohort tree (root coordinator, edge
+	// sub-aggregators, participants) on the loopback interface.
+	RunTreeLoopback = fednet.TreeLoopback
+)
+
+// Scaling runtime (internal/sampling + the streaming aggregation seam): the
+// pieces that take a round from O(population·d) memory to O(d + cohort) —
+// deterministic client sampling, fold-on-arrival aggregation, cohort trees,
+// and epoch-buffer release.
+type (
+	// Sampler draws each epoch's client cohort deterministically from
+	// (seed, epoch): same config, same cohorts, independent of process
+	// lifetime, resume, or arrival order. Attach via HFLConfig.Sample.
+	Sampler = sampling.Sampler
+	// SamplerConfig parameterizes a Sampler (seed, cohort size, optional
+	// weights for weighted-without-replacement draws).
+	SamplerConfig = sampling.Config
+	// MeanStream is the streaming uniform-mean aggregation rule: updates
+	// fold on arrival in a canonical segmented order, so streamed runs are
+	// bit-identical to each other across topologies with the same segment
+	// geometry. Attach via HFLTrainer.Stream or NetCoordinator.Stream.
+	MeanStream = hfl.MeanStream
+	// StreamAggregator supplies per-round streaming folds — the seam
+	// MeanStream implements.
+	StreamAggregator = hfl.StreamAggregator
+	// StreamFold is one round's fold-on-arrival accumulator.
+	StreamFold = hfl.Fold
+	// StreamFoldResult is a closed fold's aggregate plus per-update
+	// validation dot products.
+	StreamFoldResult = hfl.FoldResult
+	// BufferedRule is implemented by aggregation rules that cannot stream
+	// (median, trimmed mean, Krum) and need the full round buffer.
+	BufferedRule = hfl.BufferedRule
+	// NetEdgeAggregator is the middle tier of a two-level cohort tree: it
+	// folds its members' updates into one partial per round and submits it
+	// to the root over /v1/partial.
+	NetEdgeAggregator = fednet.EdgeAggregator
+	// HFLRetainPolicy controls whether epoch delta buffers outlive the
+	// estimator's Observe (HFLConfig.RetainDeltas).
+	HFLRetainPolicy = hfl.RetainPolicy
+	// VFLRetainPolicy is the vertical counterpart (VFLConfig.RetainDeltas,
+	// releasing Epoch.Grad).
+	VFLRetainPolicy = vfl.RetainPolicy
+)
+
+// Sampler constructors.
+var (
+	// NewSampler validates a SamplerConfig and builds the sampler.
+	NewSampler = sampling.New
+	// MustNewSampler is NewSampler panicking on invalid configuration.
+	MustNewSampler = sampling.MustNew
+)
+
+// Retention policies (HFLConfig.RetainDeltas / VFLConfig.RetainDeltas).
+const (
+	// HFLRetainAll keeps every epoch's raw deltas alive (historical
+	// default).
+	HFLRetainAll = hfl.RetainAll
+	// HFLReleaseAfterObserve frees each epoch's deltas once aggregation and
+	// the Observer have consumed them.
+	HFLReleaseAfterObserve = hfl.ReleaseAfterObserve
+	// VFLRetainAll keeps every vertical epoch's Grad alive.
+	VFLRetainAll = vfl.RetainAll
+	// VFLReleaseAfterObserve frees each vertical epoch's Grad after the
+	// Observer has run.
+	VFLReleaseAfterObserve = vfl.ReleaseAfterObserve
 )
 
 // NetProtocol is the wire-protocol version string; both sides refuse to

@@ -43,10 +43,17 @@ func (m Mode) String() string {
 // Attribution is the output of a DIG-FL run: per-epoch contributions and
 // their aggregate, the estimated Shapley values.
 type Attribution struct {
-	// PerEpoch[t][i] is φ_{t+1,i}.
+	// PerEpoch[t][i] is φ_{t+1,i}. Nil when the estimator runs totals-only
+	// (large-population runs that cannot afford an epochs×n matrix); use
+	// Epochs for the observed-epoch count.
 	PerEpoch [][]float64
 	// Totals[i] is φ_i = Σ_t φ_{t,i} (Eq. 15), the Shapley estimate.
 	Totals []float64
+	// Epochs counts the epochs observed, whether or not their φ rows were
+	// retained in PerEpoch.
+	Epochs int
+
+	totalsOnly bool
 }
 
 func newAttribution(n int) *Attribution {
@@ -54,7 +61,10 @@ func newAttribution(n int) *Attribution {
 }
 
 func (a *Attribution) record(phi []float64) {
-	a.PerEpoch = append(a.PerEpoch, phi)
+	if !a.totalsOnly {
+		a.PerEpoch = append(a.PerEpoch, phi)
+	}
+	a.Epochs++
 	for i, v := range phi {
 		a.Totals[i] += v
 	}

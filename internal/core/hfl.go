@@ -67,6 +67,14 @@ type HFLEstimator struct {
 	// Deprecated: set Runtime.Workers instead. Ignored whenever
 	// Runtime.Workers is non-zero.
 	Workers int
+
+	// TotalsOnly drops the per-epoch φ matrix and accumulates only the
+	// running Totals — the Shapley estimate itself (Eq. 15). Set it for
+	// large-population runs where retaining epochs×n floats is the dominant
+	// estimator memory; Attribution.PerEpoch stays nil and
+	// Attribution.Epochs counts the rounds. Set it before the first
+	// Observe.
+	TotalsOnly bool
 }
 
 // NewHFLEstimator creates an estimator for n participants and p model
@@ -103,10 +111,19 @@ func (e *HFLEstimator) workers() int {
 // coalition (RunSubset) epochs with fewer deltas and no Reported, use
 // ObserveMapped with the subset instead.
 func (e *HFLEstimator) Observe(ep *hfl.Epoch) []float64 {
-	if ep.Reported == nil && len(ep.Deltas) != e.n {
-		panic(fmt.Sprintf("core: epoch carries %d deltas for %d participants; coalition runs need ObserveMapped", len(ep.Deltas), e.n))
+	if ep.Reported == nil && epochUpdates(ep) != e.n {
+		panic(fmt.Sprintf("core: epoch carries %d updates for %d participants; coalition runs need ObserveMapped", epochUpdates(ep), e.n))
 	}
 	return e.ObserveMapped(ep, nil)
+}
+
+// epochUpdates counts an epoch's per-participant updates: the raw deltas of
+// a buffered epoch, or the retained dot products of a streamed one.
+func epochUpdates(ep *hfl.Epoch) int {
+	if ep.DeltaDots != nil {
+		return len(ep.DeltaDots)
+	}
+	return len(ep.Deltas)
 }
 
 // ObserveMapped ingests one training epoch from a coalition run: idx[k]
@@ -129,13 +146,21 @@ func (e *HFLEstimator) ObserveMapped(ep *hfl.Epoch, idx []int) []float64 {
 	if ep.T != e.lastEpoch+1 {
 		panic(fmt.Sprintf("core: epoch %d observed after %d", ep.T, e.lastEpoch))
 	}
+	streamed := ep.DeltaDots != nil
+	if streamed && e.mode == Interactive {
+		// The second-order correction needs each raw δ for the ΔG-sum
+		// recursion; a streamed epoch released them. Interactive runs must
+		// keep the buffered path (see hfl.BufferedRule).
+		panic("core: Interactive mode needs raw deltas; streamed epochs (DeltaDots) support ResourceSaving only")
+	}
+	m := epochUpdates(ep)
 	if ep.Reported != nil {
 		idx = ep.Reported
 	}
 	if idx == nil {
-		checkDim("deltas", len(ep.Deltas), e.n)
+		checkDim("updates", m, e.n)
 	} else {
-		checkDim("participant mapping", len(idx), len(ep.Deltas))
+		checkDim("participant mapping", len(idx), m)
 		seen := make([]bool, e.n)
 		for _, i := range idx {
 			if i < 0 || i >= e.n {
@@ -152,12 +177,19 @@ func (e *HFLEstimator) ObserveMapped(ep *hfl.Epoch, idx []int) []float64 {
 
 	sink := e.Runtime.Sink
 	roundStart := obs.Start(sink)
+	e.attr.totalsOnly = e.TotalsOnly
 	phi := make([]float64, e.n)
-	inv := 1 / float64(len(ep.Deltas))
-	parallel.ForObs(len(ep.Deltas), e.workers(), sink, func(k int) {
+	inv := 1 / float64(m)
+	parallel.ForObs(m, e.workers(), sink, func(k int) {
 		i := k
 		if idx != nil {
 			i = idx[k]
+		}
+		if streamed {
+			// The fold already computed ∇loss^v(θ_{t-1})·δ_{t,i} before
+			// releasing the delta; only the 1/|S| weight remains.
+			phi[i] = inv * ep.DeltaDots[k]
+			return
 		}
 		delta := ep.Deltas[k]
 		checkDim("delta", len(delta), e.p)
@@ -175,7 +207,7 @@ func (e *HFLEstimator) ObserveMapped(ep *hfl.Epoch, idx []int) []float64 {
 		tensor.AXPY(-ep.LR, omega, e.deltaGSum[i])
 	})
 	obs.Emit(sink, obs.Event{Kind: obs.KindEstimatorRound, T: ep.T,
-		N: int64(len(ep.Deltas)), Dur: obs.Since(sink, roundStart)})
+		N: int64(m), Dur: obs.Since(sink, roundStart)})
 	e.attr.record(phi)
 	return phi
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"digfl/internal/hfl"
+	"digfl/internal/tensor"
+)
+
+// A streamed epoch (DeltaDots, no Deltas) must produce exactly the φ a
+// buffered epoch with the same updates produces: the fold computed the same
+// ∇loss^v·δ dot products the estimator would have.
+func TestObserveStreamedMatchesBuffered(t *testing.T) {
+	const n, p = 5, 8
+	rng := tensor.NewRNG(3)
+	mkEpoch := func(tt int) (*hfl.Epoch, *hfl.Epoch) {
+		vg := rng.NormalVec(p, 0, 1)
+		deltas := make([][]float64, n)
+		dots := make([]float64, n)
+		for i := range deltas {
+			deltas[i] = rng.NormalVec(p, 0, 1)
+			dots[i] = tensor.Dot(vg, deltas[i])
+		}
+		buf := &hfl.Epoch{T: tt, ValGrad: vg, Deltas: deltas, LR: 0.1}
+		str := &hfl.Epoch{T: tt, ValGrad: vg, DeltaDots: dots, LR: 0.1}
+		return buf, str
+	}
+
+	eb := NewHFLEstimator(n, p, ResourceSaving, nil)
+	es := NewHFLEstimator(n, p, ResourceSaving, nil)
+	for tt := 1; tt <= 4; tt++ {
+		buf, str := mkEpoch(tt)
+		pb := eb.Observe(buf)
+		ps := es.Observe(str)
+		for i := range pb {
+			if pb[i] != ps[i] {
+				t.Fatalf("epoch %d: streamed φ[%d]=%v, buffered %v", tt, i, ps[i], pb[i])
+			}
+		}
+	}
+	for i := range eb.Attribution().Totals {
+		if eb.Attribution().Totals[i] != es.Attribution().Totals[i] {
+			t.Fatal("streamed totals diverged from buffered")
+		}
+	}
+}
+
+// Streamed degraded epochs map dots through Reported like deltas; absent
+// participants keep zero φ rows (Lemma 3 additivity).
+func TestObserveStreamedDegraded(t *testing.T) {
+	const n, p = 6, 4
+	e := NewHFLEstimator(n, p, ResourceSaving, nil)
+	vg := []float64{1, 0, 0, 0}
+	ep := &hfl.Epoch{
+		T: 1, ValGrad: vg,
+		Reported:  []int{1, 4},
+		DeltaDots: []float64{3, -2},
+	}
+	phi := e.Observe(ep)
+	want := []float64{0, 1.5, 0, 0, -1, 0}
+	for i := range phi {
+		if math.Abs(phi[i]-want[i]) > 1e-15 {
+			t.Fatalf("φ = %v, want %v", phi, want)
+		}
+	}
+}
+
+// Interactive mode cannot run on streamed epochs — the ΔG recursion needs
+// each raw δ, and the stream released them.
+func TestObserveStreamedInteractivePanics(t *testing.T) {
+	hvp := func(theta []float64, i int, v []float64) []float64 { return make([]float64, len(v)) }
+	e := NewHFLEstimator(2, 3, Interactive, hvp)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Interactive mode accepted a streamed epoch")
+		}
+	}()
+	e.Observe(&hfl.Epoch{T: 1, ValGrad: make([]float64, 3), Reported: []int{0}, DeltaDots: []float64{1}})
+}
+
+// TotalsOnly drops the per-epoch matrix but keeps exact totals and the
+// epoch count — the large-population estimator footprint.
+func TestTotalsOnlyAttribution(t *testing.T) {
+	const n, p = 4, 3
+	rng := tensor.NewRNG(8)
+	full := NewHFLEstimator(n, p, ResourceSaving, nil)
+	slim := NewHFLEstimator(n, p, ResourceSaving, nil)
+	slim.TotalsOnly = true
+	for tt := 1; tt <= 5; tt++ {
+		vg := rng.NormalVec(p, 0, 1)
+		deltas := make([][]float64, n)
+		for i := range deltas {
+			deltas[i] = rng.NormalVec(p, 0, 1)
+		}
+		full.Observe(&hfl.Epoch{T: tt, ValGrad: vg, Deltas: deltas})
+		slim.Observe(&hfl.Epoch{T: tt, ValGrad: vg, Deltas: clone2(deltas)})
+	}
+	fa, sa := full.Attribution(), slim.Attribution()
+	if sa.PerEpoch != nil {
+		t.Fatal("TotalsOnly retained the per-epoch matrix")
+	}
+	if sa.Epochs != 5 || fa.Epochs != 5 {
+		t.Fatalf("epoch counts: totals-only %d, full %d, want 5", sa.Epochs, fa.Epochs)
+	}
+	if len(fa.PerEpoch) != 5 {
+		t.Fatalf("full estimator kept %d epochs", len(fa.PerEpoch))
+	}
+	for i := range fa.Totals {
+		if fa.Totals[i] != sa.Totals[i] {
+			t.Fatal("TotalsOnly changed the totals")
+		}
+	}
+}
+
+func clone2(d [][]float64) [][]float64 {
+	out := make([][]float64, len(d))
+	for i := range d {
+		out[i] = append([]float64(nil), d[i]...)
+	}
+	return out
+}

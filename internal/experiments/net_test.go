@@ -52,3 +52,22 @@ func TestQuantile(t *testing.T) {
 		t.Errorf("q=0.5: %v, want 2 (interpolated midpoint of 2,3 floors to 2.5→2)", got)
 	}
 }
+
+// TestQuantilesMatchesQuantile: the single-sort batch read must be
+// bit-identical to repeated Quantile calls, and must not reorder the input.
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	durs := []time.Duration{9, 1, 7, 3, 5, 2, 8, 4, 6}
+	qs := []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1}
+	got := Quantiles(durs, qs...)
+	for i, q := range qs {
+		if want := Quantile(durs, q); got[i] != want {
+			t.Errorf("q=%v: Quantiles=%v, Quantile=%v", q, got[i], want)
+		}
+	}
+	if durs[0] != 9 || durs[8] != 6 {
+		t.Error("Quantiles reordered its input")
+	}
+	if empty := Quantiles(nil, 0.5, 0.99); empty[0] != 0 || empty[1] != 0 {
+		t.Errorf("Quantiles(nil) = %v, want zeros", empty)
+	}
+}

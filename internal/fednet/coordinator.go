@@ -2,6 +2,7 @@ package fednet
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -69,8 +70,32 @@ type Coordinator struct {
 	// the epoch (Epoch.Reported survivor semantics); 0 waits for everyone.
 	RoundDeadline time.Duration
 	// Archive, when non-nil, streams every closed epoch to this writer in
-	// the logio HFL training-log format as the run progresses.
+	// the logio HFL training-log format as the run progresses. Archives
+	// need the raw deltas, so Archive cannot compose with Stream.
 	Archive io.Writer
+	// Stream, when non-nil, switches /v1/update ingest to fold-on-arrival:
+	// each accepted delta is folded into the round's accumulator under the
+	// coordinator's lock and released, so round memory is O(d + cohort)
+	// instead of O(cohort·d) — the networked half of hfl.Trainer.Stream.
+	// Streaming rounds carry DeltaDots to the estimator (ResourceSaving
+	// mode only) and cannot compose with Aggregator, Reweighter,
+	// Quarantine, Screen, or Archive, which all need the round buffer.
+	Stream hfl.StreamAggregator
+	// IngestScreen, when non-nil (requires Stream), norm-clips each
+	// accepted update at ingest against the screen's running
+	// median-of-norms as of the previous round, advancing the median at
+	// round close — the streaming form of the buffered Screen defense
+	// (robust.UpdateScreen.ClipNow). Wire-level shape and finiteness
+	// rejections still happen first.
+	IngestScreen *robust.UpdateScreen
+	// Edges, when positive (requires Stream), switches streaming rounds
+	// from per-participant /v1/update ingest to /v1/partial ingest from
+	// this many edge sub-aggregators (EdgeAggregator): each edge folds its
+	// cohort segment and the root merges the partials in edge order, so a
+	// two-level tree reduces in the canonical hfl.MeanStream segmented
+	// order and stays bit-identical to a flat streamed run with Seg =
+	// edge width.
+	Edges int
 
 	mu      sync.Mutex
 	changed chan struct{}
@@ -95,7 +120,26 @@ type openRound struct {
 	deltas   [][]float64
 	got      int
 	closed   bool
+
+	// Streaming-round state (Coordinator.Stream): the fold replaces the
+	// deltas buffer, folded tracks which slots committed, valGrad is the
+	// round's ∇loss^v(θ_{t-1}) (served to edges via ?vg=1), and norms
+	// collects pre-clip update norms for IngestScreen.ObserveNorms.
+	fold    hfl.Fold
+	folded  []bool
+	valGrad []float64
+	norms   []float64
+
+	// Edge-mode state (Coordinator.Edges): per-edge unscaled partial sums,
+	// their slot positions, and their validation dot products. The root
+	// merges them in edge order at round close.
+	parts    [][]float64
+	partIdx  [][]int
+	partDots [][]float64
 }
+
+// streaming reports whether this round folds on arrival.
+func (r *openRound) streaming() bool { return r.fold != nil || r.parts != nil }
 
 // initLocked lazily initializes the shared state; callers hold mu.
 func (c *Coordinator) initLocked() {
@@ -170,6 +214,21 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 
 	cfg := c.Cfg
 	cfg.Participants = c.N
+	if c.Stream != nil {
+		if c.Aggregator != nil || c.Reweighter != nil || c.Quarantine != nil || c.Screen != nil {
+			return nil, errors.New("fednet: Stream cannot compose with Aggregator, Reweighter, Quarantine, or Screen (they need the round buffer)")
+		}
+		if c.Archive != nil {
+			return nil, errors.New("fednet: Stream cannot compose with Archive (the archive needs the raw deltas)")
+		}
+	} else {
+		if c.IngestScreen != nil {
+			return nil, errors.New("fednet: IngestScreen requires Stream (buffered rounds use Screen)")
+		}
+		if c.Edges > 0 {
+			return nil, errors.New("fednet: Edges requires Stream (edge partials are pre-folded)")
+		}
+	}
 	reweighter := c.Reweighter
 	estimatorObserves := c.Estimator != nil
 	if c.Quarantine != nil {
@@ -219,6 +278,7 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 		Model: c.Model, Val: c.Val, Cfg: cfg,
 		Reweighter: reweighter, Aggregator: c.Aggregator,
 		Screen: c.Screen, Observer: observer, Rounds: c,
+		Stream: c.Stream,
 	}
 	return tr.RunContext(ctx)
 }
@@ -244,12 +304,28 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 	sink := c.Cfg.Runtime.Sink
 	r := &openRound{
 		t: spec.T, lr: spec.LR, theta: spec.Theta,
-		order:  spec.Active,
-		slots:  make(map[int]int, len(spec.Active)),
-		deltas: make([][]float64, len(spec.Active)),
+		order: spec.Active,
+		slots: make(map[int]int, len(spec.Active)),
 	}
 	for k, i := range spec.Active {
 		r.slots[i] = k
+	}
+	if c.Stream != nil && spec.ValGrad != nil {
+		// Streaming round: fold on arrival instead of buffering. In edge
+		// mode the fold is per-edge on the edge aggregators; the root only
+		// merges the partial sums.
+		r.valGrad = spec.ValGrad
+		r.folded = make([]bool, len(spec.Active))
+		if c.Edges > 0 {
+			r.parts = make([][]float64, c.Edges)
+			r.partIdx = make([][]int, c.Edges)
+			r.partDots = make([][]float64, c.Edges)
+		} else {
+			r.fold = c.Stream.NewFold(len(spec.Theta), len(spec.Active), spec.ValGrad)
+			r.norms = make([]float64, 0, len(spec.Active))
+		}
+	} else {
+		r.deltas = make([][]float64, len(spec.Active))
 	}
 	var deadlineCh <-chan time.Time
 	if c.RoundDeadline > 0 {
@@ -302,9 +378,80 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 	r.closed = true
 	res := &hfl.RoundResult{}
 	var missed []int
-	if r.got == len(r.order) {
+	nAgg := 0
+	switch {
+	case r.parts != nil:
+		// Edge mode: merge the edge partials in edge order — exactly the
+		// segment-flush order of hfl.MeanStream with Seg = edge width — and
+		// apply the single 1/m scale.
+		var acc []float64
+		var rep []int
+		var dots []float64
+		last := -1
+		for e := range r.parts {
+			idx := r.partIdx[e]
+			if len(idx) == 0 {
+				continue
+			}
+			if idx[0] <= last {
+				c.mu.Unlock()
+				return nil, fmt.Errorf("fednet: round %d: edge %d slots overlap an earlier edge", spec.T, e)
+			}
+			last = idx[len(idx)-1]
+			if acc == nil {
+				acc = make([]float64, len(r.theta))
+			}
+			tensor.AXPY(1, r.parts[e], acc)
+			for _, s := range idx {
+				rep = append(rep, r.order[s])
+			}
+			dots = append(dots, r.partDots[e]...)
+			nAgg += len(idx)
+			r.parts[e] = nil
+		}
+		if nAgg > 0 {
+			tensor.Scale(1/float64(nAgg), acc)
+			res.Agg = acc
+			res.Dots = dots
+		}
+		if nAgg != len(r.order) {
+			if rep == nil {
+				rep = []int{}
+			}
+			res.Reported = rep
+			for k, i := range r.order {
+				if !r.folded[k] {
+					missed = append(missed, i)
+				}
+			}
+		}
+	case r.fold != nil:
+		fr, err := r.fold.Close()
+		if err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("fednet: round %d: closing fold: %w", spec.T, err)
+		}
+		nAgg = len(fr.Slots)
+		res.Agg, res.Dots = fr.Sum, fr.Dots
+		if nAgg != len(r.order) {
+			rep := make([]int, 0, nAgg)
+			for _, s := range fr.Slots {
+				rep = append(rep, r.order[s])
+			}
+			res.Reported = rep
+			for k, i := range r.order {
+				if !r.folded[k] {
+					missed = append(missed, i)
+				}
+			}
+		}
+		if c.IngestScreen != nil {
+			c.IngestScreen.ObserveNorms(r.norms)
+		}
+	case r.got == len(r.order):
 		res.Deltas = r.deltas
-	} else {
+		nAgg = r.got
+	default:
 		reported := make([]int, 0, r.got)
 		deltas := make([][]float64, 0, r.got)
 		for k, i := range r.order {
@@ -316,6 +463,7 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 			}
 		}
 		res.Deltas, res.Reported = deltas, reported
+		nAgg = r.got
 	}
 	c.lastRes = res
 	c.bcastLocked()
@@ -324,7 +472,7 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 		obs.Emit(sink, obs.Event{Kind: obs.KindNetTimeout, T: spec.T, Part: i})
 	}
 	obs.Emit(sink, obs.Event{Kind: obs.KindNetRoundEnd, T: spec.T,
-		N: int64(len(res.Deltas)), Dur: obs.Since(sink, start)})
+		N: int64(nAgg), Dur: obs.Since(sink, start)})
 	return res, nil
 }
 
@@ -336,6 +484,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/join", c.handleJoin)
 	mux.HandleFunc("GET /v1/round", c.handleRound)
 	mux.HandleFunc("POST /v1/update", c.handleUpdate)
+	mux.HandleFunc("POST /v1/partial", c.handlePartial)
 	mux.HandleFunc("GET /v1/aggregate", c.handleAggregate)
 	mux.HandleFunc("GET /v1/score", c.handleScore)
 	sink := c.Cfg.Runtime.Sink
@@ -385,11 +534,25 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
 const longPollWait = 10 * time.Second
 
 func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
-	t, err := strconv.Atoi(req.URL.Query().Get("t"))
+	q := req.URL.Query()
+	t, err := strconv.Atoi(q.Get("t"))
 	if err != nil || t < 1 {
-		writeError(w, http.StatusBadRequest, "bad round number %q", req.URL.Query().Get("t"))
+		writeError(w, http.StatusBadRequest, "bad round number %q", q.Get("t"))
 		return
 	}
+	// ?i= lets a participant learn it is outside the round's cohort without
+	// downloading theta or computing an update; ?vg=1 asks for the round's
+	// validation gradient (edge sub-aggregators on streaming rounds).
+	pollIdx, hasIdx := -1, false
+	if s := q.Get("i"); s != "" {
+		if pollIdx, err = strconv.Atoi(s); err != nil {
+			writeError(w, http.StatusBadRequest, "bad participant index %q", s)
+			return
+		}
+		hasIdx = true
+	}
+	wantVG := q.Get("vg") == "1"
+	headerOnly := q.Get("h") == "1"
 	timer := time.NewTimer(longPollWait)
 	defer timer.Stop()
 	for {
@@ -404,7 +567,20 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 		// participant that missed rounds must jump forward, never wait for
 		// a round that already closed.
 		if r := c.round; r != nil && !r.closed && r.t >= t {
-			reply := roundReply{State: StateOpen, T: r.t, LR: jsonf.F64(r.lr), Theta: r.theta}
+			if hasIdx {
+				if _, active := r.slots[pollIdx]; !active {
+					c.mu.Unlock()
+					writeJSON(w, http.StatusOK, roundReply{State: StateOpen, T: r.t, Excluded: true})
+					return
+				}
+			}
+			reply := roundReply{State: StateOpen, T: r.t, LR: jsonf.F64(r.lr)}
+			if !headerOnly {
+				reply.Theta = r.theta
+				if wantVG && r.valGrad != nil {
+					reply.ValGrad = r.valGrad
+				}
+			}
 			if !r.deadline.IsZero() {
 				if rem := time.Until(r.deadline); rem > 0 {
 					reply.DeadlineMS = rem.Milliseconds()
@@ -428,52 +604,179 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 }
 
 func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
-	var ur updateRequest
-	if err := readJSON(req.Body, &ur); err != nil {
+	// Two-phase decode: the header (protocol, round, index) decodes first
+	// with the delta left raw, so stale, inactive, and duplicate payloads are
+	// rejected before any float parse — a straggler's late megabyte costs a
+	// JSON skip, not a parsed buffer the 409 branch then drops on the floor.
+	var ui updateIngest
+	if err := readJSON(req.Body, &ui); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if ur.Protocol != Protocol {
-		writeError(w, http.StatusBadRequest, "protocol %q, want %q", ur.Protocol, Protocol)
+	if ui.Protocol != Protocol {
+		writeError(w, http.StatusBadRequest, "protocol %q, want %q", ui.Protocol, Protocol)
 		return
 	}
 	sink := c.Cfg.Runtime.Sink
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := c.round
-	switch {
-	case r == nil || r.t != ur.T || r.closed:
+	if r == nil || r.t != ui.T || r.closed {
 		// The round is gone — the participant straggled past the deadline
 		// (or submitted for a round that is not open). Benign for a
 		// well-behaved client: the epoch proceeded with the survivors.
 		writeCodedError(w, http.StatusConflict, CodeStaleRound,
-			"round %d is not open", ur.T)
-	default:
-		k, active := r.slots[ur.Index]
-		switch {
-		case !active:
-			writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
-		case len(ur.Delta) != len(r.theta):
-			// An honest client can never produce a wrong-length delta from
-			// this round's broadcast; refuse it outright.
-			obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ur.T, Part: ur.Index})
-			writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
-				"delta has %d params, model has %d", len(ur.Delta), len(r.theta))
-		case !finiteVec(ur.Delta):
-			obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ur.T, Part: ur.Index})
-			writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
-				"delta carries non-finite values")
-		case r.deltas[k] != nil:
-			// Idempotent: a retried submission (the first ack was lost)
-			// is acknowledged without overwriting.
-			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
-		default:
-			r.deltas[k] = ur.Delta
-			r.got++
-			c.bcastLocked()
-			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
-		}
+			"round %d is not open", ui.T)
+		return
 	}
+	if r.parts != nil {
+		writeError(w, http.StatusBadRequest,
+			"round %d ingests edge partials (/v1/partial), not direct updates", ui.T)
+		return
+	}
+	k, active := r.slots[ui.Index]
+	switch {
+	case !active:
+		writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
+		return
+	case r.fold != nil && r.folded[k], r.fold == nil && r.deltas[k] != nil:
+		// Idempotent: a retried submission (the first ack was lost) is
+		// acknowledged without overwriting — and without re-decoding the
+		// duplicate payload.
+		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		return
+	}
+	var delta jsonf.Vec
+	if err := json.Unmarshal(ui.Delta, &delta); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding delta: %v", err)
+		return
+	}
+	switch {
+	case len(delta) != len(r.theta):
+		// An honest client can never produce a wrong-length delta from
+		// this round's broadcast; refuse it outright.
+		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ui.T, Part: ui.Index})
+		writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
+			"delta has %d params, model has %d", len(delta), len(r.theta))
+	case !finiteVec(delta):
+		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ui.T, Part: ui.Index})
+		writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
+			"delta carries non-finite values")
+	case r.fold != nil:
+		if c.IngestScreen != nil {
+			norm, clipped := c.IngestScreen.ClipNow(delta)
+			r.norms = append(r.norms, norm)
+			if clipped {
+				obs.Emit(sink, obs.Event{Kind: obs.KindUpdateClipped, T: ui.T,
+					Part: ui.Index, Value: norm})
+			}
+		}
+		if err := r.fold.Add(k, delta); err != nil {
+			writeError(w, http.StatusInternalServerError, "folding update: %v", err)
+			return
+		}
+		r.folded[k] = true
+		r.got++
+		c.bcastLocked()
+		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+	default:
+		r.deltas[k] = delta
+		r.got++
+		c.bcastLocked()
+		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+	}
+}
+
+// handlePartial ingests one edge sub-aggregator's cohort partial on an
+// edge-mode streaming round (Coordinator.Edges > 0). Same two-phase decode
+// discipline as /v1/update: stale and duplicate partials are rejected from
+// the header before the bulk vectors are parsed.
+func (c *Coordinator) handlePartial(w http.ResponseWriter, req *http.Request) {
+	var pi partialIngest
+	if err := readJSON(req.Body, &pi); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if pi.Protocol != Protocol {
+		writeError(w, http.StatusBadRequest, "protocol %q, want %q", pi.Protocol, Protocol)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.round
+	if r == nil || r.t != pi.T || r.closed {
+		writeCodedError(w, http.StatusConflict, CodeStaleRound,
+			"round %d is not open", pi.T)
+		return
+	}
+	if r.parts == nil {
+		writeError(w, http.StatusBadRequest,
+			"round %d does not ingest edge partials", pi.T)
+		return
+	}
+	if pi.Edge < 0 || pi.Edge >= len(r.parts) {
+		writeError(w, http.StatusBadRequest, "edge %d outside [0,%d)", pi.Edge, len(r.parts))
+		return
+	}
+	if r.partIdx[pi.Edge] != nil {
+		// Idempotent retry of a partial whose ack was lost.
+		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		return
+	}
+	// Validate membership before decoding the vectors: every index must be
+	// an active slot not yet claimed by another edge, in strictly increasing
+	// slot order (edge cohorts are contiguous slot ranges).
+	slots := make([]int, len(pi.Indices))
+	for j, i := range pi.Indices {
+		k, active := r.slots[i]
+		if !active {
+			writeError(w, http.StatusBadRequest, "edge %d claims inactive participant %d", pi.Edge, i)
+			return
+		}
+		if r.folded[k] {
+			writeError(w, http.StatusBadRequest, "edge %d re-claims participant %d", pi.Edge, i)
+			return
+		}
+		if j > 0 && k <= slots[j-1] {
+			writeError(w, http.StatusBadRequest, "edge %d indices out of slot order", pi.Edge)
+			return
+		}
+		slots[j] = k
+	}
+	var sum, dots jsonf.Vec
+	if err := json.Unmarshal(pi.Sum, &sum); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding sum: %v", err)
+		return
+	}
+	if err := json.Unmarshal(pi.Dots, &dots); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding dots: %v", err)
+		return
+	}
+	switch {
+	case len(pi.Indices) > 0 && len(sum) != len(r.theta):
+		writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
+			"partial sum has %d params, model has %d", len(sum), len(r.theta))
+		return
+	case len(dots) != len(pi.Indices):
+		writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
+			"partial carries %d dots for %d members", len(dots), len(pi.Indices))
+		return
+	case !finiteVec(sum) || !finiteVec(dots):
+		writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
+			"partial carries non-finite values")
+		return
+	}
+	for _, k := range slots {
+		r.folded[k] = true
+	}
+	r.partIdx[pi.Edge] = slots
+	if len(slots) > 0 {
+		r.parts[pi.Edge] = sum
+		r.partDots[pi.Edge] = dots
+	}
+	r.got += len(slots)
+	c.bcastLocked()
+	writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 }
 
 // finiteVec reports whether every coordinate is finite.
@@ -527,7 +830,7 @@ func (c *Coordinator) handleScore(w http.ResponseWriter, req *http.Request) {
 	}
 	c.mu.Lock()
 	attr := c.Estimator.Attribution()
-	reply := scoreReply{Epochs: len(attr.PerEpoch), Totals: append([]float64(nil), attr.Totals...)}
+	reply := scoreReply{Epochs: attr.Epochs, Totals: append([]float64(nil), attr.Totals...)}
 	if c.Quarantine != nil {
 		reply.Quarantined = c.Quarantine.Quarantined()
 	}

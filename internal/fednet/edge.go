@@ -1,0 +1,443 @@
+package fednet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"digfl/internal/jsonf"
+	"digfl/internal/obs"
+	"digfl/internal/tensor"
+)
+
+// EdgeAggregator is the middle tier of a two-level cohort tree: it owns a
+// contiguous block of the participant population, ingests those members'
+// updates over the same /v1/update wire the root speaks, folds them into an
+// unscaled partial sum in member order, and submits one /v1/partial to the
+// root per round. The root (Coordinator with Stream and Edges set) merges
+// the partials in edge order and applies the single 1/m scale — exactly the
+// segmented reduction of hfl.MeanStream with Seg = edge width, so a tree
+// run is bit-identical to a flat streamed run of the same segment geometry.
+//
+// Members must be assigned in global index order, with every member of edge
+// e smaller than every member of edge e+1 — the root rejects partials whose
+// slot ranges interleave. Per-round memory on the edge is O(d + members):
+// each member update is folded on arrival and released.
+//
+// The edge learns each round from the root (?vg=1 supplies the validation
+// gradient it needs to record per-update dot products before releasing the
+// deltas) and discovers which members are in the round's cohort through
+// cheap header-only ?i= polls, so cohort sampling composes with trees.
+type EdgeAggregator struct {
+	// Root is the root coordinator's base URL.
+	Root string
+	// Edge is this sub-aggregator's index in [0, Coordinator.Edges).
+	Edge int
+	// Members lists the global participant indices this edge owns, in
+	// ascending order.
+	Members []int
+	// Client is the HTTP client for root requests; nil uses
+	// http.DefaultClient.
+	Client *http.Client
+	// Deadline bounds how long the edge waits for its members each round
+	// before submitting a survivors-only partial; 0 waits for every active
+	// member.
+	Deadline time.Duration
+	// Sink receives a KindNetRequest per root request issued.
+	Sink obs.Sink
+
+	mu        sync.Mutex
+	changed   chan struct{}
+	memberSet map[int]bool
+	cur       *edgeRound
+	nextRound int
+	// parked holds updates that arrived before the edge learned their
+	// round (a member can beat the edge to the root's broadcast); keyed by
+	// round then member.
+	parked map[int]map[int][]float64
+	p      int // model dimension, learned at the first round
+}
+
+// edgeRound is the edge's in-flight round state.
+type edgeRound struct {
+	t       int
+	valGrad []float64
+	active  []int       // active members in member (= slot) order
+	pos     map[int]int // member index -> position in active
+	sum     []float64
+	dots    []float64
+	folded  []bool
+	next    int // smallest position not yet committed
+	pending map[int][]float64
+	got     int
+}
+
+func (e *EdgeAggregator) client() *http.Client {
+	if e.Client != nil {
+		return e.Client
+	}
+	return http.DefaultClient
+}
+
+func (e *EdgeAggregator) initLocked() {
+	if e.changed == nil {
+		e.changed = make(chan struct{})
+		e.memberSet = make(map[int]bool, len(e.Members))
+		for _, m := range e.Members {
+			e.memberSet[m] = true
+		}
+		e.parked = make(map[int]map[int][]float64)
+		e.nextRound = 1
+	}
+}
+
+func (e *EdgeAggregator) bcastLocked() {
+	close(e.changed)
+	e.changed = make(chan struct{})
+}
+
+// Handler returns the edge's member-facing handler: the /v1/update endpoint
+// of the tree's middle tier.
+func (e *EdgeAggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/update", e.handleUpdate)
+	return mux
+}
+
+func (e *EdgeAggregator) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	// Same two-phase decode as the root: header first, floats only once the
+	// submission is known to be wanted.
+	var ui updateIngest
+	if err := readJSON(req.Body, &ui); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if ui.Protocol != Protocol {
+		writeError(w, http.StatusBadRequest, "protocol %q, want %q", ui.Protocol, Protocol)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.initLocked()
+	if !e.memberSet[ui.Index] {
+		writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
+		return
+	}
+	if ui.T < e.nextRound {
+		writeCodedError(w, http.StatusConflict, CodeStaleRound,
+			"edge %d already closed round %d", e.Edge, ui.T)
+		return
+	}
+	if r := e.cur; r != nil && r.t == ui.T {
+		pos, active := r.pos[ui.Index]
+		switch {
+		case !active:
+			writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
+		case r.folded[pos]:
+			// Idempotent retry of an update whose ack was lost.
+			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		default:
+			delta, errReply := e.decodeDelta(ui)
+			if errReply != nil {
+				errReply(w)
+				return
+			}
+			e.fold(r, pos, delta)
+			e.bcastLocked()
+			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		}
+		return
+	}
+	// The member beat the edge to the root's broadcast: park the update
+	// until the edge learns the round. Parked updates are cohort-bounded.
+	delta, errReply := e.decodeDelta(ui)
+	if errReply != nil {
+		errReply(w)
+		return
+	}
+	if e.parked[ui.T] == nil {
+		e.parked[ui.T] = make(map[int][]float64)
+	}
+	e.parked[ui.T][ui.Index] = delta
+	writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+}
+
+// decodeDelta parses and validates the raw delta; on failure it returns a
+// writer for the rejection. Callers hold mu.
+func (e *EdgeAggregator) decodeDelta(ui updateIngest) ([]float64, func(http.ResponseWriter)) {
+	var delta jsonf.Vec
+	if err := json.Unmarshal(ui.Delta, &delta); err != nil {
+		return nil, func(w http.ResponseWriter) {
+			writeError(w, http.StatusBadRequest, "decoding delta: %v", err)
+		}
+	}
+	if e.p != 0 && len(delta) != e.p {
+		n := len(delta)
+		return nil, func(w http.ResponseWriter) {
+			writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
+				"delta has %d params, model has %d", n, e.p)
+		}
+	}
+	if !finiteVec(delta) {
+		return nil, func(w http.ResponseWriter) {
+			writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
+				"delta carries non-finite values")
+		}
+	}
+	return delta, nil
+}
+
+// fold commits one member update in position order, parking out-of-order
+// arrivals — the edge-local mirror of hfl.MeanStream's in-order commit, so
+// the partial sum's float bits never depend on arrival order. Callers hold
+// mu.
+func (e *EdgeAggregator) fold(r *edgeRound, pos int, delta []float64) {
+	r.folded[pos] = true
+	r.got++
+	if pos != r.next {
+		if r.pending == nil {
+			r.pending = make(map[int][]float64)
+		}
+		r.pending[pos] = delta
+		return
+	}
+	e.commit(r, delta)
+	for {
+		d, ok := r.pending[r.next]
+		if !ok {
+			return
+		}
+		delete(r.pending, r.next)
+		e.commit(r, d)
+	}
+}
+
+func (e *EdgeAggregator) commit(r *edgeRound, delta []float64) {
+	tensor.AXPY(1, delta, r.sum)
+	r.dots = append(r.dots, tensor.Dot(r.valGrad, delta))
+	r.next++
+}
+
+// Run serves rounds against the root until the run completes. Like the
+// participant, a nil return means a normal shutdown (StateDone).
+func (e *EdgeAggregator) Run(ctx context.Context) error {
+	e.mu.Lock()
+	e.initLocked()
+	e.mu.Unlock()
+	next := 1
+	for {
+		// Learn the next round (long-poll; ?vg=1 asks for the validation
+		// gradient the dot products need).
+		var round roundReply
+		if err := e.get(ctx, fmt.Sprintf("/v1/round?t=%d&vg=1", next), &round); err != nil {
+			return fmt.Errorf("fednet: edge %d round %d: %w", e.Edge, next, err)
+		}
+		switch round.State {
+		case StateDone:
+			return nil
+		case StatePending:
+			continue
+		case StateOpen:
+		default:
+			return fmt.Errorf("fednet: edge %d: unknown round state %q", e.Edge, round.State)
+		}
+		if round.T < next {
+			continue
+		}
+		if round.ValGrad == nil {
+			return fmt.Errorf("fednet: edge %d round %d: root is not streaming (Coordinator.Stream with Edges required)", e.Edge, round.T)
+		}
+
+		// Discover which members are in the round's cohort (header-only
+		// polls: no theta download).
+		active := make([]int, 0, len(e.Members))
+		for _, m := range e.Members {
+			var mr roundReply
+			if err := e.get(ctx, fmt.Sprintf("/v1/round?t=%d&i=%d&h=1", round.T, m), &mr); err != nil {
+				return fmt.Errorf("fednet: edge %d member %d poll: %w", e.Edge, m, err)
+			}
+			if mr.State == StateDone {
+				return nil
+			}
+			if mr.State != StateOpen || mr.T != round.T {
+				// The round closed (or moved on) mid-discovery; skip it.
+				active = nil
+				break
+			}
+			if !mr.Excluded {
+				active = append(active, m)
+			}
+		}
+		if active == nil {
+			next = round.T + 1
+			continue
+		}
+
+		e.mu.Lock()
+		if e.p == 0 {
+			e.p = len(round.Theta)
+		}
+		r := &edgeRound{
+			t:       round.T,
+			valGrad: round.ValGrad,
+			active:  active,
+			pos:     make(map[int]int, len(active)),
+			sum:     make([]float64, e.p),
+			folded:  make([]bool, len(active)),
+		}
+		for k, m := range active {
+			r.pos[m] = k
+		}
+		e.cur = r
+		// Drain updates that arrived before the round was known, in member
+		// order; parked entries from inactive members (or rounds that never
+		// opened) are dropped.
+		if park := e.parked[round.T]; park != nil {
+			for k, m := range active {
+				if d, ok := park[m]; ok && !r.folded[k] && (e.p == 0 || len(d) == e.p) {
+					e.fold(r, k, d)
+				}
+			}
+			delete(e.parked, round.T)
+		}
+		for t := range e.parked {
+			if t < round.T {
+				delete(e.parked, t)
+			}
+		}
+		e.bcastLocked()
+		e.mu.Unlock()
+
+		if err := e.waitRound(ctx, r); err != nil {
+			return err
+		}
+
+		// Submit the partial; a stale-round rejection means the root closed
+		// the round without us — benign, the epoch degraded to survivors.
+		e.mu.Lock()
+		e.closeFold(r)
+		indices := r.active
+		if r.got < len(r.active) {
+			// Survivors only.
+			indices = make([]int, 0, r.got)
+			for k, m := range r.active {
+				if r.folded[k] {
+					indices = append(indices, m)
+				}
+			}
+		}
+		sum, dots := r.sum, r.dots
+		e.cur = nil
+		e.nextRound = round.T + 1
+		e.bcastLocked()
+		e.mu.Unlock()
+
+		var ack updateReply
+		err := e.post(ctx, "/v1/partial", partialRequest{
+			Protocol: Protocol, T: round.T, Edge: e.Edge,
+			Indices: indices, Sum: sum, Dots: dots,
+		}, &ack)
+		if err != nil {
+			var we *WireError
+			if !(errors.As(err, &we) && we.Code == CodeStaleRound) {
+				return fmt.Errorf("fednet: edge %d partial %d: %w", e.Edge, round.T, err)
+			}
+		}
+		next = round.T + 1
+	}
+}
+
+// closeFold commits any out-of-order parked updates (stragglers behind a
+// permanent gap) in position order. Callers hold mu.
+func (e *EdgeAggregator) closeFold(r *edgeRound) {
+	for len(r.pending) > 0 {
+		// Advance next to the smallest parked position.
+		min := -1
+		for pos := range r.pending {
+			if min < 0 || pos < min {
+				min = pos
+			}
+		}
+		d := r.pending[min]
+		delete(r.pending, min)
+		r.next = min
+		e.commit(r, d)
+		for {
+			nd, ok := r.pending[r.next]
+			if !ok {
+				break
+			}
+			delete(r.pending, r.next)
+			e.commit(r, nd)
+		}
+	}
+}
+
+// waitRound blocks until every active member folded, the edge deadline
+// expired, or ctx is done.
+func (e *EdgeAggregator) waitRound(ctx context.Context, r *edgeRound) error {
+	var deadlineCh <-chan time.Time
+	if e.Deadline > 0 {
+		timer := time.NewTimer(e.Deadline)
+		defer timer.Stop()
+		deadlineCh = timer.C
+	}
+	for {
+		e.mu.Lock()
+		got := r.got
+		ch := e.changed
+		e.mu.Unlock()
+		if got == len(r.active) {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-deadlineCh:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (e *EdgeAggregator) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.Root+path, nil)
+	if err != nil {
+		return err
+	}
+	return e.roundTrip(req, out)
+}
+
+func (e *EdgeAggregator) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("fednet: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.Root+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return e.roundTrip(req, out)
+}
+
+func (e *EdgeAggregator) roundTrip(req *http.Request, out any) error {
+	obs.Emit(e.Sink, obs.Event{Kind: obs.KindNetRequest, N: 1})
+	resp, err := e.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er errorReply
+		_ = readJSON(resp.Body, &er)
+		return &WireError{Status: resp.StatusCode, Code: er.Code,
+			Msg: fmt.Sprintf("%s %s: %s", req.Method, req.URL.Path, er.Error)}
+	}
+	return readJSON(resp.Body, out)
+}

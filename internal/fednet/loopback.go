@@ -2,6 +2,7 @@ package fednet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -44,4 +45,95 @@ func Loopback(ctx context.Context, c *Coordinator, parts func(i int) *Participan
 	res, runErr := c.Run(ctx)
 	wg.Wait()
 	return res, perrs, runErr
+}
+
+// TreeLoopback runs a two-level cohort tree on the loopback interface: the
+// root coordinator (c.Edges edge slots, c.Stream set), one EdgeAggregator
+// server per contiguous block of ceil(N/Edges) participants, and the N
+// participants submitting their updates to their edge while polling the
+// root for rounds. Every hop crosses a real TCP connection. The returned
+// errors are the per-participant errors followed by the per-edge errors.
+//
+// With c.Stream = hfl.MeanStream{Seg: ceil(N/Edges)}, a TreeLoopback run is
+// bit-identical to a flat streamed Loopback run and to the in-process
+// streamed trainer with the same segment width — the tree is the canonical
+// segmented reduction made literal.
+func TreeLoopback(ctx context.Context, c *Coordinator, parts func(i int) *Participant) (*hfl.Result, []error, error) {
+	if c.Edges <= 0 {
+		return nil, nil, fmt.Errorf("fednet: TreeLoopback needs Edges > 0")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("fednet: loopback listener: %w", err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	root := "http://" + ln.Addr().String()
+
+	// Partition the population into contiguous blocks, one per edge, and
+	// start each edge's member-facing server.
+	width := (c.N + c.Edges - 1) / c.Edges
+	edgeURL := make([]string, c.N) // participant -> its edge's URL
+	edges := make([]*EdgeAggregator, 0, c.Edges)
+	eerrs := make([]error, c.Edges)
+	var ewg sync.WaitGroup
+	ectx, stopEdges := context.WithCancel(ctx)
+	defer stopEdges()
+	for e := 0; e < c.Edges; e++ {
+		lo, hi := e*width, (e+1)*width
+		if hi > c.N {
+			hi = c.N
+		}
+		if lo >= hi {
+			break
+		}
+		members := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			members = append(members, i)
+		}
+		ea := &EdgeAggregator{Root: root, Edge: e, Members: members, Sink: c.Cfg.Runtime.Sink}
+		eln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("fednet: edge %d listener: %w", e, err)
+		}
+		esrv := &http.Server{Handler: ea.Handler()}
+		go func() { _ = esrv.Serve(eln) }()
+		defer esrv.Close()
+		url := "http://" + eln.Addr().String()
+		for i := lo; i < hi; i++ {
+			edgeURL[i] = url
+		}
+		edges = append(edges, ea)
+		ewg.Add(1)
+		go func(e int, ea *EdgeAggregator) {
+			defer ewg.Done()
+			eerrs[e] = ea.Run(ectx)
+		}(e, ea)
+	}
+
+	perrs := make([]error, c.N)
+	var wg sync.WaitGroup
+	for i := 0; i < c.N; i++ {
+		p := parts(i)
+		p.BaseURL = root
+		p.UpdateURL = edgeURL[i]
+		wg.Add(1)
+		go func(i int, p *Participant) {
+			defer wg.Done()
+			perrs[i] = p.Run(ctx)
+		}(i, p)
+	}
+
+	res, runErr := c.Run(ctx)
+	wg.Wait()
+	stopEdges()
+	ewg.Wait()
+	for e, err := range eerrs {
+		// Edge shutdown via cancellation is a normal end of run.
+		if errors.Is(err, context.Canceled) {
+			eerrs[e] = nil
+		}
+	}
+	return res, append(perrs, eerrs...), runErr
 }

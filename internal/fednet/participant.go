@@ -25,6 +25,10 @@ type Participant struct {
 	Index int
 	// BaseURL is the coordinator's address, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// UpdateURL, when non-empty, redirects update submissions to an edge
+	// sub-aggregator of a cohort tree; join and round polls still go to
+	// BaseURL (the root). Empty submits updates to BaseURL directly.
+	UpdateURL string
 	// Model is the local model prototype; it must match the coordinator's
 	// architecture. The participant clones it per round.
 	Model nn.Model
@@ -137,12 +141,16 @@ func (p *Participant) get(ctx context.Context, round int, path string, out any) 
 }
 
 func (p *Participant) post(ctx context.Context, round int, path string, in, out any) error {
+	return p.postTo(ctx, round, p.BaseURL, path, in, out)
+}
+
+func (p *Participant) postTo(ctx context.Context, round int, base, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("fednet: encoding request: %w", err)
 	}
 	return p.do(ctx, round, func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodPost, p.BaseURL+path, bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +179,10 @@ func (p *Participant) Run(ctx context.Context) error {
 	next := 1
 	for {
 		var round roundReply
-		if err := p.get(ctx, next, fmt.Sprintf("/v1/round?t=%d", next), &round); err != nil {
+		// Polling with ?i= lets the coordinator answer Excluded when this
+		// participant is outside the round's sampled cohort, skipping the
+		// theta download and the local computation entirely.
+		if err := p.get(ctx, next, fmt.Sprintf("/v1/round?t=%d&i=%d", next, p.Index), &round); err != nil {
 			return fmt.Errorf("fednet: participant %d round %d: %w", p.Index, next, err)
 		}
 		switch round.State {
@@ -186,6 +197,11 @@ func (p *Participant) Run(ctx context.Context) error {
 		if round.T < next {
 			continue // stale broadcast; re-poll
 		}
+		if round.Excluded {
+			// Not in this round's cohort — wait for the next round.
+			next = round.T + 1
+			continue
+		}
 
 		if p.Delay != nil {
 			p.Delay(round.T)
@@ -194,8 +210,12 @@ func (p *Participant) Run(ctx context.Context) error {
 		if p.Tamper != nil {
 			p.Tamper(round.T, delta)
 		}
+		upBase := p.BaseURL
+		if p.UpdateURL != "" {
+			upBase = p.UpdateURL
+		}
 		var ack updateReply
-		err := p.post(ctx, round.T, "/v1/update", updateRequest{
+		err := p.postTo(ctx, round.T, upBase, "/v1/update", updateRequest{
 			Protocol: Protocol, T: round.T, Index: p.Index, Delta: delta,
 		}, &ack)
 		if err != nil {

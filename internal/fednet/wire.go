@@ -71,6 +71,17 @@ type roundReply struct {
 	// DeadlineMS is the remaining round deadline in milliseconds at the
 	// moment the reply was built; 0 means the round has no deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Excluded tells a participant that polled with its index (?i=) that it
+	// is not in this round's cohort — sampled out or scheduled to drop —
+	// so it can skip the local computation entirely and wait for the next
+	// round. Excluded replies omit Theta. Additive: clients that do not
+	// send ?i= never see it.
+	Excluded bool `json:"excluded,omitempty"`
+	// ValGrad is ∇loss^v(θ_{T-1}), served only when the poll asked for it
+	// (?vg=1) on a streaming round — edge sub-aggregators need it to
+	// compute the per-update validation dot products the estimator consumes
+	// after the raw deltas are released. Additive.
+	ValGrad jsonf.Vec `json:"val_grad,omitempty"`
 }
 
 // updateRequest submits one local update δ_{t,i}.
@@ -79,6 +90,49 @@ type updateRequest struct {
 	T        int       `json:"t"`
 	Index    int       `json:"index"`
 	Delta    jsonf.Vec `json:"delta"`
+}
+
+// updateIngest is the server-side decode view of updateRequest: the delta
+// stays raw so stale, inactive, and duplicate submissions are rejected from
+// the small header alone — a late 64MB payload costs a JSON skip, not a
+// float parse plus a retained buffer.
+type updateIngest struct {
+	Protocol string          `json:"protocol"`
+	T        int             `json:"t"`
+	Index    int             `json:"index"`
+	Delta    json.RawMessage `json:"delta"`
+}
+
+// partialRequest submits one edge sub-aggregator's cohort partial for a
+// streaming round: the unscaled sum of its members' updates (in member
+// order) plus their validation dot products. The root merges partials in
+// edge order and applies the single 1/m scale, so a tree run reduces in
+// exactly the canonical segmented order (hfl.MeanStream) and stays
+// bit-identical to a flat streamed run with Seg = edge width.
+type partialRequest struct {
+	Protocol string `json:"protocol"`
+	T        int    `json:"t"`
+	// Edge is the sub-aggregator's index; edge e must own a contiguous
+	// earlier slot range than edge e+1.
+	Edge int `json:"edge"`
+	// Indices lists the global participant indices whose updates the
+	// partial folds, in round-active order.
+	Indices []int `json:"indices"`
+	// Sum is Σ δ over Indices, unscaled, in active order.
+	Sum jsonf.Vec `json:"sum"`
+	// Dots[k] = ∇loss^v(θ_{t-1})·δ for Indices[k].
+	Dots jsonf.Vec `json:"dots"`
+}
+
+// partialIngest is the server-side decode view of partialRequest (header
+// first, bulk vectors only on acceptance).
+type partialIngest struct {
+	Protocol string          `json:"protocol"`
+	T        int             `json:"t"`
+	Edge     int             `json:"edge"`
+	Indices  []int           `json:"indices"`
+	Sum      json.RawMessage `json:"sum"`
+	Dots     json.RawMessage `json:"dots"`
 }
 
 // updateReply acknowledges (or rejects) a submitted update.

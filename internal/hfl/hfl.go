@@ -16,7 +16,27 @@ import (
 	"digfl/internal/nn"
 	"digfl/internal/obs"
 	"digfl/internal/parallel"
+	"digfl/internal/sampling"
 	"digfl/internal/tensor"
+)
+
+// RetainPolicy governs how long epoch records keep their raw Deltas.
+type RetainPolicy int
+
+const (
+	// RetainAll keeps every epoch's Deltas alive for the whole run — the
+	// historical behavior and the zero-value default, required by the
+	// Interactive estimator's offline replay and logio.WriteHFL on a
+	// retained log. Memory is O(epochs·n·d).
+	RetainAll RetainPolicy = iota
+	// ReleaseAfterObserve nils out ep.Deltas once the epoch has been
+	// aggregated and the Observer (the online estimator, the streaming
+	// archive writer) has consumed it, so a KeepLog run retains only the
+	// slim per-epoch metadata. Archives written at observe time (the
+	// coordinator's streaming Archive, any HFLWriter inside the Observer)
+	// see the full record; logio.WriteHFL on the released log afterwards
+	// does not.
+	ReleaseAfterObserve
 )
 
 // Config controls a federated training run.
@@ -82,6 +102,19 @@ type Config struct {
 	// no local updates itself — a networked run where Parts is nil and a
 	// RoundSource supplies the deltas. Ignored whenever Parts is non-empty.
 	Participants int
+	// Sample, when non-nil, draws a per-epoch cohort from the run's subset
+	// (seeded, deterministic, composing with Faults: the injector's dropout
+	// then applies to the cohort). Only cohort members compute local
+	// updates; everyone else sits the round out with the same
+	// Epoch.Reported semantics as an injected dropout and scores zero φ for
+	// the epoch per Lemma 3 additivity — so memory and work per round scale
+	// with the cohort, not the population. Nil samples nobody out and stays
+	// bit-identical.
+	Sample *sampling.Sampler
+	// RetainDeltas governs whether epoch records keep their raw Deltas
+	// after aggregation and the Observer; the zero value (RetainAll) is the
+	// historical keep-everything behavior.
+	RetainDeltas RetainPolicy
 }
 
 // Checkpoint is the trainer state persisted every CheckpointEvery epochs:
@@ -173,11 +206,17 @@ type Epoch struct {
 	Weights []float64
 	// Reported, when non-nil, lists the global indices of the participants
 	// that reported this round, aligned with Deltas — a degraded
-	// (partial-participation) epoch. Nil means every participant of the
-	// run's subset reported, keeping fault-free epoch records bit-identical
-	// to builds without fault tolerance. An empty non-nil Reported is an
-	// all-dropped epoch: no deltas, no model update.
+	// (partial-participation) or sampled (cohort) epoch. Nil means every
+	// participant of the run's subset reported, keeping fault-free epoch
+	// records bit-identical to builds without fault tolerance. An empty
+	// non-nil Reported is an all-dropped epoch: no deltas, no model update.
 	Reported []int
+	// DeltaDots, when non-nil, marks a streamed epoch: the raw updates were
+	// folded into the aggregate on arrival and released, Deltas is nil, and
+	// DeltaDots[k] = ∇loss^v(θ_{T-1})·δ for the k-th reporting participant
+	// — everything the resource-saving estimator needs (Eq. 19's first
+	// term, up to the 1/|S| weight).
+	DeltaDots []float64
 }
 
 // Reweighter chooses per-epoch aggregation weights, the hook the DIG-FL
@@ -235,6 +274,11 @@ type RoundSpec struct {
 	Active []int
 	// LocalSteps is the number of local gradient steps per round.
 	LocalSteps int
+	// ValGrad, when non-nil, is ∇loss^v(θ_{T-1}) and signals a streaming
+	// round: the trainer wants the source to fold updates on arrival and
+	// return the aggregate plus per-update validation dot products instead
+	// of the raw deltas. Sources that do not stream may ignore it.
+	ValGrad []float64
 }
 
 // RoundResult carries one round's collected local updates back to the
@@ -249,6 +293,16 @@ type RoundResult struct {
 	// same Epoch.Reported semantics as injected dropout. Nil means every
 	// active participant reported.
 	Reported []int
+	// Agg, when non-nil, marks a streamed round: the source already folded
+	// the reported updates into this final aggregate G_T (scaled, ready to
+	// subtract from θ) and released the raw deltas; Deltas is nil and Dots
+	// carries the per-update validation dot products aligned with Reported.
+	// A streamed round with zero reporters returns Agg nil with Deltas nil
+	// and an empty non-nil Reported.
+	Agg []float64
+	// Dots[k] = spec.ValGrad·δ for the k-th reporting participant of a
+	// streamed round.
+	Dots []float64
 }
 
 // RoundSource supplies an epoch's local updates from somewhere other than
@@ -293,6 +347,18 @@ type Trainer struct {
 	// delays do not apply (the source owns its own timing); injected
 	// dropout and crashes still do.
 	Rounds RoundSource
+	// Stream, when non-nil, switches aggregation to fold-on-arrival: each
+	// local update is folded into the round's accumulator and released
+	// instead of buffered, so per-round memory is O(d + cohort) rather than
+	// O(cohort·d). Streaming cannot compose with Aggregator, Reweighter, or
+	// Screen — those consume the materialized round buffer (see
+	// BufferedRule); configuring both is a validation error. Streamed
+	// epochs carry DeltaDots instead of Deltas, which the resource-saving
+	// estimator consumes directly; the Interactive estimator needs buffers.
+	// The streamed aggregate differs from the buffered path's in the last
+	// ulp (documented on MeanStream); runs are bit-identical
+	// streaming-to-streaming.
+	Stream StreamAggregator
 }
 
 // Result is the outcome of a training run.
@@ -384,6 +450,12 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 	if err := tr.Cfg.validate(tr.participants()); err != nil {
 		return nil, err
 	}
+	if tr.Stream != nil && (tr.Aggregator != nil || tr.Reweighter != nil || tr.Screen != nil) {
+		// Buffered plugins consume the materialized round buffer that
+		// streaming exists to avoid; refuse the combination instead of
+		// silently buffering (see BufferedRule).
+		return nil, fmt.Errorf("hfl: Stream cannot compose with Aggregator/Reweighter/Screen — those need the buffered path")
+	}
 	model := tr.Model.Clone()
 	res := &Result{Model: model}
 
@@ -424,16 +496,34 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 		epochStart := obs.Start(sink)
 		lr := tr.Cfg.lr(t)
 		theta := tensor.Clone(model.Params())
-		active, droppedOut := inj.Survivors(t, subset)
+		cohort := subset
+		sampled := false
+		if smp := tr.Cfg.Sample; smp != nil {
+			cohort = smp.Cohort(t, subset)
+			sampled = len(cohort) != len(subset)
+			if sampled {
+				obs.Emit(sink, obs.Event{Kind: obs.KindSample, T: t, N: int64(len(cohort))})
+			}
+		}
+		active, droppedOut := inj.Survivors(t, cohort)
 		for _, i := range droppedOut {
 			obs.Emit(sink, obs.Event{Kind: obs.KindDropout, T: t, Part: i})
 		}
 		steps := tr.Cfg.localSteps()
 		reported := active
 		var deltas [][]float64
+		var streamAgg, streamDots, valGrad []float64
+		streamed := false
+		if tr.Stream != nil {
+			// ∇loss^v(θ_{t-1}) is a pure function of the pre-round model, so
+			// it can be taken before the updates arrive — the fold needs it to
+			// record per-update dot products as the deltas are released.
+			valGrad = model.Grad(tr.Val.X, tr.Val.Y)
+		}
 		if tr.Rounds != nil {
 			rr, err := tr.Rounds.Round(ctx, &RoundSpec{
 				T: t, LR: lr, Theta: theta, Active: active, LocalSteps: steps,
+				ValGrad: valGrad,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("hfl: epoch %d: round source: %w", t, err)
@@ -442,14 +532,32 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 			if rr.Reported != nil {
 				reported = rr.Reported
 			}
-			if len(deltas) != len(reported) {
-				return nil, fmt.Errorf("hfl: epoch %d: round source returned %d deltas for %d reporters",
-					t, len(deltas), len(reported))
+			if rr.Agg != nil && tr.Stream == nil {
+				return nil, fmt.Errorf("hfl: epoch %d: round source streamed an aggregate but Trainer.Stream is nil", t)
 			}
-			for k, d := range deltas {
-				if len(d) != p {
-					return nil, fmt.Errorf("hfl: epoch %d: delta %d has %d params, model has %d",
-						t, k, len(d), p)
+			if rr.Agg != nil {
+				// Source-side streamed round: the aggregate arrives folded,
+				// the raw deltas were already released at the source.
+				streamed = true
+				streamAgg, streamDots = rr.Agg, rr.Dots
+				if len(streamAgg) != p {
+					return nil, fmt.Errorf("hfl: epoch %d: streamed aggregate has %d params, model has %d",
+						t, len(streamAgg), p)
+				}
+				if len(streamDots) != len(reported) {
+					return nil, fmt.Errorf("hfl: epoch %d: round source returned %d dots for %d reporters",
+						t, len(streamDots), len(reported))
+				}
+			} else {
+				if len(deltas) != len(reported) {
+					return nil, fmt.Errorf("hfl: epoch %d: round source returned %d deltas for %d reporters",
+						t, len(deltas), len(reported))
+				}
+				for k, d := range deltas {
+					if len(d) != p {
+						return nil, fmt.Errorf("hfl: epoch %d: delta %d has %d params, model has %d",
+							t, k, len(d), p)
+					}
 				}
 			}
 		} else {
@@ -481,15 +589,43 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 			}
 			parallel.ForObs(len(active), workers, sink, localUpdate)
 		}
+		if tr.Stream != nil && !streamed {
+			// Fold the buffered round through the same canonical reduction
+			// order a fold-on-arrival source uses, releasing each delta as it
+			// commits — so in-process streamed runs are bit-identical to
+			// networked streamed runs of the same topology.
+			fold := tr.Stream.NewFold(p, len(reported), valGrad)
+			for k := range deltas {
+				if err := fold.Add(k, deltas[k]); err != nil {
+					return nil, fmt.Errorf("hfl: epoch %d: stream fold: %w", t, err)
+				}
+				deltas[k] = nil
+			}
+			fr, err := fold.Close()
+			if err != nil {
+				return nil, fmt.Errorf("hfl: epoch %d: stream fold: %w", t, err)
+			}
+			streamAgg, streamDots = fr.Sum, fr.Dots
+			deltas, streamed = nil, true
+		}
+		if valGrad == nil {
+			valGrad = model.Grad(tr.Val.X, tr.Val.Y)
+		}
 		ep := &Epoch{
 			T:       t,
 			Theta:   theta,
 			Deltas:  deltas,
 			LR:      lr,
-			ValGrad: model.Grad(tr.Val.X, tr.Val.Y),
+			ValGrad: valGrad,
 			ValLoss: res.ValLossCurve[len(res.ValLossCurve)-1],
 		}
-		if len(droppedOut) > 0 || len(reported) != len(active) {
+		if streamed {
+			if streamDots == nil {
+				streamDots = []float64{}
+			}
+			ep.DeltaDots = streamDots
+		}
+		if sampled || len(droppedOut) > 0 || len(reported) != len(active) {
 			// Survivor epochs mark who reported — whether the loss was an
 			// injected dropout or a round-source participant missing its
 			// deadline; fault-free epochs keep the nil Reported so their
@@ -532,7 +668,14 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 				ep.Weights = w
 			}
 		}
-		if len(deltas) > 0 {
+		if streamed {
+			if streamAgg != nil {
+				aggStart := obs.Start(sink)
+				tensor.AXPY(-1, streamAgg, model.Params())
+				obs.Emit(sink, obs.Event{Kind: obs.KindAggregate, T: t,
+					N: int64(len(reported)), Dur: obs.Since(sink, aggStart)})
+			}
+		} else if len(deltas) > 0 {
 			aggStart := obs.Start(sink)
 			var grad []float64
 			switch {
@@ -570,6 +713,12 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 		}
 		if tr.Observer != nil {
 			tr.Observer(ep)
+		}
+		if tr.Cfg.RetainDeltas == ReleaseAfterObserve {
+			// The epoch is aggregated and observed; release the raw updates
+			// so a KeepLog run retains only slim per-epoch metadata. Archive
+			// writers running inside the Observer saw the full record.
+			ep.Deltas = nil
 		}
 		if tr.Cfg.KeepLog {
 			res.Log = append(res.Log, ep)

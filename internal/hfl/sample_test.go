@@ -1,0 +1,133 @@
+package hfl
+
+import (
+	"errors"
+	"testing"
+
+	"digfl/internal/dataset"
+	"digfl/internal/faults"
+	"digfl/internal/nn"
+	"digfl/internal/sampling"
+	"digfl/internal/tensor"
+)
+
+// setupWide builds an 8-participant problem for cohort sampling tests.
+func setupWide(t *testing.T, seed int64) *Trainer {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	full := dataset.MNISTLike(400, seed)
+	train, val := full.Split(0.2, rng)
+	parts := dataset.PartitionIID(train, 8, rng)
+	return &Trainer{
+		Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
+		Parts: parts,
+		Val:   val,
+		Cfg:   Config{Epochs: 12, LR: 0.3, KeepLog: true},
+	}
+}
+
+// A sampled epoch must record its cohort as Reported (so unsampled
+// participants get zero φ rows downstream) and only cohort members may
+// carry deltas.
+func TestSampledEpochsReportCohort(t *testing.T) {
+	tr := setupWide(t, 1)
+	tr.Cfg.Sample = sampling.MustNew(sampling.Config{Seed: 3, Size: 3})
+	res := tr.Run()
+	if res.FinalLoss >= res.InitLoss {
+		t.Fatalf("sampled run failed to train: %v -> %v", res.InitLoss, res.FinalLoss)
+	}
+	for _, ep := range res.Log {
+		if ep.Reported == nil {
+			t.Fatalf("epoch %d: sampled epoch with nil Reported", ep.T)
+		}
+		if len(ep.Reported) != 3 || len(ep.Deltas) != 3 {
+			t.Fatalf("epoch %d: cohort %v with %d deltas, want 3", ep.T, ep.Reported, len(ep.Deltas))
+		}
+		// The recorded cohort must be exactly the sampler's draw.
+		pop := make([]int, 8)
+		for i := range pop {
+			pop[i] = i
+		}
+		want := tr.Cfg.Sample.Cohort(ep.T, pop)
+		for k, i := range ep.Reported {
+			if want[k] != i {
+				t.Fatalf("epoch %d: Reported %v, sampler drew %v", ep.T, ep.Reported, want)
+			}
+		}
+	}
+}
+
+// Sampled runs must be bit-identical across reruns and across
+// checkpoint/resume, for several seeds, with the fault injector composed in
+// — the cohort sequence is a pure function of (seed, epoch), never of where
+// the run restarted.
+func TestSampledRunDeterminismAndResume(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		mk := func(withCrash bool) *Trainer {
+			tr := setupWide(t, 11)
+			tr.Cfg.Sample = sampling.MustNew(sampling.Config{Seed: seed, Size: 3})
+			fc := faults.Config{Seed: seed + 100, Dropout: 0.2}
+			if withCrash {
+				fc.CrashEpoch = 8
+				tr.Cfg.Faults = faults.MustNew(fc)
+			} else {
+				tr.Cfg.Faults = faults.MustNew(fc).WithoutCrash()
+			}
+			return tr
+		}
+
+		// Uninterrupted reference, run twice: bit-identical.
+		want, err := mk(false).RunE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := mk(false).RunE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameVec(want.Model.Params(), again.Model.Params()) || !sameVec(want.ValLossCurve, again.ValLossCurve) {
+			t.Fatalf("seed %d: two sampled runs differ", seed)
+		}
+		sameLog(t, want.Log, again.Log)
+
+		// Crash mid-run, resume from the latest checkpoint: identical again.
+		var last *Checkpoint
+		crash := mk(true)
+		crash.Cfg.CheckpointEvery = 3
+		crash.Cfg.CheckpointFunc = func(ck *Checkpoint) error {
+			cp := *ck
+			cp.Log = append([]*Epoch(nil), ck.Log...)
+			last = &cp
+			return nil
+		}
+		_, err = crash.RunE()
+		var ce *faults.CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("seed %d: expected injected crash, got %v", seed, err)
+		}
+		resumed := mk(false)
+		resumed.Cfg.Resume = last
+		got, err := resumed.RunE()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameVec(want.Model.Params(), got.Model.Params()) || !sameVec(want.ValLossCurve, got.ValLossCurve) {
+			t.Fatalf("seed %d: resumed sampled run differs from uninterrupted", seed)
+		}
+		sameLog(t, want.Log, got.Log)
+	}
+}
+
+// A pass-through sampler (Size ≥ population) must leave the run
+// bit-identical to an unsampled one, Reported fields included.
+func TestSamplePassThroughBitIdentical(t *testing.T) {
+	plain := setupWide(t, 2)
+	want := plain.Run()
+	s := setupWide(t, 2)
+	s.Cfg.Sample = sampling.MustNew(sampling.Config{Seed: 1, Size: 8})
+	got := s.Run()
+	if !sameVec(want.Model.Params(), got.Model.Params()) || !sameVec(want.ValLossCurve, got.ValLossCurve) {
+		t.Fatal("pass-through sampler perturbed the run")
+	}
+	sameLog(t, want.Log, got.Log)
+}

@@ -1,0 +1,238 @@
+package hfl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"digfl/internal/tensor"
+)
+
+// foldDeltas builds k deterministic pseudo-random deltas of dimension p.
+func foldDeltas(k, p int, seed int64) [][]float64 {
+	rng := tensor.NewRNG(seed)
+	out := make([][]float64, k)
+	for i := range out {
+		d := make([]float64, p)
+		for j := range d {
+			d[j] = rng.NormFloat64()
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// Arrival order must not change a single bit of the fold's output: the
+// in-order commit rule fixes the reduction order at slot order.
+func TestMeanFoldArrivalOrderInvariant(t *testing.T) {
+	const k, p = 7, 11
+	deltas := foldDeltas(k, p, 1)
+	vg := foldDeltas(1, p, 2)[0]
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{6, 5, 4, 3, 2, 1, 0},
+		{3, 0, 6, 1, 5, 2, 4},
+	}
+	var want *FoldResult
+	for _, order := range orders {
+		f := MeanStream{Seg: 3}.NewFold(p, k, vg)
+		for _, s := range order {
+			if err := f.Add(s, append([]float64(nil), deltas[s]...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !sameVec(want.Sum, got.Sum) || !sameVec(want.Dots, got.Dots) {
+			t.Fatalf("fold output depends on arrival order %v", order)
+		}
+	}
+	for j, s := range want.Slots {
+		if s != j {
+			t.Fatalf("slots %v not in slot order", want.Slots)
+		}
+	}
+}
+
+// The canonical reduction order is segmented: per-segment sums in slot
+// order, partials merged in segment order, one final 1/m scale.
+func TestMeanFoldSegmentedReduction(t *testing.T) {
+	const k, p, seg = 8, 5, 3
+	deltas := foldDeltas(k, p, 3)
+	f := MeanStream{Seg: seg}.NewFold(p, k, nil)
+	for s, d := range deltas {
+		if err := f.Add(s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the same operations, spelled out.
+	acc := make([]float64, p)
+	for lo := 0; lo < k; lo += seg {
+		segAcc := make([]float64, p)
+		for s := lo; s < lo+seg && s < k; s++ {
+			tensor.AXPY(1, deltas[s], segAcc)
+		}
+		tensor.AXPY(1, segAcc, acc)
+	}
+	tensor.Scale(1.0/k, acc)
+	if !sameVec(acc, got.Sum) {
+		t.Fatal("segmented fold differs from the spelled-out reduction")
+	}
+}
+
+// A fold with gaps (stragglers that never report) averages over the arrived
+// updates and commits parked out-of-order slots at Close.
+func TestMeanFoldGaps(t *testing.T) {
+	const k, p = 6, 4
+	deltas := foldDeltas(k, p, 4)
+	f := MeanStream{}.NewFold(p, k, nil)
+	// Slots 0 and 3 never arrive; 4 and 5 arrive before 1 and 2.
+	for _, s := range []int{4, 5, 2, 1} {
+		if err := f.Add(s, deltas[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, p)
+	for _, s := range []int{1, 2, 4, 5} {
+		tensor.AXPY(1, deltas[s], want)
+	}
+	tensor.Scale(1.0/4, want)
+	if !sameVec(want, got.Sum) {
+		t.Fatal("gap fold averaged wrong")
+	}
+	if len(got.Slots) != 4 || got.Slots[0] != 1 || got.Slots[3] != 5 {
+		t.Fatalf("gap fold slots %v", got.Slots)
+	}
+}
+
+func TestMeanFoldRejects(t *testing.T) {
+	f := MeanStream{}.NewFold(3, 2, nil)
+	if err := f.Add(2, make([]float64, 3)); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if err := f.Add(0, make([]float64, 2)); err == nil {
+		t.Fatal("wrong-length delta accepted")
+	}
+	if err := f.Add(0, make([]float64, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add(0, make([]float64, 3)); err == nil {
+		t.Fatal("duplicate slot accepted")
+	}
+	if _, err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Close(); err == nil {
+		t.Fatal("double Close accepted")
+	}
+	if err := f.Add(1, make([]float64, 3)); err == nil {
+		t.Fatal("Add after Close accepted")
+	}
+}
+
+// A streamed run must train like the buffered run (same math, reduction
+// order differs only in the last ulp), be bit-identical run-to-run, and
+// carry DeltaDots that match the buffered run's ∇loss^v·δ exactly — the
+// deltas and the validation gradient are the same bits in both runs.
+func TestStreamedRunMatchesBuffered(t *testing.T) {
+	buf, _ := setup(t, 21)
+	bufRes := buf.Run()
+
+	mk := func() *Trainer {
+		tr, _ := setup(t, 21)
+		tr.Stream = MeanStream{}
+		return tr
+	}
+	a := mk().Run()
+	b := mk().Run()
+	if !sameVec(a.Model.Params(), b.Model.Params()) || !sameVec(a.ValLossCurve, b.ValLossCurve) {
+		t.Fatal("two streamed runs differ — streaming broke determinism")
+	}
+	if a.FinalLoss >= a.InitLoss {
+		t.Fatalf("streamed run failed to train: %v -> %v", a.InitLoss, a.FinalLoss)
+	}
+	for i, ep := range a.Log {
+		if ep.Deltas != nil {
+			t.Fatalf("streamed epoch %d retained raw deltas", ep.T)
+		}
+		if len(ep.DeltaDots) != len(buf.Parts) {
+			t.Fatalf("streamed epoch %d has %d dots", ep.T, len(ep.DeltaDots))
+		}
+		bep := bufRes.Log[i]
+		// Epoch 1 shares θ with the buffered run bit-for-bit, so its dots
+		// must match exactly; later epochs drift by the streamed aggregate's
+		// last-ulp difference, so compare loosely.
+		for k, dot := range ep.DeltaDots {
+			want := tensor.Dot(bep.ValGrad, bep.Deltas[k])
+			if i == 0 && dot != want {
+				t.Fatalf("epoch 1 dot %d: %v != buffered %v", k, dot, want)
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("epoch %d dot %d drifted: %v vs %v", ep.T, k, dot, want)
+			}
+		}
+	}
+	if math.Abs(a.FinalLoss-bufRes.FinalLoss) > 1e-9 {
+		t.Fatalf("streamed final loss %v far from buffered %v", a.FinalLoss, bufRes.FinalLoss)
+	}
+}
+
+func TestStreamRefusesBufferedPlugins(t *testing.T) {
+	tr, _ := setup(t, 5)
+	tr.Stream = MeanStream{}
+	tr.Screen = noopScreener{}
+	if _, err := tr.RunE(); err == nil || !strings.Contains(err.Error(), "Stream") {
+		t.Fatalf("Stream+Screen accepted: %v", err)
+	}
+}
+
+type noopScreener struct{}
+
+func (noopScreener) Screen(*Epoch, []int) ([]int, error) { return nil, nil }
+
+// ReleaseAfterObserve frees each epoch's raw deltas once the Observer has
+// run — the observer still sees them, the log keeps the slim record, and
+// the training outputs are untouched.
+func TestRetainDeltasRelease(t *testing.T) {
+	keep, _ := setup(t, 9)
+	want := keep.Run()
+
+	rel, _ := setup(t, 9)
+	rel.Cfg.RetainDeltas = ReleaseAfterObserve
+	sawDeltas := 0
+	rel.Observer = func(ep *Epoch) {
+		if len(ep.Deltas) > 0 {
+			sawDeltas++
+		}
+	}
+	got := rel.Run()
+
+	if sawDeltas != rel.Cfg.Epochs {
+		t.Fatalf("observer saw deltas in %d/%d epochs", sawDeltas, rel.Cfg.Epochs)
+	}
+	for _, ep := range got.Log {
+		if ep.Deltas != nil {
+			t.Fatalf("epoch %d retained deltas under ReleaseAfterObserve", ep.T)
+		}
+		if ep.ValGrad == nil || ep.Theta == nil {
+			t.Fatalf("epoch %d lost its slim record", ep.T)
+		}
+	}
+	if !sameVec(want.Model.Params(), got.Model.Params()) || !sameVec(want.ValLossCurve, got.ValLossCurve) {
+		t.Fatal("releasing deltas perturbed the run")
+	}
+}

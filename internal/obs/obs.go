@@ -99,6 +99,9 @@ const (
 	// aggregation weight after round T by the contribution-guided
 	// quarantine policy.
 	KindQuarantine
+	// KindSample marks round T running on a sampled cohort; N is the cohort
+	// size (the rest of the population sits the round out with zero φ).
+	KindSample
 
 	numKinds
 )
@@ -128,6 +131,7 @@ var kindNames = [numKinds]string{
 	KindUpdateRejected:   "update_rejected",
 	KindUpdateClipped:    "update_clipped",
 	KindQuarantine:       "quarantine",
+	KindSample:           "sample",
 }
 
 func (k Kind) String() string {

@@ -245,6 +245,7 @@ func TestKindString(t *testing.T) {
 		KindNetRequest: "net_request", KindNetTimeout: "net_timeout",
 		KindAttackInjected: "attack_injected", KindUpdateRejected: "update_rejected",
 		KindUpdateClipped: "update_clipped", KindQuarantine: "quarantine",
+		KindSample: "sample",
 	}
 	got := map[Kind]string{}
 	for k := Kind(0); k < numKinds; k++ {

@@ -20,9 +20,14 @@ type Krum struct {
 }
 
 var (
-	_ hfl.Aggregator  = Krum{}
-	_ hfl.AggregatorE = Krum{}
+	_ hfl.Aggregator   = Krum{}
+	_ hfl.AggregatorE  = Krum{}
+	_ hfl.BufferedRule = Krum{}
 )
+
+// NeedsBuffer implements hfl.BufferedRule: pairwise distances need every
+// update of the round materialized at once; Krum cannot stream.
+func (Krum) NeedsBuffer() bool { return true }
 
 // Aggregate implements hfl.Aggregator, panicking on error.
 func (k Krum) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(k, ep) }
@@ -52,9 +57,14 @@ type MultiKrum struct {
 }
 
 var (
-	_ hfl.Aggregator  = MultiKrum{}
-	_ hfl.AggregatorE = MultiKrum{}
+	_ hfl.Aggregator   = MultiKrum{}
+	_ hfl.AggregatorE  = MultiKrum{}
+	_ hfl.BufferedRule = MultiKrum{}
 )
+
+// NeedsBuffer implements hfl.BufferedRule: like Krum, the pairwise-distance
+// selection needs the full round buffer.
+func (MultiKrum) NeedsBuffer() bool { return true }
 
 // Aggregate implements hfl.Aggregator, panicking on error.
 func (m MultiKrum) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(m, ep) }
@@ -157,9 +167,17 @@ type NormBound struct {
 }
 
 var (
-	_ hfl.Aggregator  = NormBound{}
-	_ hfl.AggregatorE = NormBound{}
+	_ hfl.Aggregator   = NormBound{}
+	_ hfl.AggregatorE  = NormBound{}
+	_ hfl.BufferedRule = NormBound{}
 )
+
+// NeedsBuffer implements hfl.BufferedRule: per-update clipping is
+// independent across updates, so NormBound is the one robust rule that does
+// not require the round buffer — its streaming equivalent is ingest-time
+// clipping (UpdateScreen.ClipNow) composed with hfl.MeanStream. The
+// Aggregator form here still runs on the buffered path.
+func (NormBound) NeedsBuffer() bool { return false }
 
 // Aggregate implements hfl.Aggregator, panicking on error.
 func (b NormBound) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(b, ep) }

@@ -28,9 +28,14 @@ import (
 type Median struct{}
 
 var (
-	_ hfl.Aggregator  = Median{}
-	_ hfl.AggregatorE = Median{}
+	_ hfl.Aggregator   = Median{}
+	_ hfl.AggregatorE  = Median{}
+	_ hfl.BufferedRule = Median{}
 )
+
+// NeedsBuffer implements hfl.BufferedRule: a coordinate-wise median needs
+// every update of the round materialized at once and cannot stream.
+func (Median) NeedsBuffer() bool { return true }
 
 // Aggregate implements hfl.Aggregator, panicking on error.
 func (m Median) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(m, ep) }
@@ -56,9 +61,14 @@ type TrimmedMean struct {
 }
 
 var (
-	_ hfl.Aggregator  = TrimmedMean{}
-	_ hfl.AggregatorE = TrimmedMean{}
+	_ hfl.Aggregator   = TrimmedMean{}
+	_ hfl.AggregatorE  = TrimmedMean{}
+	_ hfl.BufferedRule = TrimmedMean{}
 )
+
+// NeedsBuffer implements hfl.BufferedRule: per-coordinate order statistics
+// need the round's full update buffer and cannot stream.
+func (TrimmedMean) NeedsBuffer() bool { return true }
 
 // NewTrimmedMean validates the trim count at construction — misconfiguration
 // surfaces before training starts instead of as an error epochs in. The

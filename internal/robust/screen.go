@@ -69,6 +69,57 @@ func MustNewUpdateScreen(cfg ScreenConfig) *UpdateScreen {
 	return s
 }
 
+// ClipNow rescales delta in place against the screen's current threshold —
+// ClipFactor × the running median as of the last completed round — and
+// returns the pre-clip L2 norm and whether it clipped. This is the
+// streaming-ingest variant of Screen: a fold-on-arrival server cannot know
+// the in-flight round's median before folding, so streamed rounds clip
+// against the state of the rounds already closed (the first round clips
+// nothing) and advance the median afterwards via ObserveNorms. Callers
+// handle shape and finiteness themselves (the wire layer rejects both
+// before clipping is reached).
+func (s *UpdateScreen) ClipNow(delta []float64) (norm float64, clipped bool) {
+	var n2 float64
+	for _, v := range delta {
+		n2 += v * v
+	}
+	norm = math.Sqrt(n2)
+	if !s.ok || s.cfg.ClipFactor < 0 {
+		return norm, false
+	}
+	threshold := s.cfg.ClipFactor * s.med
+	if threshold <= 0 || norm <= threshold {
+		return norm, false
+	}
+	scale := threshold / norm
+	for j := range delta {
+		delta[j] *= scale
+	}
+	return norm, true
+}
+
+// ObserveNorms folds one closed round's pre-clip update norms into the
+// running median EWMA — the state ClipNow reads. Norm order does not matter
+// (the median is order-invariant), so a streaming server may record norms
+// in arrival order and still stay deterministic. An empty round leaves the
+// state untouched.
+func (s *UpdateScreen) ObserveNorms(norms []float64) {
+	if len(norms) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), norms...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	if !s.ok {
+		s.med, s.ok = med, true
+		return
+	}
+	s.med = (1-s.cfg.Lambda)*s.med + s.cfg.Lambda*med
+}
+
 // Screen implements hfl.Screener: it returns the positions of the updates
 // to reject (wrong length against the broadcast model, or any non-finite
 // coordinate) and rescales over-norm survivors in place.

@@ -1,0 +1,186 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func population(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func TestCohortPassThrough(t *testing.T) {
+	pop := population(10)
+	var nilS *Sampler
+	if got := nilS.Cohort(3, pop); !same(got, pop) {
+		t.Fatalf("nil sampler returned %v, want the population itself", got)
+	}
+	for _, size := range []int{0, 10, 11} {
+		s := MustNew(Config{Seed: 1, Size: size})
+		if got := s.Cohort(3, pop); !same(got, pop) {
+			t.Fatalf("Size=%d returned %v, want the population itself", size, got)
+		}
+	}
+}
+
+// same reports whether both slices share the same backing array and length
+// (the no-allocation pass-through contract).
+func same(a, b []int) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func TestCohortDeterministicAndOrdered(t *testing.T) {
+	pop := population(200)
+	for _, seed := range []int64{1, 7, 42} {
+		s := MustNew(Config{Seed: seed, Size: 16})
+		for epoch := 1; epoch <= 5; epoch++ {
+			a := s.Cohort(epoch, pop)
+			b := s.Cohort(epoch, pop)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d epoch %d: repeated calls disagree: %v vs %v", seed, epoch, a, b)
+			}
+			if len(a) != 16 {
+				t.Fatalf("seed %d epoch %d: cohort size %d, want 16", seed, epoch, len(a))
+			}
+			if !sort.IntsAreSorted(a) {
+				t.Fatalf("seed %d epoch %d: cohort %v not in population order", seed, epoch, a)
+			}
+			seen := map[int]bool{}
+			for _, i := range a {
+				if i < 0 || i >= 200 || seen[i] {
+					t.Fatalf("seed %d epoch %d: invalid cohort member %d in %v", seed, epoch, i, a)
+				}
+				seen[i] = true
+			}
+		}
+		// Different epochs must draw different cohorts (same seed).
+		if reflect.DeepEqual(s.Cohort(1, pop), s.Cohort(2, pop)) {
+			t.Fatalf("seed %d: epochs 1 and 2 drew the identical 16-of-200 cohort", seed)
+		}
+	}
+	// Different seeds must draw different cohorts (same epoch).
+	a := MustNew(Config{Seed: 1, Size: 16}).Cohort(1, pop)
+	b := MustNew(Config{Seed: 2, Size: 16}).Cohort(1, pop)
+	if reflect.DeepEqual(a, b) {
+		t.Fatalf("seeds 1 and 2 drew the identical cohort %v", a)
+	}
+}
+
+// TestCohortKeysArePerParticipant: each participant's selection key depends
+// only on (seed, epoch, participant), so restricting the population to a
+// coalition subset just re-ranks the same keys — any subset member that beat
+// another subset member in the full competition still beats it in the
+// restricted one. This is what makes cohorts of a coalition run
+// well-defined and resume-independent.
+func TestCohortKeysArePerParticipant(t *testing.T) {
+	pop := population(100)
+	s := MustNew(Config{Seed: 9, Size: 10})
+	full := s.Cohort(4, pop)
+	sub := pop[:50]
+	got := s.Cohort(4, sub)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("restricted cohort %v not ordered", got)
+	}
+	for _, i := range got {
+		if i >= 50 {
+			t.Fatalf("restricted cohort %v contains non-member %d", got, i)
+		}
+	}
+	// Every full-competition winner inside the subset must still win there.
+	inGot := map[int]bool{}
+	for _, i := range got {
+		inGot[i] = true
+	}
+	for _, i := range full {
+		if i < 50 && !inGot[i] {
+			t.Fatalf("participant %d won the full draw but lost the restricted one (%v vs %v)", i, full, got)
+		}
+	}
+}
+
+func TestWeightedCohortBias(t *testing.T) {
+	const n, size, epochs = 40, 8, 400
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	// Participant 0 is 20x more likely; participant 1 is unselectable.
+	w[0], w[1] = 20, 0
+	s := MustNew(Config{Seed: 5, Size: size, Weights: w})
+	pop := population(n)
+	hits := make([]int, n)
+	for epoch := 1; epoch <= epochs; epoch++ {
+		for _, i := range s.Cohort(epoch, pop) {
+			hits[i]++
+		}
+	}
+	if hits[1] != 0 {
+		t.Fatalf("zero-weight participant selected %d times", hits[1])
+	}
+	if hits[0] < epochs*9/10 {
+		t.Fatalf("heavy participant selected only %d/%d epochs", hits[0], epochs)
+	}
+	var rest int
+	for i := 2; i < n; i++ {
+		rest += hits[i]
+	}
+	mean := float64(rest) / float64(n-2)
+	if float64(hits[0]) < 2*mean {
+		t.Fatalf("heavy participant (%d hits) not clearly above uniform mean %.1f", hits[0], mean)
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	const n, size, epochs = 50, 5, 1000
+	s := MustNew(Config{Seed: 11, Size: size})
+	pop := population(n)
+	hits := make([]int, n)
+	for epoch := 1; epoch <= epochs; epoch++ {
+		for _, i := range s.Cohort(epoch, pop) {
+			hits[i]++
+		}
+	}
+	want := float64(size*epochs) / float64(n) // 100 expected
+	for i, h := range hits {
+		if math.Abs(float64(h)-want) > want*0.5 {
+			t.Fatalf("participant %d selected %d times, expected ≈%.0f (uniformity broken)", i, h, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Size: -1}); err == nil {
+		t.Fatal("negative Size accepted")
+	}
+	if _, err := New(Config{Weights: []float64{1, -0.5}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := New(Config{Weights: []float64{math.NaN()}}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	if _, err := New(Config{Size: 3, Weights: []float64{1, 2}}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestCohortBoundedScratch guards the O(Size) selection memory contract on a
+// large population: the per-call allocation must scale with the cohort, not
+// the population.
+func TestCohortBoundedScratch(t *testing.T) {
+	pop := population(100_000)
+	s := MustNew(Config{Seed: 3, Size: 64})
+	allocs := testing.AllocsPerRun(3, func() {
+		_ = s.Cohort(1, pop)
+	})
+	// Heap slices + result + sort scaffolding: a handful of allocations,
+	// none proportional to the population.
+	if allocs > 20 {
+		t.Fatalf("Cohort performed %v allocations on a 100k population; want O(1) slice headers", allocs)
+	}
+}

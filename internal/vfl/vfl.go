@@ -128,7 +128,27 @@ type Config struct {
 	// instead of silently training on garbage. Off by default: existing
 	// callers keep the historical propagate-NaN behavior bit-identically.
 	FailNonFinite bool
+	// RetainDeltas controls whether each epoch's Grad — the vertical
+	// trainer's per-round update buffer, the analog of hfl.Epoch.Deltas —
+	// stays alive after the update is applied and the Observer has seen the
+	// epoch. The zero value retains everything (historical behavior: a
+	// KeepLog run holds O(epochs·d)); ReleaseAfterObserve nils ep.Grad so
+	// retained log records cost O(1) per epoch beyond Theta/ValGrad.
+	// Estimators are unaffected (they read Grad inside Observe, before the
+	// release); a logio archive writer must also run inside the Observer.
+	RetainDeltas RetainPolicy
 }
+
+// RetainPolicy mirrors hfl.RetainPolicy for the vertical trainer.
+type RetainPolicy int
+
+const (
+	// RetainAll keeps every epoch's Grad alive (the historical default).
+	RetainAll RetainPolicy = iota
+	// ReleaseAfterObserve nils ep.Grad once the update is applied and the
+	// Observer has run.
+	ReleaseAfterObserve
+)
 
 // ErrNonFinite is the sentinel wrapped by FailNonFinite aborts; match it
 // with errors.Is. The wrapping error names the epoch and the value
@@ -396,6 +416,11 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 			N: int64(prob.Parties()), Dur: obs.Since(sink, aggStart)})
 		if tr.Observer != nil {
 			tr.Observer(ep)
+		}
+		if tr.Cfg.RetainDeltas == ReleaseAfterObserve {
+			// The update is applied and every consumer that needs the raw
+			// G_T (estimator, archive) has run inside the Observer.
+			ep.Grad = nil
 		}
 		if tr.Cfg.KeepLog {
 			res.Log = append(res.Log, ep)

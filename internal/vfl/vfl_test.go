@@ -181,3 +181,43 @@ func TestModelKindString(t *testing.T) {
 		t.Fatal("ModelKind strings wrong")
 	}
 }
+
+// TestRetainDeltasRelease: ReleaseAfterObserve nils each epoch's Grad after
+// the Observer has seen it, without perturbing a single float of the run —
+// the retained log then costs O(1) per epoch beyond Theta/ValGrad.
+func TestRetainDeltasRelease(t *testing.T) {
+	run := func(policy RetainPolicy) (*Result, int) {
+		sawGrad := 0
+		tr := &Trainer{
+			Problem: regProblem(7),
+			Cfg:     Config{Epochs: 20, LR: 0.05, KeepLog: true, RetainDeltas: policy},
+			Observer: func(ep *Epoch) {
+				if len(ep.Grad) > 0 {
+					sawGrad++
+				}
+			},
+		}
+		return tr.Run(), sawGrad
+	}
+	keep, sawKeep := run(RetainAll)
+	rel, sawRel := run(ReleaseAfterObserve)
+	if sawKeep != 20 || sawRel != 20 {
+		t.Fatalf("observer saw Grad on %d/%d epochs, want 20/20", sawKeep, sawRel)
+	}
+	for i, ep := range rel.Log {
+		if ep.Grad != nil {
+			t.Fatalf("epoch %d retained Grad under ReleaseAfterObserve", i+1)
+		}
+		if keep.Log[i].Grad == nil {
+			t.Fatalf("epoch %d lost Grad under RetainAll", i+1)
+		}
+	}
+	if keep.FinalLoss != rel.FinalLoss {
+		t.Fatalf("release perturbed the run: %v vs %v", keep.FinalLoss, rel.FinalLoss)
+	}
+	for j, v := range keep.Model.Params() {
+		if rel.Model.Params()[j] != v {
+			t.Fatal("release perturbed the model")
+		}
+	}
+}
