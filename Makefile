@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale
+.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale verify-wire bench-json
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,7 @@ verify:
 	$(MAKE) verify-net
 	$(MAKE) verify-adv
 	$(MAKE) verify-scale
+	$(MAKE) verify-wire
 
 # verify-faults runs the fault-injection suite: the determinism gate
 # (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
@@ -59,6 +60,34 @@ verify-scale:
 	$(GO) vet ./internal/sampling/ ./internal/hfl/ ./internal/fednet/
 	$(GO) test -count=1 -run 'Sample|Sampled|Cohort|Stream|MeanFold|Scale100k|Retain|Tree|TotalsOnly|LongPoll' \
 		./internal/sampling/ ./internal/hfl/ ./internal/core/ ./internal/fednet/ ./internal/vfl/
+
+# verify-wire runs the binary-wire gate: the frame round-trip tests, the
+# cross-codec equivalence matrix (v1 clients x v2 coordinator and vice
+# versa, plus tree roots, bit-identical to the in-process trainer across 3
+# seeds), the malformed-frame rejection tests (truncated/oversized/NaN
+# binary payloads answer 422, never a panic), a fuzz smoke pass over the
+# three binary frame decoders, the pooled-buffer steady-state allocation
+# test, and the bytes+allocs gate (binary must at least halve bytes on wire
+# and allocations per round vs JSON on the streamed sampled benchmark).
+# -count=1 defeats the test cache so the gate re-executes.
+verify-wire:
+	$(GO) vet ./internal/fednet/ ./internal/tensor/ ./internal/experiments/
+	$(GO) test -count=1 -run 'Codec|Frame|Pool|SizeClass|WireCodec|WireDeterministic' \
+		./internal/fednet/ ./internal/tensor/ ./internal/experiments/
+	$(GO) test -count=1 -run '^$$' -fuzz FuzzDecodeUpdateFrame -fuzztime 5s ./internal/fednet/
+	$(GO) test -count=1 -run '^$$' -fuzz FuzzDecodePartialFrame -fuzztime 5s ./internal/fednet/
+	$(GO) test -count=1 -run '^$$' -fuzz FuzzDecodeRoundFrame -fuzztime 5s ./internal/fednet/
+
+# bench-json regenerates the perf-trajectory file for this revision: the
+# wire benchmark (bytes on wire, allocs per round, per codec) plus the
+# networked-runtime timings, APPENDED to $(BENCH_JSON) (entries from prior
+# revisions are preserved), then diffed against the committed copy so the
+# delta is visible before it lands.
+BENCH_JSON ?= BENCH_7.json
+bench-json:
+	$(GO) run ./cmd/digfl-bench -exp wire -json $(BENCH_JSON)
+	$(GO) run ./cmd/digfl-bench -exp net -json $(BENCH_JSON)
+	git --no-pager diff --stat -- $(BENCH_JSON) || true
 
 # verify-adv runs the adversarial-robustness gate: the efficacy test (30%
 # sign-flip attackers across 3 seeds — undefended run diverges >=2x while

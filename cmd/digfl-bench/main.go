@@ -9,16 +9,22 @@
 //	digfl-bench -exp faults -faults dropout=0.4,crash=8  # fault-tolerance check
 //	digfl-bench -exp net -json out.json   # networked-runtime check + timings
 //	digfl-bench -exp adversarial -attacks kind=sign_flip,frac=0.3  # defense check
+//	digfl-bench -exp wire -json BENCH.json  # binary vs JSON wire benchmark
+//	digfl-bench -exp load -load clients=2000,delay=20ms  # concurrent-client load test
 //	digfl-bench -list               # list experiment ids
 //
 // With -trace, every training run and estimator pass streams typed events
 // (epochs, local updates, aggregations, Paillier operations) to the named
 // JSONL file, and a counter snapshot is printed after each experiment.
 //
-// With -json, a machine-readable summary is written after the run: one
-// record per experiment with wall time, epoch count, and the p50/p99
-// per-round latency (epoch durations, plus closed networked rounds when
-// the experiment runs over the wire).
+// With -json, a machine-readable summary is written after the run in the
+// versioned digfl-bench schema (v2): one entry per experiment with wall
+// time, epoch count, and the p50/p99 per-round latency (epoch durations,
+// plus closed networked rounds when the experiment runs over the wire);
+// the wire and load experiments add codec, bytes-on-wire, allocs-per-round,
+// and concurrency fields. When the target file already exists (either a v2
+// envelope or a v1 bare record array), this run's entries are APPENDED, so
+// one file accumulates the perf trajectory across revisions.
 //
 // Experiment ids map one-to-one to the paper's artifacts; fig2/table2,
 // fig4/table4 and fig5/table5 are aliases for the runners that produce both.
@@ -30,12 +36,15 @@
 // it reproduces the in-process trainer bit for bit; the extra "adversarial"
 // id attacks a federation per the -attacks spec and reports how the defense
 // stack (update screening + contribution-guided quarantine) held up against
-// the undefended run. None is part of the paper's evaluation, so -exp all
-// includes none of them.
+// the undefended run; the extra "wire" id benchmarks the digfl-fednet/2
+// binary codec against v1 JSON on a streamed sampled-cohort run (bytes on
+// wire, allocs per round, bit-identity); the extra "load" id hammers a live
+// coordinator with concurrent /v1/score readers and long-poll round
+// watchers per the -load spec. None is part of the paper's evaluation, so
+// -exp all includes none of them.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -54,10 +63,12 @@ type runner struct {
 	run  func(o experiments.Opts) []result
 }
 
-// result pairs the human rendering with the CSV tables.
+// result pairs the human rendering with the CSV tables; bench optionally
+// carries experiment-specific machine-readable entries for -json output.
 type result struct {
 	render func(w *os.File)
 	tables map[string][][]string
+	bench  []experiments.BenchEntry
 }
 
 func runners() []runner {
@@ -153,6 +164,33 @@ func netRunner() runner {
 	}
 }
 
+// wireRunner benchmarks the digfl-fednet/2 binary wire against v1 JSON on
+// the streamed sampled-cohort run. Outside the paper's artifact set, so
+// -exp all does not include it.
+func wireRunner() runner {
+	return runner{
+		ids:  []string{"wire"},
+		desc: "wire codecs: binary vs JSON bytes/allocs + bit-identity (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.Wire(o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables(), bench: r.Bench()}}
+		},
+	}
+}
+
+// loadRunner builds the concurrent-client load test from a -load spec.
+// Outside the paper's artifact set, so -exp all does not include it.
+func loadRunner(spec experiments.LoadSpec) runner {
+	return runner{
+		ids:  []string{"load"},
+		desc: "load test: concurrent score readers + round watchers (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.Load(spec, o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables(), bench: r.Bench()}}
+		},
+	}
+}
+
 // adversarialRunner builds the adversarial-robustness runner from an
 // -attacks spec. Like "faults" and "net", it is outside the paper's
 // artifact set, so -exp all does not include it.
@@ -167,21 +205,8 @@ func adversarialRunner(spec experiments.AdvSpec) runner {
 	}
 }
 
-// benchRecord is one -json entry: machine-readable timing for an experiment.
-type benchRecord struct {
-	Exp    string  `json:"exp"`
-	WallMS float64 `json:"wall_ms"`
-	// Epochs counts the training epochs the experiment ran (across every
-	// run it performed).
-	Epochs int64 `json:"epochs"`
-	// RoundP50MS/RoundP99MS summarize per-round latency: epoch durations
-	// for in-process runs plus closed-round durations for networked ones.
-	RoundP50MS float64 `json:"round_p50_ms"`
-	RoundP99MS float64 `json:"round_p99_ms"`
-	Rounds     int     `json:"rounds"`
-}
-
-// benchSink harvests the per-round latencies a benchRecord summarizes.
+// benchSink harvests the per-round latencies a generic bench entry
+// summarizes (the schema lives in experiments.BenchEntry).
 type benchSink struct {
 	mu   sync.Mutex
 	durs []time.Duration
@@ -210,7 +235,8 @@ func main() {
 	trace := flag.String("trace", "", "write an observability trace (JSONL) to this file and print counter snapshots")
 	faultsSpec := flag.String("faults", "", "fault spec for -exp faults, comma-separated key=value (seed, dropout, straggler, delay, crash, secure, every, retries)")
 	attacksSpec := flag.String("attacks", "", "attack spec for -exp adversarial, comma-separated key=value (seed, kind, frac, n, scale, noise, rate, flip, clip, patience)")
-	jsonPath := flag.String("json", "", "write machine-readable results (wall time, epochs, round latency percentiles) as JSON to this file")
+	loadSpec := flag.String("load", "", "load spec for -exp load, comma-separated key=value (clients, delay)")
+	jsonPath := flag.String("json", "", "append machine-readable results (digfl-bench schema v2: wall time, round latency percentiles, wire/load metrics) to this JSON file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -224,7 +250,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
 		os.Exit(2)
 	}
-	rs := append(runners(), faultsRunner(spec), netRunner(), adversarialRunner(advSpec))
+	lspec, err := experiments.ParseLoadSpec(*loadSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
+		os.Exit(2)
+	}
+	rs := append(runners(), faultsRunner(spec), netRunner(), adversarialRunner(advSpec),
+		wireRunner(), loadRunner(lspec))
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
@@ -260,7 +292,7 @@ func main() {
 		o.Sink = obs.Tee(collector, tw)
 	}
 
-	var records []benchRecord
+	var records []experiments.BenchEntry
 	emit := func(r runner) {
 		oo := o
 		var bs *benchSink
@@ -269,8 +301,10 @@ func main() {
 			oo.Sink = obs.Tee(o.Sink, bs)
 		}
 		start := time.Now()
+		var extra []experiments.BenchEntry
 		for _, res := range r.run(oo) {
 			res.render(os.Stdout)
+			extra = append(extra, res.bench...)
 			if *csvDir != "" {
 				if err := writeTables(*csvDir, res.tables); err != nil {
 					fmt.Fprintf(os.Stderr, "digfl-bench: %v\n", err)
@@ -280,7 +314,7 @@ func main() {
 		}
 		if bs != nil {
 			lq := experiments.Quantiles(bs.durs, 0.50, 0.99)
-			records = append(records, benchRecord{
+			records = append(records, experiments.BenchEntry{
 				Exp:        r.ids[0],
 				WallMS:     float64(time.Since(start)) / float64(time.Millisecond),
 				Epochs:     bs.eps,
@@ -288,18 +322,32 @@ func main() {
 				RoundP99MS: float64(lq[1]) / float64(time.Millisecond),
 				Rounds:     len(bs.durs),
 			})
+			records = append(records, extra...)
 		}
 		if collector != nil {
 			fmt.Printf("\n[obs] %s\n", collector.Snapshot())
 		}
 	}
+	// flush appends this run's entries to the target file: existing v1 or
+	// v2 bench files are extended, so one file holds the perf trajectory.
 	flush := func() {
 		if *jsonPath == "" {
 			return
 		}
-		data, err := json.MarshalIndent(records, "", "  ")
+		prev, err := os.ReadFile(*jsonPath)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "digfl-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		bf, err := experiments.ReadBench(prev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "digfl-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		bf.Append(records...)
+		data, err := bf.Marshal()
 		if err == nil {
-			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+			err = os.WriteFile(*jsonPath, data, 0o644)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "digfl-bench: json: %v\n", err)
@@ -308,7 +356,8 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, r := range rs {
-			if contains(r.ids, "faults") || contains(r.ids, "net") || contains(r.ids, "adversarial") {
+			if contains(r.ids, "faults") || contains(r.ids, "net") || contains(r.ids, "adversarial") ||
+				contains(r.ids, "wire") || contains(r.ids, "load") {
 				continue // robustness checks are opt-in; 'all' stays the paper set
 			}
 			emit(r)

@@ -57,7 +57,9 @@
 // GOMAXPROCS when Workers was unset), HFLEstimator.Workers (already the
 // Resolve convention), and SecureConfig.Workers (0 historically meant
 // GOMAXPROCS, preserved through Resolve's legacy argument). New code sets
-// Runtime.Workers and nothing else.
+// Runtime.Workers and nothing else; the legacy fields are marked for
+// removal in the next API revision, and every in-tree caller and example
+// already routes through Runtime.
 //
 // Pool outputs are bit-identical to the serial path, so parallelism is
 // purely a wall-clock knob; parallel estimator paths require a
@@ -119,12 +121,23 @@
 //
 // The determinism contract: a fault-free networked run reproduces the
 // in-process trainer's model, loss curve, and contributions φ bit for bit
-// (floats cross the wire as exact-round-trip JSON; deltas are slotted by
+// (floats cross the wire exactly in both encodings; deltas are slotted by
 // participant index, so aggregation never depends on arrival order). A
 // participant missing the coordinator's RoundDeadline degrades that epoch
 // to the survivors with the same Reported semantics as injected dropout,
 // and transient request failures are retried with capped exponential
 // backoff, invisibly to the result.
+//
+// Bulk payloads (round broadcasts, updates, edge partials) travel in one
+// of two negotiated encodings: NetProtocol, the v1 JSON wire, or
+// NetProtocolV2, a raw little-endian binary framing that cuts bytes on
+// wire by >2x and, with the runtime's buffer pooling, makes a streamed
+// round allocate near-zero transient memory. Clients offer v2 at join and
+// the coordinator picks; either side pins itself to v1 with its LegacyJSON
+// field, and ingest always accepts both encodings, so mixed fleets and
+// rollbacks need no coordination. Both encodings carry float64 values bit
+// exactly, so the determinism contract holds across any mix (DESIGN.md
+// §11 specifies the frames and the negotiation).
 //
 // # Adversarial robustness
 //
@@ -448,6 +461,25 @@ const (
 // talk across a version mismatch.
 const NetProtocol = fednet.Protocol
 
+// NetProtocolV2 names the binary bulk-payload encoding negotiated at join
+// time (the protocol itself stays NetProtocol; v2 only re-encodes round
+// broadcasts, updates, and edge partials as raw little-endian frames).
+// Coordinators pick it whenever a client offers it; set LegacyJSON on
+// either side to pin the v1 JSON wire.
+const NetProtocolV2 = fednet.ProtocolV2
+
+// NetCodec encodes bulk wire payloads; NetCodecV1 (JSON) and NetCodecV2
+// (binary) are the two implementations, chosen by join negotiation.
+type NetCodec = fednet.Codec
+
+// The negotiable wire codecs.
+var (
+	// NetCodecV1 is the digfl-fednet/1 JSON encoding.
+	NetCodecV1 = fednet.CodecV1
+	// NetCodecV2 is the digfl-fednet/2 binary encoding.
+	NetCodecV2 = fednet.CodecV2
+)
+
 // WireError is a typed wire-protocol rejection (any non-2xx reply); match
 // with errors.As and inspect Code.
 type WireError = fednet.WireError
@@ -462,6 +494,10 @@ const (
 	// WireNonFinite rejects an update carrying NaN/±Inf. Fatal for the
 	// client.
 	WireNonFinite = fednet.CodeNonFinite
+	// WireBadFrame rejects a malformed digfl-fednet/2 binary frame
+	// (truncated, oversized, or header-contradicting). Fatal for the
+	// client.
+	WireBadFrame = fednet.CodeBadFrame
 )
 
 // Vertical model kinds.

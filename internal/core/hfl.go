@@ -65,7 +65,8 @@ type HFLEstimator struct {
 	// shared bounded pool, negative selects GOMAXPROCS.
 	//
 	// Deprecated: set Runtime.Workers instead. Ignored whenever
-	// Runtime.Workers is non-zero.
+	// Runtime.Workers is non-zero. Marked for removal in the next API
+	// revision.
 	Workers int
 
 	// TotalsOnly drops the per-epoch φ matrix and accumulates only the

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A v1 bench file is a bare record array; ReadBench must upgrade it to the
+// versioned envelope without losing fields.
+func TestReadBenchV1(t *testing.T) {
+	v1 := `[
+  {"exp": "net", "wall_ms": 40.8, "epochs": 10, "round_p50_ms": 6.1, "round_p99_ms": 8.0, "rounds": 15}
+]`
+	f, err := ReadBench([]byte(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != BenchVersion || f.Format != BenchFormat {
+		t.Fatalf("upgraded file is %s v%d", f.Format, f.Version)
+	}
+	if len(f.Entries) != 1 || f.Entries[0].Exp != "net" || f.Entries[0].Rounds != 15 {
+		t.Fatalf("entries = %+v", f.Entries)
+	}
+}
+
+// Append-and-marshal must round-trip through the v2 schema, preserving the
+// wire-specific fields and the prior entries.
+func TestBenchAppendRoundTrip(t *testing.T) {
+	f, err := ReadBench(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Append(BenchEntry{Exp: "net", WallMS: 40, Rounds: 15})
+	f.Append(BenchEntry{Exp: "wire", Codec: "digfl-fednet/2", BytesOnWire: 541184,
+		AllocsPerRound: 3698, Rounds: 4})
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadBench(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Entries) != 2 {
+		t.Fatalf("%d entries after round trip", len(g.Entries))
+	}
+	if g.Entries[1].BytesOnWire != 541184 || g.Entries[1].Codec != "digfl-fednet/2" {
+		t.Fatalf("wire entry lost fields: %+v", g.Entries[1])
+	}
+	// Fields an entry does not measure must stay off the record entirely.
+	var raw struct {
+		Entries []map[string]any `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := raw.Entries[0]["bytes_on_wire"]; leaked {
+		t.Fatal("net entry carries an empty bytes_on_wire field")
+	}
+}
+
+func TestReadBenchRejects(t *testing.T) {
+	if _, err := ReadBench([]byte(`{"format":"other","version":2}`)); err == nil {
+		t.Fatal("accepted foreign format")
+	}
+	if _, err := ReadBench([]byte(`{"format":"digfl-bench","version":99}`)); err == nil {
+		t.Fatal("accepted future version")
+	}
+	if _, err := ReadBench([]byte(`{nope`)); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+}

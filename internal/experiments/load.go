@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"digfl/internal/core"
+	"digfl/internal/dataset"
+	"digfl/internal/fednet"
+	"digfl/internal/hfl"
+	"digfl/internal/nn"
+	"digfl/internal/tensor"
+)
+
+// LoadSpec parameterizes the load test: how many concurrent read-side
+// clients hammer the coordinator while a federation trains under them.
+type LoadSpec struct {
+	// Clients is the concurrent client count; each loops a GET /v1/score
+	// and a long-poll GET /v1/round until the run completes.
+	Clients int
+	// Delay is the per-round compute delay of every participant — it holds
+	// rounds open long enough that the load and the training genuinely
+	// overlap.
+	Delay time.Duration
+}
+
+// DefaultLoadSpec is the configuration the CLI uses when -load gives no
+// overrides.
+func DefaultLoadSpec() LoadSpec {
+	return LoadSpec{Clients: 2000, Delay: 20 * time.Millisecond}
+}
+
+// ParseLoadSpec overlays a comma-separated key=value spec (e.g.
+// "clients=4000,delay=50ms") onto the default spec. Keys: clients, delay
+// (Go duration).
+func ParseLoadSpec(s string) (LoadSpec, error) {
+	spec := DefaultLoadSpec()
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return spec, fmt.Errorf("load spec: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "clients":
+			spec.Clients, err = strconv.Atoi(v)
+		case "delay":
+			spec.Delay, err = time.ParseDuration(v)
+		default:
+			return spec, fmt.Errorf("load spec: unknown key %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("load spec: %s: %v", k, err)
+		}
+	}
+	if spec.Clients < 1 {
+		return spec, fmt.Errorf("load spec: clients must be positive, got %d", spec.Clients)
+	}
+	return spec, nil
+}
+
+// LoadResult summarizes one load test.
+type LoadResult struct {
+	Clients, Participants, Epochs int
+	// Requests counts the load clients' completed requests (scores + polls);
+	// training traffic is not included.
+	Requests int64
+	// Errors counts load-client requests that failed or returned non-200.
+	Errors int64
+	// ScoreP50/P99 are /v1/score latencies under load; PollP50/P99 are
+	// long-poll /v1/round latencies (dominated by round cadence, reported
+	// for the tail behavior).
+	ScoreP50, ScoreP99 time.Duration
+	PollP50, PollP99   time.Duration
+	// RoundP50/P99 are the coordinator's closed-round latencies while the
+	// load ran.
+	RoundP50, RoundP99 time.Duration
+	WallMS             float64
+	// Completed: the federation under load finished every epoch and every
+	// participant exited cleanly.
+	Completed bool
+}
+
+// Load runs a small federation over a real loopback listener while
+// spec.Clients concurrent clients alternate /v1/score reads and long-poll
+// round watches against the same coordinator — the contention profile of a
+// dashboard fleet watching a live run.
+func Load(spec LoadSpec, o Opts) *LoadResult {
+	o.validate()
+	const n = 3
+	epochs := o.epochs(10)
+	clients := spec.Clients
+	if clients < 1 {
+		clients = DefaultLoadSpec().Clients
+	}
+
+	rng := tensor.NewRNG(o.Seed)
+	full := imageData("MNIST", o.samples(900), o.Seed, 0)
+	train, val := full.Split(0.1, rng)
+	parts := dataset.PartitionIID(train, n, rng)
+	model := nn.NewSoftmaxRegression(train.Dim(), train.Classes)
+
+	lat := &netLatSink{next: o.Sink}
+	est := core.NewHFLEstimator(n, model.NumParams(), core.ResourceSaving, nil)
+	coord := &fednet.Coordinator{
+		N: n, Model: model, Val: val,
+		Cfg:       hfl.Config{Epochs: epochs, LR: 0.3, KeepLog: true},
+		Estimator: est,
+	}
+	coord.Cfg.Runtime.Sink = lat
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: load listener: %v", err))
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// One shared transport sized for the fleet, so every client keeps a
+	// live connection instead of fighting over a small idle pool.
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}}
+
+	type lats struct {
+		scores, polls []time.Duration
+	}
+	perClient := make([]lats, clients)
+	var requests, errs atomic.Int64
+	done := make(chan struct{})
+	var lwg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		lwg.Add(1)
+		go func(c int) {
+			defer lwg.Done()
+			l := &perClient[c]
+			next := 1
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Score read: the dashboard's φ refresh.
+				s0 := time.Now()
+				resp, err := hc.Get(base + "/v1/score")
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				} else {
+					l.scores = append(l.scores, time.Since(s0))
+				}
+				// Round watch: long-poll the next unseen round header.
+				p0 := time.Now()
+				resp, err = hc.Get(fmt.Sprintf("%s/v1/round?t=%d&h=1", base, next))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				var rr struct {
+					State string `json:"state"`
+					T     int    `json:"t"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&rr)
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+				switch {
+				case err != nil || resp.StatusCode != http.StatusOK:
+					errs.Add(1)
+				case rr.State == "done":
+					l.polls = append(l.polls, time.Since(p0))
+					return
+				case rr.State == "open":
+					l.polls = append(l.polls, time.Since(p0))
+					next = rr.T + 1
+				}
+			}
+		}(c)
+	}
+
+	start := time.Now()
+	res, perrs, runErr := func() (*hfl.Result, []error, error) {
+		perrs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			p := &fednet.Participant{
+				Index: i, BaseURL: base, Model: model, Data: parts[i],
+				Retries: 2, Client: hc,
+			}
+			if spec.Delay > 0 {
+				p.Delay = func(int) { time.Sleep(spec.Delay) }
+			}
+			wg.Add(1)
+			go func(i int, p *fednet.Participant) {
+				defer wg.Done()
+				perrs[i] = p.Run(context.Background())
+			}(i, p)
+		}
+		res, err := coord.Run(context.Background())
+		wg.Wait()
+		return res, perrs, err
+	}()
+	close(done)
+	lwg.Wait()
+	wall := time.Since(start)
+
+	// The loss curve records loss^v(θ_t) for t = 0..epochs.
+	completed := runErr == nil && res != nil && len(res.ValLossCurve) == epochs+1
+	for _, perr := range perrs {
+		if perr != nil {
+			completed = false
+		}
+	}
+	var scores, polls []time.Duration
+	for i := range perClient {
+		scores = append(scores, perClient[i].scores...)
+		polls = append(polls, perClient[i].polls...)
+	}
+	sq := Quantiles(scores, 0.50, 0.99)
+	pq := Quantiles(polls, 0.50, 0.99)
+	rq := Quantiles(lat.durs, 0.50, 0.99)
+	return &LoadResult{
+		Clients: clients, Participants: n, Epochs: epochs,
+		Requests: requests.Load(), Errors: errs.Load(),
+		ScoreP50: sq[0], ScoreP99: sq[1],
+		PollP50: pq[0], PollP99: pq[1],
+		RoundP50: rq[0], RoundP99: rq[1],
+		WallMS:    float64(wall) / float64(time.Millisecond),
+		Completed: completed,
+	}
+}
+
+// Render writes the load-test summary.
+func (r *LoadResult) Render(w io.Writer) {
+	writeHeader(w, "Load — concurrent score readers and round watchers vs a live run")
+	fmt.Fprintf(w, "%d clients over %d participants x %d epochs: %d requests (%d errors) in %.0fms\n",
+		r.Clients, r.Participants, r.Epochs, r.Requests, r.Errors, r.WallMS)
+	fmt.Fprintf(w, "score latency p50=%v p99=%v\n", r.ScoreP50, r.ScoreP99)
+	fmt.Fprintf(w, "long-poll latency p50=%v p99=%v\n", r.PollP50, r.PollP99)
+	fmt.Fprintf(w, "round latency under load p50=%v p99=%v\n", r.RoundP50, r.RoundP99)
+	fmt.Fprintf(w, "run completed under load: %v\n", r.Completed)
+}
+
+// Tables returns the CSV rendering.
+func (r *LoadResult) Tables() map[string][][]string {
+	ms := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'g', -1, 64)
+	}
+	rows := [][]string{
+		{"metric", "value"},
+		{"clients", strconv.Itoa(r.Clients)},
+		{"participants", strconv.Itoa(r.Participants)},
+		{"epochs", strconv.Itoa(r.Epochs)},
+		{"requests", strconv.FormatInt(r.Requests, 10)},
+		{"errors", strconv.FormatInt(r.Errors, 10)},
+		{"score_p50_ms", ms(r.ScoreP50)},
+		{"score_p99_ms", ms(r.ScoreP99)},
+		{"poll_p50_ms", ms(r.PollP50)},
+		{"poll_p99_ms", ms(r.PollP99)},
+		{"round_p50_ms", ms(r.RoundP50)},
+		{"round_p99_ms", ms(r.RoundP99)},
+		{"wall_ms", strconv.FormatFloat(r.WallMS, 'g', -1, 64)},
+		{"completed", strconv.FormatBool(r.Completed)},
+	}
+	return map[string][][]string{"load": rows}
+}
+
+// Bench returns the machine-readable entry for -json output.
+func (r *LoadResult) Bench() []BenchEntry {
+	return []BenchEntry{{
+		Exp:        "load",
+		WallMS:     r.WallMS,
+		Epochs:     int64(r.Epochs),
+		Rounds:     r.Epochs,
+		RoundP50MS: float64(r.RoundP50) / float64(time.Millisecond),
+		RoundP99MS: float64(r.RoundP99) / float64(time.Millisecond),
+		Clients:    r.Clients,
+		Requests:   r.Requests,
+	}}
+}

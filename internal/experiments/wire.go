@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"strconv"
+	"time"
+
+	"digfl/internal/dataset"
+	"digfl/internal/fednet"
+	"digfl/internal/hfl"
+	"digfl/internal/nn"
+	"digfl/internal/obs"
+	"digfl/internal/sampling"
+	"digfl/internal/tensor"
+)
+
+// WireCodecStats measures one codec's run of the streamed large-population
+// benchmark.
+type WireCodecStats struct {
+	Codec string
+	// Bytes totals request+response bytes over the round phase (join
+	// traffic, identical across codecs, is excluded).
+	Bytes int64
+	// Frames counts the bulk payloads (broadcasts + updates) encoded in
+	// this codec.
+	Frames int64
+	// AllocsPerRound is the heap-allocation count per round across driver
+	// and coordinator, pools warm after round one.
+	AllocsPerRound float64
+	// RoundP50/RoundP99 are closed-round latencies, WallMS the round-phase
+	// wall time.
+	RoundP50, RoundP99 time.Duration
+	WallMS             float64
+}
+
+// WireResult compares the digfl-fednet/1 JSON wire against the /2 binary
+// wire on the same streamed sampled-cohort run.
+type WireResult struct {
+	Population, Cohort, Epochs, Dim int
+	V1, V2                          WireCodecStats
+	// BytesRatio is V1.Bytes / V2.Bytes — the acceptance gate wants ≥ 2.
+	BytesRatio float64
+	// BitIdentical: the v1 run, the v2 run, and the in-process streamed
+	// trainer produced the same model bits and loss curve.
+	BitIdentical bool
+}
+
+// wireDelta is the synthetic local update the wire driver submits for
+// participant gi: deterministic, cheap, and full-precision (so the JSON
+// encoding pays realistic float lengths, not short decimals).
+func wireDelta(gi, j int) float64 {
+	return math.Sin(float64(gi*7919+j)) * 1e-4
+}
+
+// wireRoundSource is the in-process reference for the wire benchmark: the
+// same synthetic deltas folded in the same arrival order the driver posts
+// them, so the networked runs have a trainer-only baseline to match bit
+// for bit.
+type wireRoundSource struct{ p int }
+
+func (s *wireRoundSource) Round(_ context.Context, spec *hfl.RoundSpec) (*hfl.RoundResult, error) {
+	fold := hfl.MeanStream{}.NewFold(s.p, len(spec.Active), spec.ValGrad)
+	d := make([]float64, s.p)
+	for k, gi := range spec.Active {
+		for j := range d {
+			d[j] = wireDelta(gi, j)
+		}
+		if err := fold.Add(k, d); err != nil {
+			return nil, err
+		}
+	}
+	fr, err := fold.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &hfl.RoundResult{Agg: fr.Sum, Dots: fr.Dots}, nil
+}
+
+// wireProblem are the benchmark's shared dimensions.
+type wireProblem struct {
+	pop, cohort, epochs, dim int
+	seed                     int64
+}
+
+func (w wireProblem) val() dataset.Dataset {
+	return dataset.SynthTabular(dataset.TabularConfig{
+		Name: "wireval", N: 24, D: w.dim, Task: dataset.Regression,
+		Informative: 8, Noise: 0.3, Seed: w.seed,
+	})
+}
+
+func (w wireProblem) cfg() hfl.Config {
+	return hfl.Config{
+		Epochs: w.epochs, LR: 0.05, KeepLog: true,
+		Participants: w.pop,
+		Sample:       sampling.MustNew(sampling.Config{Seed: w.seed, Size: w.cohort}),
+		RetainDeltas: hfl.ReleaseAfterObserve,
+	}
+}
+
+// runWire drives one codec's federation without touching TCP: the driver
+// plays every sampled participant against the coordinator's Handler via
+// direct ServeHTTP calls, so the measured bytes and allocations are the
+// protocol's own, not the socket stack's.
+func runWire(w wireProblem, legacy bool, sink obs.Sink) (*hfl.Result, WireCodecStats, error) {
+	stats := WireCodecStats{Codec: fednet.ProtocolV2}
+	codec := fednet.CodecV2
+	if legacy {
+		stats.Codec = fednet.Protocol
+		codec = fednet.CodecV1
+	}
+	collector := &obs.Collector{}
+	lat := &netLatSink{next: sink}
+	coord := &fednet.Coordinator{
+		N:          w.pop,
+		Model:      nn.NewLinearRegression(w.dim, false),
+		Val:        w.val(),
+		Cfg:        w.cfg(),
+		Stream:     hfl.MeanStream{},
+		LegacyJSON: legacy,
+	}
+	coord.Cfg.Runtime.Sink = obs.Tee(collector, lat)
+	h := coord.Handler()
+
+	type runOut struct {
+		res *hfl.Result
+		err error
+	}
+	outCh := make(chan runOut, 1)
+	go func() {
+		res, err := coord.Run(context.Background())
+		outCh <- runOut{res, err}
+	}()
+
+	do := func(method, target, contentType string, body []byte) (*httptest.ResponseRecorder, error) {
+		var req *http.Request
+		if body != nil {
+			req = httptest.NewRequest(method, target, bytes.NewReader(body))
+			req.Header.Set("Content-Type", contentType)
+		} else {
+			req = httptest.NewRequest(method, target, nil)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return rec, fmt.Errorf("%s %s: status %d: %s", method, target, rec.Code, rec.Body.String())
+		}
+		return rec, nil
+	}
+
+	// Join the full population. A v2-capable client offers the codec at
+	// join; the driver mirrors Participant.Run's negotiation.
+	accept := `,"accept":["` + fednet.ProtocolV2 + `"]`
+	if legacy {
+		accept = ""
+	}
+	for i := 0; i < w.pop; i++ {
+		body := fmt.Sprintf(`{"protocol":%q,"index":%d%s}`, fednet.Protocol, i, accept)
+		if _, err := do("POST", "/v1/join", "application/json", []byte(body)); err != nil {
+			return nil, stats, err
+		}
+	}
+	joins := collector.Snapshot()
+
+	pollSuffix := ""
+	if !legacy {
+		pollSuffix = "&c=2"
+	}
+	population := make([]int, w.pop)
+	for i := range population {
+		population[i] = i
+	}
+	smp := sampling.MustNew(sampling.Config{Seed: w.seed, Size: w.cohort})
+
+	start := time.Now()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	delta := tensor.GetVec(w.dim)
+	for t := 1; t <= w.epochs; t++ {
+		for _, gi := range smp.Cohort(t, population) {
+			// Each cohort member downloads the broadcast (the poll blocks
+			// until the round opens) and submits its update through the
+			// negotiated codec — encode once, recycle after the post.
+			if _, err := do("GET", fmt.Sprintf("/v1/round?t=%d&i=%d%s", t, gi, pollSuffix), "", nil); err != nil {
+				return nil, stats, err
+			}
+			for j := range delta {
+				delta[j] = wireDelta(gi, j)
+			}
+			body, err := codec.EncodeUpdate(t, gi, delta)
+			if err != nil {
+				return nil, stats, err
+			}
+			_, err = do("POST", "/v1/update", codec.ContentType(), body)
+			tensor.PutBytes(body)
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	tensor.PutVec(delta)
+	out := <-outCh
+	if out.err != nil {
+		return nil, stats, out.err
+	}
+	runtime.ReadMemStats(&m1)
+
+	end := collector.Snapshot()
+	stats.Bytes = (end.NetBytesRx + end.NetBytesTx) - (joins.NetBytesRx + joins.NetBytesTx)
+	if legacy {
+		stats.Frames = end.CodecV1Frames
+	} else {
+		stats.Frames = end.CodecV2Frames
+	}
+	stats.AllocsPerRound = float64(m1.Mallocs-m0.Mallocs) / float64(w.epochs)
+	lq := Quantiles(lat.durs, 0.50, 0.99)
+	stats.RoundP50, stats.RoundP99 = lq[0], lq[1]
+	stats.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return out.res, stats, nil
+}
+
+// Wire benchmarks the binary wire against JSON on the 100k-participant
+// streamed benchmark: same population, same sampled cohorts, same synthetic
+// updates — once over digfl-fednet/1, once over /2 — and verifies both runs
+// match the in-process streamed trainer bit for bit.
+func Wire(o Opts) *WireResult {
+	o.validate()
+	w := wireProblem{
+		pop:    int(100_000 * o.Scale),
+		cohort: 64,
+		epochs: 4,
+		dim:    int(2000 * o.Scale),
+		seed:   o.Seed,
+	}
+	if w.pop < 2_000 {
+		w.pop = 2_000
+	}
+	if w.dim < 128 {
+		w.dim = 128
+	}
+
+	// In-process reference.
+	ref := &hfl.Trainer{
+		Model:  nn.NewLinearRegression(w.dim, false),
+		Val:    w.val(),
+		Cfg:    w.cfg(),
+		Rounds: &wireRoundSource{p: w.dim},
+		Stream: hfl.MeanStream{},
+	}
+	ref.Cfg.Runtime.Sink = o.Sink
+	want, err := ref.RunE()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: wire reference run: %v", err))
+	}
+
+	v1Res, v1, err := runWire(w, true, o.Sink)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: wire v1 run: %v", err))
+	}
+	v2Res, v2, err := runWire(w, false, o.Sink)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: wire v2 run: %v", err))
+	}
+
+	r := &WireResult{
+		Population: w.pop, Cohort: w.cohort, Epochs: w.epochs, Dim: w.dim,
+		V1: v1, V2: v2,
+		BitIdentical: reflect.DeepEqual(want.Model.Params(), v1Res.Model.Params()) &&
+			reflect.DeepEqual(want.Model.Params(), v2Res.Model.Params()) &&
+			reflect.DeepEqual(want.ValLossCurve, v1Res.ValLossCurve) &&
+			reflect.DeepEqual(want.ValLossCurve, v2Res.ValLossCurve),
+	}
+	if v2.Bytes > 0 {
+		r.BytesRatio = float64(v1.Bytes) / float64(v2.Bytes)
+	}
+	return r
+}
+
+// Render writes the wire-benchmark summary.
+func (r *WireResult) Render(w io.Writer) {
+	writeHeader(w, "Wire codecs — digfl-fednet/2 binary vs /1 JSON, streamed sampled run")
+	fmt.Fprintf(w, "%d participants, cohort %d, %d rounds, %d params\n",
+		r.Population, r.Cohort, r.Epochs, r.Dim)
+	for _, s := range []WireCodecStats{r.V1, r.V2} {
+		fmt.Fprintf(w, "%-16s %10d bytes on wire, %6.0f allocs/round, %4d frames, p50=%v p99=%v, wall %.0fms\n",
+			s.Codec, s.Bytes, s.AllocsPerRound, s.Frames, s.RoundP50, s.RoundP99, s.WallMS)
+	}
+	fmt.Fprintf(w, "bytes ratio v1/v2: %.2fx\n", r.BytesRatio)
+	fmt.Fprintf(w, "bit-identical to in-process streamed trainer (both codecs): %v\n", r.BitIdentical)
+}
+
+// Tables returns the CSV rendering.
+func (r *WireResult) Tables() map[string][][]string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	rows := [][]string{
+		{"codec", "bytes_on_wire", "allocs_per_round", "frames", "round_p50_ms", "round_p99_ms", "wall_ms"},
+	}
+	for _, s := range []WireCodecStats{r.V1, r.V2} {
+		rows = append(rows, []string{
+			s.Codec, strconv.FormatInt(s.Bytes, 10), f(s.AllocsPerRound),
+			strconv.FormatInt(s.Frames, 10),
+			f(float64(s.RoundP50) / float64(time.Millisecond)),
+			f(float64(s.RoundP99) / float64(time.Millisecond)),
+			f(s.WallMS),
+		})
+	}
+	rows = append(rows,
+		[]string{"bytes_ratio_v1_over_v2", f(r.BytesRatio), "", "", "", "", ""},
+		[]string{"bit_identical", strconv.FormatBool(r.BitIdentical), "", "", "", "", ""})
+	return map[string][][]string{"wire": rows}
+}
+
+// Bench returns the per-codec machine-readable entries for -json output.
+func (r *WireResult) Bench() []BenchEntry {
+	entries := make([]BenchEntry, 0, 2)
+	for _, s := range []WireCodecStats{r.V1, r.V2} {
+		entries = append(entries, BenchEntry{
+			Exp:            "wire",
+			Codec:          s.Codec,
+			WallMS:         s.WallMS,
+			Epochs:         int64(r.Epochs),
+			Rounds:         r.Epochs,
+			RoundP50MS:     float64(s.RoundP50) / float64(time.Millisecond),
+			RoundP99MS:     float64(s.RoundP99) / float64(time.Millisecond),
+			BytesOnWire:    s.Bytes,
+			AllocsPerRound: s.AllocsPerRound,
+		})
+	}
+	return entries
+}

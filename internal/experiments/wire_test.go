@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWireCodecGate is the allocs-and-bytes gate behind make verify-wire:
+// on the streamed sampled-cohort benchmark (population and dimension scaled
+// down for CI), the binary wire must at least halve bytes-on-wire, allocate
+// measurably less per round than JSON, and both codecs must reproduce the
+// in-process streamed trainer bit for bit.
+func TestWireCodecGate(t *testing.T) {
+	r := Wire(Opts{Scale: 0.02, Seed: 7})
+	if !r.BitIdentical {
+		t.Fatal("wire runs diverged from the in-process streamed trainer")
+	}
+	if r.BytesRatio < 2 {
+		t.Fatalf("binary wire saves only %.2fx bytes (v1 %d, v2 %d), want >= 2x",
+			r.BytesRatio, r.V1.Bytes, r.V2.Bytes)
+	}
+	if r.V2.AllocsPerRound >= r.V1.AllocsPerRound/2 {
+		t.Fatalf("binary ingest allocates %.0f/round vs JSON's %.0f; pooling is not holding",
+			r.V2.AllocsPerRound, r.V1.AllocsPerRound)
+	}
+	if r.V1.Frames != r.V2.Frames || r.V1.Frames == 0 {
+		t.Fatalf("frame counts differ: v1 %d, v2 %d", r.V1.Frames, r.V2.Frames)
+	}
+}
+
+// Two Wire runs on one seed must agree bit for bit — the benchmark itself
+// obeys the determinism contract it measures.
+func TestWireDeterministic(t *testing.T) {
+	a := Wire(Opts{Scale: 0.02, Seed: 3})
+	b := Wire(Opts{Scale: 0.02, Seed: 3})
+	if a.V1.Bytes != b.V1.Bytes || a.V2.Bytes != b.V2.Bytes {
+		t.Fatalf("bytes-on-wire differ between identical runs: %+v vs %+v", a.V1, b.V1)
+	}
+	if !a.BitIdentical || !b.BitIdentical {
+		t.Fatal("wire runs diverged from the reference")
+	}
+}
+
+// TestLoadRunner drives a reduced load test: the federation must complete
+// under concurrent readers with zero request errors.
+func TestLoadRunner(t *testing.T) {
+	r := Load(LoadSpec{Clients: 64, Delay: 2 * time.Millisecond}, Opts{Scale: 0.25, Seed: 11})
+	if !r.Completed {
+		t.Fatal("federation failed to complete under load")
+	}
+	if r.Errors != 0 {
+		t.Fatalf("%d load-client requests failed", r.Errors)
+	}
+	if r.Requests < int64(r.Clients) {
+		t.Fatalf("only %d requests from %d clients; load never ramped", r.Requests, r.Clients)
+	}
+	if r.ScoreP99 <= 0 || r.PollP99 <= 0 {
+		t.Fatalf("missing latency percentiles: %+v", r)
+	}
+}
+
+func TestParseLoadSpec(t *testing.T) {
+	spec, err := ParseLoadSpec("clients=128,delay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Clients != 128 || spec.Delay != 5*time.Millisecond {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := ParseLoadSpec("clients=0"); err == nil {
+		t.Fatal("accepted zero clients")
+	}
+	if _, err := ParseLoadSpec("bogus=1"); err == nil {
+		t.Fatal("accepted unknown key")
+	}
+	if def, err := ParseLoadSpec(""); err != nil || def != DefaultLoadSpec() {
+		t.Fatalf("empty spec = %+v, %v", def, err)
+	}
+}

@@ -1,0 +1,339 @@
+package fednet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"digfl/internal/jsonf"
+	"digfl/internal/tensor"
+)
+
+// digfl-fednet/2 is the negotiated binary bulk encoding: the run still
+// handshakes over digfl-fednet/1 JSON (join, acks, errors, pending/done
+// markers — all small), but the three payloads that carry O(d) floats every
+// round (update submissions, edge partials, and the open-round broadcast)
+// switch to raw little-endian float64 segments behind a fixed header. The
+// encoding is exact: a float64's bits cross the wire verbatim, so a v2 run
+// is bit-identical to a v1 run — JSON round-trips Go float64 exactly too —
+// and the two may be mixed freely within one federation.
+//
+// Negotiation: a client lists the protocols it accepts in join.Accept; the
+// coordinator answers with the one codec the client must use for its bulk
+// uploads (joinReply.Codec), preferring v2 unless Coordinator.LegacyJSON
+// pins the reply to v1. Ingest is never negotiated — every server decodes
+// both encodings on every round, dispatching on the request Content-Type —
+// so a mixed fleet (v1 participants behind v2 edges, or the reverse) works
+// without coordination. Downloads negotiate per poll: ?c=2 on /v1/round
+// asks for a binary broadcast, and the server's response Content-Type tells
+// the client which encoding came back.
+//
+// Frame layouts (all integers little-endian, all floats IEEE-754 bits):
+//
+//	update   "D2UP" | u32 t | u32 index | u32 d | d×f64 delta
+//	partial  "D2PA" | u32 t | u32 edge | u32 k | u32 d | k×u32 slots'
+//	         global indices | d×f64 sum | k×f64 dots   (k=0 ⇒ d=0)
+//	round    "D2RD" | u32 t | f64 lr | i64 deadline_ms | u32 flags |
+//	         u32 d | [d×f64 theta if flags&1] | [d×f64 valGrad if flags&2]
+//
+// Every frame's length is implied by its header; a frame whose byte length
+// does not match exactly is rejected with CodeBadFrame (422) before any
+// float is touched. Non-finite floats decode fine and are then rejected by
+// the same finiteness screen the JSON path uses (CodeNonFinite).
+
+// ProtocolV2 names the binary bulk encoding in join negotiation.
+const ProtocolV2 = "digfl-fednet/2"
+
+// Content types distinguishing the two encodings on the wire.
+const (
+	contentTypeJSON   = "application/json"
+	contentTypeBinary = "application/x-digfl-fednet2"
+)
+
+// Frame magics.
+var (
+	magicUpdate  = [4]byte{'D', '2', 'U', 'P'}
+	magicPartial = [4]byte{'D', '2', 'P', 'A'}
+	magicRound   = [4]byte{'D', '2', 'R', 'D'}
+)
+
+// Round-frame flag bits.
+const (
+	roundFlagTheta   = 1 << 0
+	roundFlagValGrad = 1 << 1
+)
+
+// Codec encodes a client's bulk uploads in one of the negotiated wire
+// encodings. Both encoders build the complete request body once, so a
+// retry loop re-sends the same bytes instead of re-marshaling.
+type Codec interface {
+	// Name is the codec's protocol name ("digfl-fednet/1" or "/2").
+	Name() string
+	// ContentType is the request Content-Type servers dispatch on.
+	ContentType() string
+	// EncodeUpdate builds the /v1/update body for one local update.
+	EncodeUpdate(t, index int, delta []float64) ([]byte, error)
+	// EncodePartial builds the /v1/partial body for one edge partial.
+	EncodePartial(t, edge int, indices []int, sum, dots []float64) ([]byte, error)
+}
+
+// CodecV1 is the digfl-fednet/1 JSON encoding; CodecV2 is the
+// digfl-fednet/2 binary encoding. Both are stateless and shareable.
+var (
+	CodecV1 Codec = jsonCodec{}
+	CodecV2 Codec = binCodec{}
+)
+
+// codecByName maps a negotiated joinReply.Codec to its encoder; unknown or
+// empty names (an old coordinator) fall back to v1.
+func codecByName(name string) Codec {
+	if name == ProtocolV2 {
+		return CodecV2
+	}
+	return CodecV1
+}
+
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string        { return Protocol }
+func (jsonCodec) ContentType() string { return contentTypeJSON }
+
+func (jsonCodec) EncodeUpdate(t, index int, delta []float64) ([]byte, error) {
+	return json.Marshal(updateRequest{Protocol: Protocol, T: t, Index: index, Delta: delta})
+}
+
+func (jsonCodec) EncodePartial(t, edge int, indices []int, sum, dots []float64) ([]byte, error) {
+	return json.Marshal(partialRequest{Protocol: Protocol, T: t, Edge: edge,
+		Indices: indices, Sum: sum, Dots: dots})
+}
+
+type binCodec struct{}
+
+func (binCodec) Name() string        { return ProtocolV2 }
+func (binCodec) ContentType() string { return contentTypeBinary }
+
+const updateHdrLen = 4 + 4 + 4 + 4 // magic, t, index, d
+
+func (binCodec) EncodeUpdate(t, index int, delta []float64) ([]byte, error) {
+	if t < 0 || index < 0 {
+		return nil, fmt.Errorf("fednet: negative round or index in update frame")
+	}
+	buf := tensor.GetBytes(updateHdrLen + 8*len(delta))
+	copy(buf, magicUpdate[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(t))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(index))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(delta)))
+	putFrameVec(buf[updateHdrLen:], delta)
+	return buf, nil
+}
+
+const partialHdrLen = 4 + 4 + 4 + 4 + 4 // magic, t, edge, k, d
+
+func (binCodec) EncodePartial(t, edge int, indices []int, sum, dots []float64) ([]byte, error) {
+	if t < 0 || edge < 0 {
+		return nil, fmt.Errorf("fednet: negative round or edge in partial frame")
+	}
+	if len(dots) != len(indices) {
+		return nil, fmt.Errorf("fednet: partial frame shape mismatch (%d indices, %d dots)",
+			len(indices), len(dots))
+	}
+	k, d := len(indices), len(sum)
+	if k == 0 {
+		// An empty partial (every member dropped) carries no sum: the
+		// frame invariant is k=0 ⇒ d=0, and the server ignores the sum of
+		// a memberless partial in either encoding.
+		sum, d = nil, 0
+	}
+	buf := tensor.GetBytes(partialHdrLen + 4*k + 8*d + 8*k)
+	copy(buf, magicPartial[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(t))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(edge))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(k))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(d))
+	off := partialHdrLen
+	for _, i := range indices {
+		if i < 0 {
+			tensor.PutBytes(buf)
+			return nil, fmt.Errorf("fednet: negative participant index in partial frame")
+		}
+		binary.LittleEndian.PutUint32(buf[off:], uint32(i))
+		off += 4
+	}
+	putFrameVec(buf[off:], sum)
+	putFrameVec(buf[off+8*d:], dots)
+	return buf, nil
+}
+
+const roundHdrLen = 4 + 4 + 8 + 8 + 4 + 4 // magic, t, lr, deadline, flags, d
+
+// encodeRoundFrame builds the binary open-round broadcast. theta and
+// valGrad are each optional (header-only polls omit theta; only streaming
+// rounds carry a validation gradient) but must agree on d when both
+// present.
+func encodeRoundFrame(t int, lr float64, deadlineMS int64, theta, valGrad []float64) []byte {
+	d := len(theta)
+	flags := 0
+	if theta != nil {
+		flags |= roundFlagTheta
+	}
+	if valGrad != nil {
+		flags |= roundFlagValGrad
+		d = len(valGrad) // equal to len(theta) when both are present
+	}
+	n := roundHdrLen
+	if flags&roundFlagTheta != 0 {
+		n += 8 * d
+	}
+	if flags&roundFlagValGrad != 0 {
+		n += 8 * d
+	}
+	buf := tensor.GetBytes(n)
+	copy(buf, magicRound[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(t))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(lr))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(deadlineMS))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(flags))
+	binary.LittleEndian.PutUint32(buf[28:], uint32(d))
+	off := roundHdrLen
+	if flags&roundFlagTheta != 0 {
+		putFrameVec(buf[off:], theta)
+		off += 8 * d
+	}
+	if flags&roundFlagValGrad != 0 {
+		putFrameVec(buf[off:], valGrad)
+	}
+	return buf
+}
+
+// putFrameVec writes v's IEEE-754 bits little-endian into buf.
+func putFrameVec(buf []byte, v []float64) {
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+}
+
+// maxFrameDim bounds the element count a frame header may declare: a
+// header promising more floats than maxBodyBytes could carry is garbage,
+// rejected before any allocation sized by attacker-controlled bytes.
+const maxFrameDim = maxBodyBytes / 8
+
+// frameError is a malformed-frame rejection carrying CodeBadFrame.
+type frameError struct{ msg string }
+
+func (e *frameError) Error() string { return e.msg }
+
+func badFrame(format string, args ...any) error {
+	return &frameError{msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeUpdateHeader validates an update frame's envelope and returns its
+// header fields; the delta bytes are untouched until decodeFrameVec.
+func decodeUpdateHeader(b []byte) (t, index, d int, err error) {
+	if len(b) < updateHdrLen {
+		return 0, 0, 0, badFrame("update frame truncated at %d bytes", len(b))
+	}
+	if [4]byte(b[:4]) != magicUpdate {
+		return 0, 0, 0, badFrame("update frame has wrong magic %q", b[:4])
+	}
+	t = int(binary.LittleEndian.Uint32(b[4:]))
+	index = int(binary.LittleEndian.Uint32(b[8:]))
+	d = int(binary.LittleEndian.Uint32(b[12:]))
+	if d > maxFrameDim {
+		return 0, 0, 0, badFrame("update frame declares %d params", d)
+	}
+	if want := updateHdrLen + 8*d; len(b) != want {
+		return 0, 0, 0, badFrame("update frame has %d bytes, header implies %d", len(b), want)
+	}
+	return t, index, d, nil
+}
+
+// decodePartialHeader validates a partial frame's envelope and returns its
+// header fields plus the member indices (small); the bulk sum/dots decode
+// later via decodePartialVecs.
+func decodePartialHeader(b []byte) (t, edge int, indices []int, d int, err error) {
+	if len(b) < partialHdrLen {
+		return 0, 0, nil, 0, badFrame("partial frame truncated at %d bytes", len(b))
+	}
+	if [4]byte(b[:4]) != magicPartial {
+		return 0, 0, nil, 0, badFrame("partial frame has wrong magic %q", b[:4])
+	}
+	t = int(binary.LittleEndian.Uint32(b[4:]))
+	edge = int(binary.LittleEndian.Uint32(b[8:]))
+	k := int(binary.LittleEndian.Uint32(b[12:]))
+	d = int(binary.LittleEndian.Uint32(b[16:]))
+	if k > maxFrameDim || d > maxFrameDim {
+		return 0, 0, nil, 0, badFrame("partial frame declares %d members, %d params", k, d)
+	}
+	if k == 0 && d != 0 {
+		return 0, 0, nil, 0, badFrame("partial frame has a sum but no members")
+	}
+	if want := partialHdrLen + 4*k + 8*d + 8*k; len(b) != want {
+		return 0, 0, nil, 0, badFrame("partial frame has %d bytes, header implies %d", len(b), want)
+	}
+	indices = make([]int, k)
+	for j := range indices {
+		indices[j] = int(binary.LittleEndian.Uint32(b[partialHdrLen+4*j:]))
+	}
+	return t, edge, indices, d, nil
+}
+
+// decodePartialVecs extracts a validated partial frame's sum and dots into
+// pooled vectors owned by the caller.
+func decodePartialVecs(b []byte, k, d int) (sum, dots []float64) {
+	off := partialHdrLen + 4*k
+	return decodeFrameVec(b[off:], d), decodeFrameVec(b[off+8*d:], k)
+}
+
+// decodeRoundFrame parses a binary open-round broadcast into the reply
+// shape the JSON path produces; theta/valGrad are pooled vectors owned by
+// the caller.
+func decodeRoundFrame(b []byte) (*roundReply, error) {
+	if len(b) < roundHdrLen {
+		return nil, badFrame("round frame truncated at %d bytes", len(b))
+	}
+	if [4]byte(b[:4]) != magicRound {
+		return nil, badFrame("round frame has wrong magic %q", b[:4])
+	}
+	r := &roundReply{State: StateOpen, binary: true}
+	r.T = int(binary.LittleEndian.Uint32(b[4:]))
+	r.LR = jsonf.F64(math.Float64frombits(binary.LittleEndian.Uint64(b[8:])))
+	r.DeadlineMS = int64(binary.LittleEndian.Uint64(b[16:]))
+	flags := int(binary.LittleEndian.Uint32(b[24:]))
+	d := int(binary.LittleEndian.Uint32(b[28:]))
+	if flags&^(roundFlagTheta|roundFlagValGrad) != 0 {
+		return nil, badFrame("round frame has unknown flags %#x", flags)
+	}
+	if d > maxFrameDim {
+		return nil, badFrame("round frame declares %d params", d)
+	}
+	want := roundHdrLen
+	if flags&roundFlagTheta != 0 {
+		want += 8 * d
+	}
+	if flags&roundFlagValGrad != 0 {
+		want += 8 * d
+	}
+	if len(b) != want {
+		return nil, badFrame("round frame has %d bytes, header implies %d", len(b), want)
+	}
+	off := roundHdrLen
+	if flags&roundFlagTheta != 0 {
+		r.Theta = decodeFrameVec(b[off:], d)
+		off += 8 * d
+	}
+	if flags&roundFlagValGrad != 0 {
+		r.ValGrad = decodeFrameVec(b[off:], d)
+	}
+	return r, nil
+}
+
+// decodeFrameVec reads d little-endian float64s from b into a pooled
+// vector the caller owns (and may PutVec once its floats are consumed).
+func decodeFrameVec(b []byte, d int) []float64 {
+	v := tensor.GetVec(d)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return v
+}

@@ -1,0 +1,368 @@
+package fednet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"digfl/internal/core"
+	"digfl/internal/hfl"
+)
+
+// TestUpdateFrameRoundTrip pins the binary update encoding: every float64
+// bit pattern — including NaN payloads and ±Inf — must survive the frame
+// verbatim, and the header must describe the payload exactly.
+func TestUpdateFrameRoundTrip(t *testing.T) {
+	delta := []float64{0, 1.5, -math.Pi, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64, -math.MaxFloat64}
+	body, err := CodecV2.EncodeUpdate(42, 7, delta)
+	if err != nil {
+		t.Fatalf("EncodeUpdate: %v", err)
+	}
+	if len(body) != updateHdrLen+8*len(delta) {
+		t.Fatalf("frame is %d bytes, want %d", len(body), updateHdrLen+8*len(delta))
+	}
+	rt, index, d, err := decodeUpdateHeader(body)
+	if err != nil {
+		t.Fatalf("decodeUpdateHeader: %v", err)
+	}
+	if rt != 42 || index != 7 || d != len(delta) {
+		t.Fatalf("header = (t=%d, index=%d, d=%d), want (42, 7, %d)", rt, index, d, len(delta))
+	}
+	got := decodeFrameVec(body[updateHdrLen:], d)
+	for i := range delta {
+		if math.Float64bits(got[i]) != math.Float64bits(delta[i]) {
+			t.Errorf("coord %d: bits %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(delta[i]))
+		}
+	}
+}
+
+// TestPartialFrameRoundTrip pins the binary partial encoding, including the
+// empty-cohort form (k=0 carries no sum).
+func TestPartialFrameRoundTrip(t *testing.T) {
+	indices := []int{3, 5, 9}
+	sum := []float64{1, -2, 3e300, 4e-300}
+	dots := []float64{0.5, -0.25, 42}
+	body, err := CodecV2.EncodePartial(6, 2, indices, sum, dots)
+	if err != nil {
+		t.Fatalf("EncodePartial: %v", err)
+	}
+	rt, edge, gotIdx, d, err := decodePartialHeader(body)
+	if err != nil {
+		t.Fatalf("decodePartialHeader: %v", err)
+	}
+	if rt != 6 || edge != 2 || d != len(sum) {
+		t.Fatalf("header = (t=%d, edge=%d, d=%d), want (6, 2, %d)", rt, edge, d, len(sum))
+	}
+	if len(gotIdx) != len(indices) {
+		t.Fatalf("decoded %d indices, want %d", len(gotIdx), len(indices))
+	}
+	for j := range indices {
+		if gotIdx[j] != indices[j] {
+			t.Errorf("index %d = %d, want %d", j, gotIdx[j], indices[j])
+		}
+	}
+	gotSum, gotDots := decodePartialVecs(body, len(indices), d)
+	if !sameVec(gotSum, sum) || !sameVec(gotDots, dots) {
+		t.Error("sum or dots differ after round trip")
+	}
+
+	// Empty partial: the zero sum an edge holds for a fully-dropped cohort
+	// is elided (k=0 ⇒ d=0).
+	empty, err := CodecV2.EncodePartial(6, 1, nil, make([]float64, 650), nil)
+	if err != nil {
+		t.Fatalf("EncodePartial(empty): %v", err)
+	}
+	if _, _, idx, d, err := decodePartialHeader(empty); err != nil || len(idx) != 0 || d != 0 {
+		t.Fatalf("empty partial decoded to (idx=%d, d=%d, err=%v), want (0, 0, nil)", len(idx), d, err)
+	}
+}
+
+// TestRoundFrameRoundTrip pins the binary broadcast in all three flag
+// shapes: theta only (participants), valGrad only (edges, h=1&vg=1), both.
+func TestRoundFrameRoundTrip(t *testing.T) {
+	theta := []float64{1, 2, 3, -4.5}
+	valGrad := []float64{0.1, -0.2, 0.3, math.Inf(1)}
+	cases := []struct {
+		name           string
+		theta, valGrad []float64
+	}{
+		{"theta-only", theta, nil},
+		{"valgrad-only", nil, valGrad},
+		{"both", theta, valGrad},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			frame := encodeRoundFrame(9, 0.3, 1500, c.theta, c.valGrad)
+			rr, err := decodeRoundFrame(frame)
+			if err != nil {
+				t.Fatalf("decodeRoundFrame: %v", err)
+			}
+			if rr.State != StateOpen || rr.T != 9 || float64(rr.LR) != 0.3 || rr.DeadlineMS != 1500 {
+				t.Fatalf("reply = %+v, want open t=9 lr=0.3 deadline=1500", rr)
+			}
+			if !rr.binary {
+				t.Error("decoded reply not marked binary")
+			}
+			switch {
+			case c.theta == nil && rr.Theta != nil, c.theta != nil && !sameVec(rr.Theta, c.theta):
+				t.Error("theta differs after round trip")
+			case c.valGrad == nil && rr.ValGrad != nil:
+				t.Error("unexpected valGrad")
+			case c.valGrad != nil:
+				for i := range c.valGrad {
+					if math.Float64bits(rr.ValGrad[i]) != math.Float64bits(c.valGrad[i]) {
+						t.Errorf("valGrad coord %d differs", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// netRunCodecs runs a fault-free loopback federation with the given codec
+// pins and returns its result and attribution. partLegacy(i) pins
+// participant i to v1 JSON.
+func netRunCodecs(t *testing.T, seed int64, coordLegacy bool, partLegacy func(i int) bool) (*hfl.Result, *core.Attribution) {
+	t.Helper()
+	model, parts, val := problem(seed)
+	est := core.NewHFLEstimator(testN, model.NumParams(), core.ResourceSaving, nil)
+	coord := &Coordinator{
+		N: testN, Model: model, Val: val, Cfg: testConfig(),
+		Estimator: est, LegacyJSON: coordLegacy,
+	}
+	res, perrs, err := Loopback(context.Background(), coord, func(i int) *Participant {
+		return &Participant{Index: i, Model: model, Data: parts[i], Retries: 2,
+			LegacyJSON: partLegacy(i)}
+	})
+	if err != nil {
+		t.Fatalf("loopback (seed %d, coordLegacy %v): %v", seed, coordLegacy, err)
+	}
+	for i, perr := range perrs {
+		if perr != nil {
+			t.Fatalf("participant %d: %v", i, perr)
+		}
+	}
+	return res, est.Attribution()
+}
+
+// TestCrossCodecEquivalenceMatrix is the negotiation gate: every mix of v1
+// and v2 speakers — v2 clients against a LegacyJSON coordinator, v1-pinned
+// clients against a v2 coordinator, and a half-and-half fleet — must
+// produce the model, loss curve, and φ of the in-process trainer, bit for
+// bit, across 3 seeds. (The all-v2 run is the default and is covered by
+// TestLoopbackBitIdenticalToLocal.)
+func TestCrossCodecEquivalenceMatrix(t *testing.T) {
+	mixes := []struct {
+		name        string
+		coordLegacy bool
+		partLegacy  func(i int) bool
+	}{
+		{"v2-clients_v1-coordinator", true, func(int) bool { return false }},
+		{"v1-clients_v2-coordinator", false, func(int) bool { return true }},
+		{"mixed-fleet_v2-coordinator", false, func(i int) bool { return i%2 == 0 }},
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			want, wantAttr := localRun(t, seed, testConfig())
+			for _, mix := range mixes {
+				got, gotAttr := netRunCodecs(t, seed, mix.coordLegacy, mix.partLegacy)
+				if !sameVec(got.Model.Params(), want.Model.Params()) {
+					t.Errorf("%s: model differs from in-process run", mix.name)
+				}
+				if !sameVec(got.ValLossCurve, want.ValLossCurve) {
+					t.Errorf("%s: loss curve differs", mix.name)
+				}
+				if !sameVec(gotAttr.Totals, wantAttr.Totals) {
+					t.Errorf("%s: φ totals differ", mix.name)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeCrossCodecEquivalence pins the tree's per-round codec inference:
+// a cohort tree whose root is pinned to v1 JSON (edges detect the JSON
+// broadcast and fall back for their partials) must match the default
+// all-v2 tree and the in-process streamed trainer bit for bit.
+func TestTreeCrossCodecEquivalence(t *testing.T) {
+	const edges = 3
+	width := (treeN + edges - 1) / edges
+	seed := int64(1)
+	local, localAttr := localStreamRun(t, seed, treeN, width, nil)
+
+	run := func(coordLegacy bool) (*hfl.Result, *core.Attribution) {
+		model, parts, val := problemN(seed, treeN)
+		est := core.NewHFLEstimator(treeN, model.NumParams(), core.ResourceSaving, nil)
+		coord := &Coordinator{
+			N: treeN, Model: model, Val: val, Cfg: testConfig(),
+			Estimator: est, Stream: hfl.MeanStream{Seg: width}, Edges: edges,
+			LegacyJSON: coordLegacy,
+		}
+		res, perrs, err := TreeLoopback(context.Background(), coord, func(i int) *Participant {
+			return &Participant{Index: i, Model: model, Data: parts[i], Retries: 2}
+		})
+		if err != nil {
+			t.Fatalf("tree loopback (legacy %v): %v", coordLegacy, err)
+		}
+		for i, perr := range perrs {
+			if perr != nil {
+				t.Fatalf("worker %d (legacy %v): %v", i, coordLegacy, perr)
+			}
+		}
+		return res, est.Attribution()
+	}
+	v2, v2Attr := run(false)
+	v1, v1Attr := run(true)
+	checkSameRun(t, "v2 tree vs local", v2, local, v2Attr, localAttr)
+	checkSameRun(t, "v1-root tree vs local", v1, local, v1Attr, localAttr)
+}
+
+// TestBinaryFrameRejection drives malformed digfl-fednet/2 payloads at the
+// live handlers: truncated, oversized, magic-less, and header-contradicting
+// frames must come back 422/bad_frame, a NaN payload 422/non_finite — and
+// none of them may panic the server.
+func TestBinaryFrameRejection(t *testing.T) {
+	valid, err := CodecV2.EncodeUpdate(1, 0, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("EncodeUpdate: %v", err)
+	}
+	nan, err := CodecV2.EncodeUpdate(1, 0, []float64{1, math.NaN(), 3})
+	if err != nil {
+		t.Fatalf("EncodeUpdate: %v", err)
+	}
+	oversized := append(append([]byte{}, valid...), 0xEE)
+	truncated := valid[:len(valid)-3]
+	declares := append([]byte{}, valid...)
+	declares[12] = 200 // header promises 200 floats the body lacks
+	huge := append([]byte{}, valid...)
+	huge[12], huge[13], huge[14], huge[15] = 0xFF, 0xFF, 0xFF, 0xFF
+
+	cases := []struct {
+		name     string
+		body     []byte
+		wantCode string
+	}{
+		{"truncated-header", []byte("D2UP"), CodeBadFrame},
+		{"truncated-payload", truncated, CodeBadFrame},
+		{"oversized-payload", oversized, CodeBadFrame},
+		{"wrong-magic", bytes.Replace(valid, []byte("D2UP"), []byte("JUNK"), 1), CodeBadFrame},
+		{"dim-contradiction", declares, CodeBadFrame},
+		{"dim-overflow", huge, CodeBadFrame},
+		{"nan-payload", nan, CodeNonFinite},
+	}
+
+	// The edge handler vets payloads even before it learns the round, so it
+	// exercises the full decode+vet pipeline statelessly; the coordinator
+	// rejects the same envelopes before any round exists.
+	edge := &EdgeAggregator{Root: "http://unused", Edge: 0, Members: []int{0}}
+	edgeSrv := httptest.NewServer(edge.Handler())
+	defer edgeSrv.Close()
+	coord := &Coordinator{N: 1, Model: nil}
+	coordSrv := httptest.NewServer(coord.Handler())
+	defer coordSrv.Close()
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := edgeSrv.Client().Post(edgeSrv.URL+"/v1/update", contentTypeBinary,
+				bytes.NewReader(c.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 422 {
+				t.Fatalf("edge status = %d, want 422", resp.StatusCode)
+			}
+			var er errorReply
+			if err := readJSON(resp.Body, &er); err != nil {
+				t.Fatalf("decoding rejection: %v", err)
+			}
+			if er.Code != c.wantCode {
+				t.Errorf("edge code = %q, want %q", er.Code, c.wantCode)
+			}
+			if c.wantCode != CodeBadFrame {
+				return // coordinator state checks precede the payload vet
+			}
+			cresp, err := coordSrv.Client().Post(coordSrv.URL+"/v1/update", contentTypeBinary,
+				bytes.NewReader(c.body))
+			if err != nil {
+				t.Fatalf("coordinator POST: %v", err)
+			}
+			defer cresp.Body.Close()
+			if cresp.StatusCode != 422 {
+				t.Errorf("coordinator status = %d, want 422", cresp.StatusCode)
+			}
+		})
+	}
+}
+
+// FuzzDecodeUpdateFrame: arbitrary bytes must never panic the update
+// header decoder, and an accepted header must describe the byte length
+// exactly.
+func FuzzDecodeUpdateFrame(f *testing.F) {
+	seed, _ := CodecV2.EncodeUpdate(3, 1, []float64{1, math.NaN(), -3})
+	f.Add(seed)
+	f.Add(seed[:7])
+	f.Add([]byte("D2UP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rt, index, d, err := decodeUpdateHeader(b)
+		if err != nil {
+			return
+		}
+		if len(b) != updateHdrLen+8*d {
+			t.Fatalf("accepted frame of %d bytes with d=%d", len(b), d)
+		}
+		if rt < 0 || index < 0 || d < 0 {
+			t.Fatalf("negative header fields (t=%d, index=%d, d=%d)", rt, index, d)
+		}
+		_ = decodeFrameVec(b[updateHdrLen:], d)
+	})
+}
+
+// FuzzDecodePartialFrame: same contract for the partial decoder.
+func FuzzDecodePartialFrame(f *testing.F) {
+	seed, _ := CodecV2.EncodePartial(2, 0, []int{0, 1}, []float64{1, 2, 3}, []float64{4, 5})
+	f.Add(seed)
+	f.Add(seed[:partialHdrLen])
+	f.Add([]byte("D2PA"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _, indices, d, err := decodePartialHeader(b)
+		if err != nil {
+			return
+		}
+		k := len(indices)
+		if len(b) != partialHdrLen+4*k+8*d+8*k {
+			t.Fatalf("accepted frame of %d bytes with k=%d d=%d", len(b), k, d)
+		}
+		sum, dots := decodePartialVecs(b, k, d)
+		if len(sum) != d || len(dots) != k {
+			t.Fatalf("vec lengths (%d, %d), want (%d, %d)", len(sum), len(dots), d, k)
+		}
+	})
+}
+
+// FuzzDecodeRoundFrame: same contract for the broadcast decoder.
+func FuzzDecodeRoundFrame(f *testing.F) {
+	f.Add(encodeRoundFrame(1, 0.3, 0, []float64{1, 2}, nil))
+	f.Add(encodeRoundFrame(2, 0.1, 500, []float64{1}, []float64{2}))
+	f.Add(encodeRoundFrame(3, 0.1, 0, nil, []float64{2}))
+	f.Add([]byte("D2RD"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rr, err := decodeRoundFrame(b)
+		if err != nil {
+			return
+		}
+		if rr.State != StateOpen {
+			t.Fatalf("decoded state %q", rr.State)
+		}
+		if rr.Theta != nil && rr.ValGrad != nil && len(rr.Theta) != len(rr.ValGrad) {
+			t.Fatalf("theta/valGrad length mismatch: %d vs %d", len(rr.Theta), len(rr.ValGrad))
+		}
+	})
+}

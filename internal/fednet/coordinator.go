@@ -88,6 +88,12 @@ type Coordinator struct {
 	// (robust.UpdateScreen.ClipNow). Wire-level shape and finiteness
 	// rejections still happen first.
 	IngestScreen *robust.UpdateScreen
+	// LegacyJSON pins the coordinator to the digfl-fednet/1 JSON wire: join
+	// negotiation never advertises the v2 binary codec and ?c=2 round polls
+	// get JSON broadcasts. Ingest still accepts both encodings — a v2
+	// client behind an upgraded edge keeps working. For rollbacks and
+	// cross-version tests; leave false to let clients negotiate v2.
+	LegacyJSON bool
 	// Edges, when positive (requires Stream), switches streaming rounds
 	// from per-participant /v1/update ingest to /v1/partial ingest from
 	// this many edge sub-aggregators (EdgeAggregator): each edge folds its
@@ -407,7 +413,12 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 			}
 			dots = append(dots, r.partDots[e]...)
 			nAgg += len(idx)
+			// The merge copied everything out; the partial's vectors go
+			// back to the pool for the next round's ingest.
+			tensor.PutVec(r.parts[e])
+			tensor.PutVec(r.partDots[e])
 			r.parts[e] = nil
+			r.partDots[e] = nil
 		}
 		if nAgg > 0 {
 			tensor.Scale(1/float64(nAgg), acc)
@@ -493,8 +504,39 @@ func (c *Coordinator) Handler() http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		obs.Emit(sink, obs.Event{Kind: obs.KindNetRequest, N: 1})
-		mux.ServeHTTP(w, req)
+		cr := &countingReader{rc: req.Body}
+		req.Body = cr
+		cw := &countingWriter{ResponseWriter: w}
+		mux.ServeHTTP(cw, req)
+		obs.Emit(sink, obs.Event{Kind: obs.KindNetBytesRx, N: cr.n})
+		obs.Emit(sink, obs.Event{Kind: obs.KindNetBytesTx, N: cw.n})
 	})
+}
+
+// countingReader counts request-body bytes actually read by a handler.
+type countingReader struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+// countingWriter counts response-body bytes written by a handler.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
@@ -524,8 +566,20 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
 	if steps < 1 {
 		steps = 1
 	}
+	// Codec negotiation: pick the newest encoding the client accepts, v1
+	// JSON when it offered nothing (or LegacyJSON pins the run to v1).
+	codec := Protocol
+	if !c.LegacyJSON {
+		for _, a := range jr.Accept {
+			if a == ProtocolV2 {
+				codec = ProtocolV2
+				break
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, joinReply{
 		Protocol: Protocol, N: c.N, Epochs: c.Cfg.Epochs, LocalSteps: steps,
+		Codec: codec,
 	})
 }
 
@@ -553,6 +607,11 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 	}
 	wantVG := q.Get("vg") == "1"
 	headerOnly := q.Get("h") == "1"
+	// ?c=2 asks for the broadcast as a digfl-fednet/2 binary frame; the
+	// response Content-Type tells the client what it got, so the pin to v1
+	// under LegacyJSON needs no other signal.
+	wantV2 := q.Get("c") == "2" && !c.LegacyJSON
+	sink := c.Cfg.Runtime.Sink
 	timer := time.NewTimer(longPollWait)
 	defer timer.Stop()
 	for {
@@ -577,9 +636,13 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 			reply := roundReply{State: StateOpen, T: r.t, LR: jsonf.F64(r.lr)}
 			if !headerOnly {
 				reply.Theta = r.theta
-				if wantVG && r.valGrad != nil {
-					reply.ValGrad = r.valGrad
-				}
+			}
+			// A header-only poll can still carry the validation gradient:
+			// edges need ∇loss^v but not theta, so ?h=1&vg=1 skips the
+			// model download entirely. Additive — old clients never combine
+			// the two.
+			if wantVG && r.valGrad != nil {
+				reply.ValGrad = r.valGrad
 			}
 			if !r.deadline.IsZero() {
 				if rem := time.Until(r.deadline); rem > 0 {
@@ -587,6 +650,15 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 				}
 			}
 			c.mu.Unlock()
+			if bulk := reply.Theta != nil || reply.ValGrad != nil; bulk && wantV2 {
+				frame := encodeRoundFrame(reply.T, float64(reply.LR), reply.DeadlineMS,
+					reply.Theta, reply.ValGrad)
+				obs.Emit(sink, obs.Event{Kind: obs.KindCodecV2Frame, T: reply.T, N: 1})
+				writeBinary(w, frame)
+				return
+			} else if bulk {
+				obs.Emit(sink, obs.Event{Kind: obs.KindCodecV1Frame, T: reply.T, N: 1})
+			}
 			writeJSON(w, http.StatusOK, reply)
 			return
 		}
@@ -604,10 +676,28 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 }
 
 func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
-	// Two-phase decode: the header (protocol, round, index) decodes first
-	// with the delta left raw, so stale, inactive, and duplicate payloads are
-	// rejected before any float parse — a straggler's late megabyte costs a
-	// JSON skip, not a parsed buffer the 409 branch then drops on the floor.
+	// Two-phase decode in both encodings: the header (round, index) decodes
+	// first with the delta left raw, so stale, inactive, and duplicate
+	// payloads are rejected before any float parse — a straggler's late
+	// megabyte costs a JSON skip (or a header peek), not a parsed buffer the
+	// 409 branch then drops on the floor.
+	if isBinaryRequest(req) {
+		body, err := readBodyPooled(req.Body, req.ContentLength)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		defer tensor.PutBytes(body)
+		t, index, d, err := decodeUpdateHeader(body)
+		if err != nil {
+			writeCodedError(w, http.StatusUnprocessableEntity, CodeBadFrame, "%v", err)
+			return
+		}
+		c.ingestUpdate(w, t, index, obs.KindCodecV2Frame, func() ([]float64, error) {
+			return decodeFrameVec(body[updateHdrLen:], d), nil
+		})
+		return
+	}
 	var ui updateIngest
 	if err := readJSON(req.Body, &ui); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -617,24 +707,39 @@ func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "protocol %q, want %q", ui.Protocol, Protocol)
 		return
 	}
+	c.ingestUpdate(w, ui.T, ui.Index, obs.KindCodecV1Frame, func() ([]float64, error) {
+		var delta jsonf.Vec
+		if err := json.Unmarshal(ui.Delta, &delta); err != nil {
+			return nil, err
+		}
+		return delta, nil
+	})
+}
+
+// ingestUpdate runs the codec-independent acceptance pipeline for one
+// update: slot and duplicate checks from the header alone, then the bulk
+// decode (only once the update is known to be wanted), then the shape and
+// finiteness screens, then the streaming fold or round-buffer commit.
+// Vectors the round does not retain go back to the tensor pool.
+func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKind obs.Kind, decode func() ([]float64, error)) {
 	sink := c.Cfg.Runtime.Sink
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := c.round
-	if r == nil || r.t != ui.T || r.closed {
+	if r == nil || r.t != t || r.closed {
 		// The round is gone — the participant straggled past the deadline
 		// (or submitted for a round that is not open). Benign for a
 		// well-behaved client: the epoch proceeded with the survivors.
 		writeCodedError(w, http.StatusConflict, CodeStaleRound,
-			"round %d is not open", ui.T)
+			"round %d is not open", t)
 		return
 	}
 	if r.parts != nil {
 		writeError(w, http.StatusBadRequest,
-			"round %d ingests edge partials (/v1/partial), not direct updates", ui.T)
+			"round %d ingests edge partials (/v1/partial), not direct updates", t)
 		return
 	}
-	k, active := r.slots[ui.Index]
+	k, active := r.slots[index]
 	switch {
 	case !active:
 		writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
@@ -646,20 +751,23 @@ func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 		return
 	}
-	var delta jsonf.Vec
-	if err := json.Unmarshal(ui.Delta, &delta); err != nil {
+	delta, err := decode()
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "decoding delta: %v", err)
 		return
 	}
+	obs.Emit(sink, obs.Event{Kind: frameKind, T: t, N: 1})
 	switch {
 	case len(delta) != len(r.theta):
 		// An honest client can never produce a wrong-length delta from
 		// this round's broadcast; refuse it outright.
-		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ui.T, Part: ui.Index})
+		tensor.PutVec(delta)
+		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: t, Part: index})
 		writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
 			"delta has %d params, model has %d", len(delta), len(r.theta))
 	case !finiteVec(delta):
-		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: ui.T, Part: ui.Index})
+		tensor.PutVec(delta)
+		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: t, Part: index})
 		writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
 			"delta carries non-finite values")
 	case r.fold != nil:
@@ -667,19 +775,32 @@ func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
 			norm, clipped := c.IngestScreen.ClipNow(delta)
 			r.norms = append(r.norms, norm)
 			if clipped {
-				obs.Emit(sink, obs.Event{Kind: obs.KindUpdateClipped, T: ui.T,
-					Part: ui.Index, Value: norm})
+				obs.Emit(sink, obs.Event{Kind: obs.KindUpdateClipped, T: t,
+					Part: index, Value: norm})
 			}
+		}
+		// An in-order Add consumes the delta immediately; an out-of-order
+		// one parks it inside the fold. Recycle only on consumption —
+		// Pending tells the two apart (a fold without it keeps the slice).
+		pend, canPend := r.fold.(interface{ Pending() int })
+		before := 0
+		if canPend {
+			before = pend.Pending()
 		}
 		if err := r.fold.Add(k, delta); err != nil {
 			writeError(w, http.StatusInternalServerError, "folding update: %v", err)
 			return
+		}
+		if canPend && pend.Pending() <= before {
+			tensor.PutVec(delta)
 		}
 		r.folded[k] = true
 		r.got++
 		c.bcastLocked()
 		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 	default:
+		// Buffered round: the epoch retains the delta (estimator, archive,
+		// screens), so it stays off the pool.
 		r.deltas[k] = delta
 		r.got++
 		c.bcastLocked()
@@ -692,6 +813,24 @@ func (c *Coordinator) handleUpdate(w http.ResponseWriter, req *http.Request) {
 // discipline as /v1/update: stale and duplicate partials are rejected from
 // the header before the bulk vectors are parsed.
 func (c *Coordinator) handlePartial(w http.ResponseWriter, req *http.Request) {
+	if isBinaryRequest(req) {
+		body, err := readBodyPooled(req.Body, req.ContentLength)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		defer tensor.PutBytes(body)
+		t, edge, indices, d, err := decodePartialHeader(body)
+		if err != nil {
+			writeCodedError(w, http.StatusUnprocessableEntity, CodeBadFrame, "%v", err)
+			return
+		}
+		c.ingestPartial(w, t, edge, indices, obs.KindCodecV2Frame, func() (sum, dots []float64, err error) {
+			sum, dots = decodePartialVecs(body, len(indices), d)
+			return sum, dots, nil
+		})
+		return
+	}
 	var pi partialIngest
 	if err := readJSON(req.Body, &pi); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -701,24 +840,43 @@ func (c *Coordinator) handlePartial(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "protocol %q, want %q", pi.Protocol, Protocol)
 		return
 	}
+	c.ingestPartial(w, pi.T, pi.Edge, pi.Indices, obs.KindCodecV1Frame, func() (sum, dots []float64, err error) {
+		var s, d jsonf.Vec
+		if err := json.Unmarshal(pi.Sum, &s); err != nil {
+			return nil, nil, fmt.Errorf("decoding sum: %w", err)
+		}
+		if err := json.Unmarshal(pi.Dots, &d); err != nil {
+			return nil, nil, fmt.Errorf("decoding dots: %w", err)
+		}
+		return s, d, nil
+	})
+}
+
+// ingestPartial runs the codec-independent acceptance pipeline for one edge
+// partial: slot membership and ordering are validated from the header's
+// indices before the bulk vectors decode. Accepted sums and dots are
+// retained until the round closes (Round recycles them after the merge);
+// rejected ones go straight back to the pool.
+func (c *Coordinator) ingestPartial(w http.ResponseWriter, t, edge int, indices []int, frameKind obs.Kind, decode func() (sum, dots []float64, err error)) {
+	sink := c.Cfg.Runtime.Sink
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := c.round
-	if r == nil || r.t != pi.T || r.closed {
+	if r == nil || r.t != t || r.closed {
 		writeCodedError(w, http.StatusConflict, CodeStaleRound,
-			"round %d is not open", pi.T)
+			"round %d is not open", t)
 		return
 	}
 	if r.parts == nil {
 		writeError(w, http.StatusBadRequest,
-			"round %d does not ingest edge partials", pi.T)
+			"round %d does not ingest edge partials", t)
 		return
 	}
-	if pi.Edge < 0 || pi.Edge >= len(r.parts) {
-		writeError(w, http.StatusBadRequest, "edge %d outside [0,%d)", pi.Edge, len(r.parts))
+	if edge < 0 || edge >= len(r.parts) {
+		writeError(w, http.StatusBadRequest, "edge %d outside [0,%d)", edge, len(r.parts))
 		return
 	}
-	if r.partIdx[pi.Edge] != nil {
+	if r.partIdx[edge] != nil {
 		// Idempotent retry of a partial whose ack was lost.
 		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 		return
@@ -726,42 +884,46 @@ func (c *Coordinator) handlePartial(w http.ResponseWriter, req *http.Request) {
 	// Validate membership before decoding the vectors: every index must be
 	// an active slot not yet claimed by another edge, in strictly increasing
 	// slot order (edge cohorts are contiguous slot ranges).
-	slots := make([]int, len(pi.Indices))
-	for j, i := range pi.Indices {
+	slots := make([]int, len(indices))
+	for j, i := range indices {
 		k, active := r.slots[i]
 		if !active {
-			writeError(w, http.StatusBadRequest, "edge %d claims inactive participant %d", pi.Edge, i)
+			writeError(w, http.StatusBadRequest, "edge %d claims inactive participant %d", edge, i)
 			return
 		}
 		if r.folded[k] {
-			writeError(w, http.StatusBadRequest, "edge %d re-claims participant %d", pi.Edge, i)
+			writeError(w, http.StatusBadRequest, "edge %d re-claims participant %d", edge, i)
 			return
 		}
 		if j > 0 && k <= slots[j-1] {
-			writeError(w, http.StatusBadRequest, "edge %d indices out of slot order", pi.Edge)
+			writeError(w, http.StatusBadRequest, "edge %d indices out of slot order", edge)
 			return
 		}
 		slots[j] = k
 	}
-	var sum, dots jsonf.Vec
-	if err := json.Unmarshal(pi.Sum, &sum); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding sum: %v", err)
+	sum, dots, err := decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := json.Unmarshal(pi.Dots, &dots); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding dots: %v", err)
-		return
+	obs.Emit(sink, obs.Event{Kind: frameKind, T: t, N: 1})
+	reject := func() {
+		tensor.PutVec(sum)
+		tensor.PutVec(dots)
 	}
 	switch {
-	case len(pi.Indices) > 0 && len(sum) != len(r.theta):
+	case len(indices) > 0 && len(sum) != len(r.theta):
+		reject()
 		writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
 			"partial sum has %d params, model has %d", len(sum), len(r.theta))
 		return
-	case len(dots) != len(pi.Indices):
+	case len(dots) != len(indices):
+		reject()
 		writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
-			"partial carries %d dots for %d members", len(dots), len(pi.Indices))
+			"partial carries %d dots for %d members", len(dots), len(indices))
 		return
 	case !finiteVec(sum) || !finiteVec(dots):
+		reject()
 		writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
 			"partial carries non-finite values")
 		return
@@ -769,10 +931,12 @@ func (c *Coordinator) handlePartial(w http.ResponseWriter, req *http.Request) {
 	for _, k := range slots {
 		r.folded[k] = true
 	}
-	r.partIdx[pi.Edge] = slots
+	r.partIdx[edge] = slots
 	if len(slots) > 0 {
-		r.parts[pi.Edge] = sum
-		r.partDots[pi.Edge] = dots
+		r.parts[edge] = sum
+		r.partDots[edge] = dots
+	} else {
+		reject()
 	}
 	r.got += len(slots)
 	c.bcastLocked()

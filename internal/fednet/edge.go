@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"digfl/internal/faults"
 	"digfl/internal/jsonf"
 	"digfl/internal/obs"
 	"digfl/internal/tensor"
@@ -48,7 +49,15 @@ type EdgeAggregator struct {
 	// before submitting a survivors-only partial; 0 waits for every active
 	// member.
 	Deadline time.Duration
-	// Sink receives a KindNetRequest per root request issued.
+	// Retries bounds the retry attempts per root request beyond the first;
+	// 0 means no retries. Request bodies are encoded once and re-sent
+	// verbatim across backoff attempts.
+	Retries int
+	// Base and Cap shape the capped exponential backoff between retries;
+	// zero values use 10ms / 1s.
+	Base, Cap time.Duration
+	// Sink receives a KindNetRequest per attempted root request and a
+	// KindRetry per retried one.
 	Sink obs.Sink
 
 	mu        sync.Mutex
@@ -110,8 +119,25 @@ func (e *EdgeAggregator) Handler() http.Handler {
 }
 
 func (e *EdgeAggregator) handleUpdate(w http.ResponseWriter, req *http.Request) {
-	// Same two-phase decode as the root: header first, floats only once the
-	// submission is known to be wanted.
+	// Same two-phase decode as the root, in both encodings: header first,
+	// floats only once the submission is known to be wanted.
+	if isBinaryRequest(req) {
+		body, err := readBodyPooled(req.Body, req.ContentLength)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		defer tensor.PutBytes(body)
+		t, index, d, err := decodeUpdateHeader(body)
+		if err != nil {
+			writeCodedError(w, http.StatusUnprocessableEntity, CodeBadFrame, "%v", err)
+			return
+		}
+		e.ingestUpdate(w, t, index, func() ([]float64, func(http.ResponseWriter)) {
+			return e.vetDelta(decodeFrameVec(body[updateHdrLen:], d))
+		})
+		return
+	}
 	var ui updateIngest
 	if err := readJSON(req.Body, &ui); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -121,20 +147,37 @@ func (e *EdgeAggregator) handleUpdate(w http.ResponseWriter, req *http.Request) 
 		writeError(w, http.StatusBadRequest, "protocol %q, want %q", ui.Protocol, Protocol)
 		return
 	}
+	e.ingestUpdate(w, ui.T, ui.Index, func() ([]float64, func(http.ResponseWriter)) {
+		var delta jsonf.Vec
+		if err := json.Unmarshal(ui.Delta, &delta); err != nil {
+			return nil, func(w http.ResponseWriter) {
+				writeError(w, http.StatusBadRequest, "decoding delta: %v", err)
+			}
+		}
+		return e.vetDelta(delta)
+	})
+}
+
+// ingestUpdate runs the codec-independent member-update pipeline: slot and
+// duplicate checks from the header alone, the bulk decode only once the
+// update is wanted, then the in-order fold (or the park, for an update
+// that beat the edge to the root's broadcast — parked updates are
+// cohort-bounded).
+func (e *EdgeAggregator) ingestUpdate(w http.ResponseWriter, t, index int, decode func() ([]float64, func(http.ResponseWriter))) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.initLocked()
-	if !e.memberSet[ui.Index] {
+	if !e.memberSet[index] {
 		writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
 		return
 	}
-	if ui.T < e.nextRound {
+	if t < e.nextRound {
 		writeCodedError(w, http.StatusConflict, CodeStaleRound,
-			"edge %d already closed round %d", e.Edge, ui.T)
+			"edge %d already closed round %d", e.Edge, t)
 		return
 	}
-	if r := e.cur; r != nil && r.t == ui.T {
-		pos, active := r.pos[ui.Index]
+	if r := e.cur; r != nil && r.t == t {
+		pos, active := r.pos[index]
 		switch {
 		case !active:
 			writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
@@ -142,7 +185,7 @@ func (e *EdgeAggregator) handleUpdate(w http.ResponseWriter, req *http.Request) 
 			// Idempotent retry of an update whose ack was lost.
 			writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 		default:
-			delta, errReply := e.decodeDelta(ui)
+			delta, errReply := decode()
 			if errReply != nil {
 				errReply(w)
 				return
@@ -153,37 +196,32 @@ func (e *EdgeAggregator) handleUpdate(w http.ResponseWriter, req *http.Request) 
 		}
 		return
 	}
-	// The member beat the edge to the root's broadcast: park the update
-	// until the edge learns the round. Parked updates are cohort-bounded.
-	delta, errReply := e.decodeDelta(ui)
+	delta, errReply := decode()
 	if errReply != nil {
 		errReply(w)
 		return
 	}
-	if e.parked[ui.T] == nil {
-		e.parked[ui.T] = make(map[int][]float64)
+	if e.parked[t] == nil {
+		e.parked[t] = make(map[int][]float64)
 	}
-	e.parked[ui.T][ui.Index] = delta
+	e.parked[t][index] = delta
 	writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 }
 
-// decodeDelta parses and validates the raw delta; on failure it returns a
-// writer for the rejection. Callers hold mu.
-func (e *EdgeAggregator) decodeDelta(ui updateIngest) ([]float64, func(http.ResponseWriter)) {
-	var delta jsonf.Vec
-	if err := json.Unmarshal(ui.Delta, &delta); err != nil {
-		return nil, func(w http.ResponseWriter) {
-			writeError(w, http.StatusBadRequest, "decoding delta: %v", err)
-		}
-	}
+// vetDelta validates a decoded delta's shape and finiteness; on failure it
+// recycles the vector and returns a writer for the rejection. Callers
+// hold mu.
+func (e *EdgeAggregator) vetDelta(delta []float64) ([]float64, func(http.ResponseWriter)) {
 	if e.p != 0 && len(delta) != e.p {
 		n := len(delta)
+		tensor.PutVec(delta)
 		return nil, func(w http.ResponseWriter) {
 			writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
 				"delta has %d params, model has %d", n, e.p)
 		}
 	}
 	if !finiteVec(delta) {
+		tensor.PutVec(delta)
 		return nil, func(w http.ResponseWriter) {
 			writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
 				"delta carries non-finite values")
@@ -221,6 +259,9 @@ func (e *EdgeAggregator) commit(r *edgeRound, delta []float64) {
 	tensor.AXPY(1, delta, r.sum)
 	r.dots = append(r.dots, tensor.Dot(r.valGrad, delta))
 	r.next++
+	// The commit consumed the delta (sum and dot are all the round keeps);
+	// its buffer goes back to the pool for the next arrival.
+	tensor.PutVec(delta)
 }
 
 // Run serves rounds against the root until the run completes. Like the
@@ -231,10 +272,14 @@ func (e *EdgeAggregator) Run(ctx context.Context) error {
 	e.mu.Unlock()
 	next := 1
 	for {
-		// Learn the next round (long-poll; ?vg=1 asks for the validation
-		// gradient the dot products need).
+		// Learn the next round (long-poll). ?vg=1 asks for the validation
+		// gradient the dot products need, ?h=1 skips the theta download the
+		// edge never uses (the model dimension comes from the gradient), and
+		// ?c=2 requests the binary broadcast — whether it comes back binary
+		// tells the edge which codec the root speaks, so the uplink codec
+		// negotiates itself per round with no join handshake.
 		var round roundReply
-		if err := e.get(ctx, fmt.Sprintf("/v1/round?t=%d&vg=1", next), &round); err != nil {
+		if err := e.get(ctx, next, fmt.Sprintf("/v1/round?t=%d&vg=1&h=1&c=2", next), &round); err != nil {
 			return fmt.Errorf("fednet: edge %d round %d: %w", e.Edge, next, err)
 		}
 		switch round.State {
@@ -252,13 +297,17 @@ func (e *EdgeAggregator) Run(ctx context.Context) error {
 		if round.ValGrad == nil {
 			return fmt.Errorf("fednet: edge %d round %d: root is not streaming (Coordinator.Stream with Edges required)", e.Edge, round.T)
 		}
+		upCodec := CodecV1
+		if round.binary {
+			upCodec = CodecV2
+		}
 
 		// Discover which members are in the round's cohort (header-only
 		// polls: no theta download).
 		active := make([]int, 0, len(e.Members))
 		for _, m := range e.Members {
 			var mr roundReply
-			if err := e.get(ctx, fmt.Sprintf("/v1/round?t=%d&i=%d&h=1", round.T, m), &mr); err != nil {
+			if err := e.get(ctx, round.T, fmt.Sprintf("/v1/round?t=%d&i=%d&h=1", round.T, m), &mr); err != nil {
 				return fmt.Errorf("fednet: edge %d member %d poll: %w", e.Edge, m, err)
 			}
 			if mr.State == StateDone {
@@ -274,20 +323,27 @@ func (e *EdgeAggregator) Run(ctx context.Context) error {
 			}
 		}
 		if active == nil {
+			tensor.PutVec(round.ValGrad)
 			next = round.T + 1
 			continue
 		}
 
 		e.mu.Lock()
 		if e.p == 0 {
-			e.p = len(round.Theta)
+			// The validation gradient has the model's dimension; theta is
+			// never downloaded (h=1).
+			e.p = len(round.ValGrad)
+		}
+		sum := tensor.GetVec(e.p)
+		for i := range sum {
+			sum[i] = 0
 		}
 		r := &edgeRound{
 			t:       round.T,
 			valGrad: round.ValGrad,
 			active:  active,
 			pos:     make(map[int]int, len(active)),
-			sum:     make([]float64, e.p),
+			sum:     sum,
 			folded:  make([]bool, len(active)),
 		}
 		for k, m := range active {
@@ -337,11 +393,19 @@ func (e *EdgeAggregator) Run(ctx context.Context) error {
 		e.bcastLocked()
 		e.mu.Unlock()
 
+		// Encode once through the round's negotiated codec and re-send the
+		// same bytes across retries; every buffer the round owned is
+		// recycled once the partial is on the wire.
+		body, err := upCodec.EncodePartial(round.T, e.Edge, indices, sum, dots)
+		if err != nil {
+			return fmt.Errorf("fednet: edge %d partial %d: %w", e.Edge, round.T, err)
+		}
 		var ack updateReply
-		err := e.post(ctx, "/v1/partial", partialRequest{
-			Protocol: Protocol, T: round.T, Edge: e.Edge,
-			Indices: indices, Sum: sum, Dots: dots,
-		}, &ack)
+		err = e.postBytes(ctx, round.T, "/v1/partial", body, upCodec.ContentType(), &ack)
+		tensor.PutBytes(body)
+		tensor.PutVec(sum)
+		tensor.PutVec(dots)
+		tensor.PutVec(round.ValGrad)
 		if err != nil {
 			var we *WireError
 			if !(errors.As(err, &we) && we.Code == CodeStaleRound) {
@@ -405,39 +469,83 @@ func (e *EdgeAggregator) waitRound(ctx context.Context, r *edgeRound) error {
 	}
 }
 
-func (e *EdgeAggregator) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, e.Root+path, nil)
-	if err != nil {
-		return err
+func (e *EdgeAggregator) backoff(attempt int) time.Duration {
+	base, cap := e.Base, e.Cap
+	if base <= 0 {
+		base = 10 * time.Millisecond
 	}
-	return e.roundTrip(req, out)
+	if cap <= 0 {
+		cap = time.Second
+	}
+	return faults.Backoff(attempt, base, cap)
 }
 
-func (e *EdgeAggregator) post(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("fednet: encoding request: %w", err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, e.Root+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return e.roundTrip(req, out)
+func (e *EdgeAggregator) get(ctx context.Context, round int, path string, out any) error {
+	return e.do(ctx, round, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, e.Root+path, nil)
+	}, out)
 }
 
-func (e *EdgeAggregator) roundTrip(req *http.Request, out any) error {
-	obs.Emit(e.Sink, obs.Event{Kind: obs.KindNetRequest, N: 1})
-	resp, err := e.client().Do(req)
-	if err != nil {
-		return err
+// postBytes submits a pre-encoded body: built once by the codec, re-sent
+// verbatim on every backoff attempt.
+func (e *EdgeAggregator) postBytes(ctx context.Context, round int, path string, body []byte, contentType string, out any) error {
+	return e.do(ctx, round, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, e.Root+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		return req, nil
+	}, out)
+}
+
+// do runs one root request with retries and capped backoff — the edge's
+// mirror of Participant.do. build returns a fresh request per attempt
+// (bodies are single-use readers over the same bytes); a non-2xx reply is
+// surfaced unretried, since the root would refuse the identical retry
+// identically.
+func (e *EdgeAggregator) do(ctx context.Context, round int, build func() (*http.Request, error), out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= e.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			obs.Emit(e.Sink, obs.Event{Kind: obs.KindRetry, T: round, N: int64(attempt)})
+			select {
+			case <-time.After(e.backoff(attempt - 1)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		obs.Emit(e.Sink, obs.Event{Kind: obs.KindNetRequest, T: round, N: 1})
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		resp, err := e.client().Do(req.WithContext(ctx))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = func() error {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				var er errorReply
+				_ = readJSON(resp.Body, &er)
+				return &WireError{Status: resp.StatusCode, Code: er.Code,
+					Msg: fmt.Sprintf("%s %s: %s", req.Method, req.URL.Path, er.Error)}
+			}
+			return decodeReply(resp, out)
+		}()
+		if err != nil {
+			if resp.StatusCode != http.StatusOK {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		return nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var er errorReply
-		_ = readJSON(resp.Body, &er)
-		return &WireError{Status: resp.StatusCode, Code: er.Code,
-			Msg: fmt.Sprintf("%s %s: %s", req.Method, req.URL.Path, er.Error)}
-	}
-	return readJSON(resp.Body, out)
+	return fmt.Errorf("%w: %d attempts: %w", faults.ErrRetriesExhausted, e.Retries+1, lastErr)
 }

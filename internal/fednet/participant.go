@@ -54,6 +54,10 @@ type Participant struct {
 	// honest computation and before submission — the wire-level adversary
 	// hook the defense tests drive malformed and poisoned payloads through.
 	Tamper func(t int, delta []float64)
+	// LegacyJSON keeps this participant on the digfl-fednet/1 JSON wire:
+	// join negotiation offers no v2 codec and round polls never ask for
+	// binary broadcasts. For rollbacks and cross-version tests.
+	LegacyJSON bool
 	// Sink receives a KindNetRequest per attempted request and a KindRetry
 	// per retried one.
 	Sink obs.Sink
@@ -116,7 +120,7 @@ func (p *Participant) do(ctx context.Context, round int, build func() (*http.Req
 				return &WireError{Status: resp.StatusCode, Code: er.Code,
 					Msg: fmt.Sprintf("%s %s: %s", req.Method, req.URL.Path, er.Error)}
 			}
-			return readJSON(resp.Body, out)
+			return decodeReply(resp, out)
 		}()
 		if err != nil {
 			// Non-2xx is a protocol rejection, not a transport flake; the
@@ -141,20 +145,22 @@ func (p *Participant) get(ctx context.Context, round int, path string, out any) 
 }
 
 func (p *Participant) post(ctx context.Context, round int, path string, in, out any) error {
-	return p.postTo(ctx, round, p.BaseURL, path, in, out)
-}
-
-func (p *Participant) postTo(ctx context.Context, round int, base, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("fednet: encoding request: %w", err)
 	}
+	return p.postBytes(ctx, round, p.BaseURL, path, body, contentTypeJSON, out)
+}
+
+// postBytes submits a pre-encoded body: built once, re-sent verbatim on
+// every backoff attempt (bytes.NewReader is the only per-attempt cost).
+func (p *Participant) postBytes(ctx context.Context, round int, base, path string, body []byte, contentType string, out any) error {
 	return p.do(ctx, round, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 		return req, nil
 	}, out)
 }
@@ -167,13 +173,24 @@ func (p *Participant) Run(ctx context.Context) error {
 	if p.Model == nil {
 		return errors.New("fednet: participant needs a model prototype")
 	}
+	jr := joinRequest{Protocol: Protocol, Index: p.Index}
+	if !p.LegacyJSON {
+		jr.Accept = []string{ProtocolV2}
+	}
 	var join joinReply
-	err := p.post(ctx, 0, "/v1/join", joinRequest{Protocol: Protocol, Index: p.Index}, &join)
+	err := p.post(ctx, 0, "/v1/join", jr, &join)
 	if err != nil {
 		return fmt.Errorf("fednet: participant %d join: %w", p.Index, err)
 	}
 	if join.Protocol != Protocol {
 		return fmt.Errorf("fednet: participant %d: coordinator speaks %q, want %q", p.Index, join.Protocol, Protocol)
+	}
+	// The negotiated codec covers this participant's bulk uploads; binary
+	// round broadcasts are requested per poll (?c=2) when it is v2.
+	codec := codecByName(join.Codec)
+	pollSuffix := ""
+	if codec == CodecV2 {
+		pollSuffix = "&c=2"
 	}
 
 	next := 1
@@ -182,7 +199,7 @@ func (p *Participant) Run(ctx context.Context) error {
 		// Polling with ?i= lets the coordinator answer Excluded when this
 		// participant is outside the round's sampled cohort, skipping the
 		// theta download and the local computation entirely.
-		if err := p.get(ctx, next, fmt.Sprintf("/v1/round?t=%d&i=%d", next, p.Index), &round); err != nil {
+		if err := p.get(ctx, next, fmt.Sprintf("/v1/round?t=%d&i=%d%s", next, p.Index, pollSuffix), &round); err != nil {
 			return fmt.Errorf("fednet: participant %d round %d: %w", p.Index, next, err)
 		}
 		switch round.State {
@@ -214,10 +231,15 @@ func (p *Participant) Run(ctx context.Context) error {
 		if p.UpdateURL != "" {
 			upBase = p.UpdateURL
 		}
+		// Encode once through the negotiated codec; the retry loop re-sends
+		// the same bytes. The body buffer is recycled after the last attempt.
+		body, err := codec.EncodeUpdate(round.T, p.Index, delta)
+		if err != nil {
+			return fmt.Errorf("fednet: participant %d update %d: %w", p.Index, round.T, err)
+		}
 		var ack updateReply
-		err := p.postTo(ctx, round.T, upBase, "/v1/update", updateRequest{
-			Protocol: Protocol, T: round.T, Index: p.Index, Delta: delta,
-		}, &ack)
+		err = p.postBytes(ctx, round.T, upBase, "/v1/update", body, codec.ContentType(), &ack)
+		tensor.PutBytes(body)
 		if err != nil {
 			// A stale-round rejection means we straggled past the deadline
 			// and the epoch proceeded with the survivors — the protocol

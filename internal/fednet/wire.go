@@ -10,9 +10,11 @@
 // reports every round) produces the same model bits, validation-loss
 // curve, training log, and per-participant contributions φ as the
 // in-process hfl.Trainer on the same seed. The wire cannot perturb floats
-// — theta and delta vectors cross it as JSON, and Go's float64 JSON
-// encoding is exact round-trip (non-finite values use the internal/jsonf
-// sentinels) — and cannot perturb order: deltas are slotted by participant
+// — theta and delta vectors cross it as JSON (Go's float64 JSON encoding
+// is exact round-trip; non-finite values use the internal/jsonf sentinels)
+// or as raw IEEE-754 bits in the negotiated digfl-fednet/2 binary encoding
+// (see codec.go), both lossless — and cannot perturb order: deltas are
+// slotted by participant
 // index into the round's active order, so aggregation order never depends
 // on arrival order. A participant that misses a round deadline degrades
 // that epoch to the survivors with exactly the Epoch.Reported semantics of
@@ -27,6 +29,7 @@ import (
 	"net/http"
 
 	"digfl/internal/jsonf"
+	"digfl/internal/tensor"
 )
 
 // Protocol is the wire-protocol version string; both sides refuse to talk
@@ -51,6 +54,10 @@ const (
 type joinRequest struct {
 	Protocol string `json:"protocol"`
 	Index    int    `json:"index"`
+	// Accept lists additional wire encodings the participant can speak
+	// (ProtocolV2); absent means v1 JSON only. Additive: old coordinators
+	// ignore it and old clients never send it.
+	Accept []string `json:"accept,omitempty"`
 }
 
 // joinReply confirms the slot and carries the run's static configuration.
@@ -59,6 +66,10 @@ type joinReply struct {
 	N          int    `json:"n"`
 	Epochs     int    `json:"epochs"`
 	LocalSteps int    `json:"local_steps"`
+	// Codec is the negotiated bulk encoding the participant must use for
+	// its uploads — the coordinator's pick from the request's Accept list.
+	// Empty (an old coordinator) means v1 JSON.
+	Codec string `json:"codec,omitempty"`
 }
 
 // roundReply is the /v1/round long-poll response: the open round's
@@ -82,6 +93,11 @@ type roundReply struct {
 	// compute the per-update validation dot products the estimator consumes
 	// after the raw deltas are released. Additive.
 	ValGrad jsonf.Vec `json:"val_grad,omitempty"`
+
+	// binary records, client-side only, that this reply arrived as a
+	// digfl-fednet/2 frame — the signal an edge uses to pick its uplink
+	// codec. Never serialized.
+	binary bool
 }
 
 // updateRequest submits one local update δ_{t,i}.
@@ -183,6 +199,10 @@ const (
 	// CodeNonFinite rejects an update carrying NaN or ±Inf coordinates.
 	// Fatal for the client.
 	CodeNonFinite = "non_finite"
+	// CodeBadFrame rejects a digfl-fednet/2 binary frame whose envelope is
+	// malformed — truncated, oversized, wrong magic, or a byte length that
+	// contradicts the header. Fatal for the client.
+	CodeBadFrame = "bad_frame"
 )
 
 // WireError is a typed protocol rejection (any non-2xx reply). The
@@ -234,3 +254,82 @@ func readJSON(r io.Reader, v any) error {
 // maxBodyBytes bounds a request/response body; generous for full model
 // vectors, small enough to shrug off garbage.
 const maxBodyBytes = 64 << 20
+
+// isBinaryRequest reports whether a request carries a digfl-fednet/2 frame.
+func isBinaryRequest(req *http.Request) bool {
+	return req.Header.Get("Content-Type") == contentTypeBinary
+}
+
+// readBodyPooled reads a bounded request/response body into a pooled byte
+// buffer the caller owns (PutBytes when done). When the sender declared a
+// Content-Length the read is exact and allocation-free once pools are warm.
+func readBodyPooled(body io.Reader, contentLength int64) ([]byte, error) {
+	if contentLength > maxBodyBytes {
+		return nil, fmt.Errorf("fednet: body of %d bytes exceeds the %d limit", contentLength, maxBodyBytes)
+	}
+	if contentLength >= 0 {
+		buf := tensor.GetBytes(int(contentLength))
+		if _, err := io.ReadFull(body, buf); err != nil {
+			tensor.PutBytes(buf)
+			return nil, fmt.Errorf("fednet: reading body: %w", err)
+		}
+		return buf, nil
+	}
+	// Unknown length (chunked encoding): accumulate, still bounded.
+	buf := tensor.GetBytes(4096)[:0]
+	lr := io.LimitReader(body, maxBodyBytes+1)
+	for {
+		if len(buf) == cap(buf) {
+			next := tensor.GetBytes(2 * cap(buf))[:len(buf)]
+			copy(next, buf)
+			tensor.PutBytes(buf)
+			buf = next
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			if len(buf) > maxBodyBytes {
+				tensor.PutBytes(buf)
+				return nil, fmt.Errorf("fednet: body exceeds the %d-byte limit", maxBodyBytes)
+			}
+			return buf, nil
+		}
+		if err != nil {
+			tensor.PutBytes(buf)
+			return nil, fmt.Errorf("fednet: reading body: %w", err)
+		}
+	}
+}
+
+// writeBinary writes a digfl-fednet/2 frame response and recycles the
+// frame buffer.
+func writeBinary(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", contentTypeBinary)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame)
+	tensor.PutBytes(frame)
+}
+
+// decodeReply decodes a 200 response body into out, dispatching on the
+// response Content-Type: a binary round broadcast lands in a *roundReply
+// exactly as its JSON twin would; everything else is JSON.
+func decodeReply(resp *http.Response, out any) error {
+	if resp.Header.Get("Content-Type") != contentTypeBinary {
+		return readJSON(resp.Body, out)
+	}
+	rr, ok := out.(*roundReply)
+	if !ok {
+		return fmt.Errorf("fednet: unexpected binary reply for %T", out)
+	}
+	body, err := readBodyPooled(resp.Body, resp.ContentLength)
+	if err != nil {
+		return err
+	}
+	dec, err := decodeRoundFrame(body)
+	tensor.PutBytes(body)
+	if err != nil {
+		return err
+	}
+	*rr = *dec
+	return nil
+}

@@ -69,13 +69,15 @@ type Config struct {
 	// Parallel computes the participants' local updates concurrently.
 	//
 	// Deprecated: set Runtime.Workers instead (negative for GOMAXPROCS).
-	// Ignored whenever Runtime.Workers is non-zero.
+	// Ignored whenever Runtime.Workers is non-zero. Marked for removal in
+	// the next API revision.
 	Parallel bool
 	// Workers caps the worker pool when Parallel is set; 0 or negative
 	// selects GOMAXPROCS.
 	//
 	// Deprecated: set Runtime.Workers instead. Ignored whenever
-	// Runtime.Workers is non-zero.
+	// Runtime.Workers is non-zero. Marked for removal in the next API
+	// revision.
 	Workers int
 	// Faults optionally injects deterministic faults (per-epoch dropout,
 	// straggler delay, crash-at-epoch). Nil — or an injector whose

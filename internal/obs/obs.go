@@ -102,6 +102,18 @@ const (
 	// KindSample marks round T running on a sampled cohort; N is the cohort
 	// size (the rest of the population sits the round out with zero φ).
 	KindSample
+	// KindNetBytesRx counts N request-body bytes received by a wire-protocol
+	// server (coordinator or edge aggregator).
+	KindNetBytesRx
+	// KindNetBytesTx counts N response-body bytes written by a wire-protocol
+	// server. Rx+Tx is the run's bytes-on-wire as the server saw them.
+	KindNetBytesTx
+	// KindCodecV1Frame counts a bulk payload (update, partial, or round
+	// broadcast) carried in the digfl-fednet/1 JSON encoding.
+	KindCodecV1Frame
+	// KindCodecV2Frame counts a bulk payload carried in the digfl-fednet/2
+	// binary encoding.
+	KindCodecV2Frame
 
 	numKinds
 )
@@ -132,6 +144,10 @@ var kindNames = [numKinds]string{
 	KindUpdateClipped:    "update_clipped",
 	KindQuarantine:       "quarantine",
 	KindSample:           "sample",
+	KindNetBytesRx:       "net_bytes_rx",
+	KindNetBytesTx:       "net_bytes_tx",
+	KindCodecV1Frame:     "codec_v1_frame",
+	KindCodecV2Frame:     "codec_v2_frame",
 }
 
 func (k Kind) String() string {

@@ -245,7 +245,9 @@ func TestKindString(t *testing.T) {
 		KindNetRequest: "net_request", KindNetTimeout: "net_timeout",
 		KindAttackInjected: "attack_injected", KindUpdateRejected: "update_rejected",
 		KindUpdateClipped: "update_clipped", KindQuarantine: "quarantine",
-		KindSample: "sample",
+		KindSample:     "sample",
+		KindNetBytesRx: "net_bytes_rx", KindNetBytesTx: "net_bytes_tx",
+		KindCodecV1Frame: "codec_v1_frame", KindCodecV2Frame: "codec_v2_frame",
 	}
 	got := map[Kind]string{}
 	for k := Kind(0); k < numKinds; k++ {

@@ -43,6 +43,13 @@ type Snapshot struct {
 	// summed open-to-close wall clock of the closed rounds.
 	NetRounds, NetRequests, NetTimeouts int64
 	NetRoundTime                        time.Duration
+	// NetBytesRx and NetBytesTx are the request-body bytes received and
+	// response-body bytes written by wire-protocol servers; their sum is the
+	// run's bytes-on-wire. CodecV1Frames and CodecV2Frames count bulk
+	// payloads (updates, partials, round broadcasts) carried in the JSON and
+	// binary encodings respectively.
+	NetBytesRx, NetBytesTx         int64
+	CodecV1Frames, CodecV2Frames   int64
 	// AttacksInjected, UpdatesRejected, UpdatesClipped and Quarantines
 	// count adversarial-robustness events: simulated update corruptions,
 	// updates dropped by screening or wire validation, updates norm-clipped
@@ -82,6 +89,10 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" net[rounds=%d (%.3fs) reqs=%d timeouts=%d]",
 			s.NetRounds, s.NetRoundTime.Seconds(), s.NetRequests, s.NetTimeouts)
 	}
+	if s.NetBytesRx+s.NetBytesTx+s.CodecV1Frames+s.CodecV2Frames > 0 {
+		out += fmt.Sprintf(" wire[rx=%dB tx=%dB v1=%d v2=%d]",
+			s.NetBytesRx, s.NetBytesTx, s.CodecV1Frames, s.CodecV2Frames)
+	}
 	if s.AttacksInjected+s.UpdatesRejected+s.UpdatesClipped+s.Quarantines > 0 {
 		out += fmt.Sprintf(" adv[attacks=%d rejected=%d clipped=%d quarantined=%d]",
 			s.AttacksInjected, s.UpdatesRejected, s.UpdatesClipped, s.Quarantines)
@@ -103,6 +114,8 @@ type Collector struct {
 	netRounds, netRequests, netTimeouts, netRoundNanos      atomic.Int64
 	attacksInjected, updatesRejected                        atomic.Int64
 	updatesClipped, quarantines                             atomic.Int64
+	netBytesRx, netBytesTx                                  atomic.Int64
+	codecV1Frames, codecV2Frames                            atomic.Int64
 }
 
 // Emit implements Sink.
@@ -168,6 +181,14 @@ func (c *Collector) Emit(e Event) {
 		c.updatesClipped.Add(1)
 	case KindQuarantine:
 		c.quarantines.Add(1)
+	case KindNetBytesRx:
+		c.netBytesRx.Add(e.N)
+	case KindNetBytesTx:
+		c.netBytesTx.Add(e.N)
+	case KindCodecV1Frame:
+		c.codecV1Frames.Add(e.N)
+	case KindCodecV2Frame:
+		c.codecV2Frames.Add(e.N)
 	}
 }
 
@@ -197,6 +218,10 @@ func (c *Collector) Snapshot() Snapshot {
 		NetRequests:      c.netRequests.Load(),
 		NetTimeouts:      c.netTimeouts.Load(),
 		NetRoundTime:     time.Duration(c.netRoundNanos.Load()),
+		NetBytesRx:       c.netBytesRx.Load(),
+		NetBytesTx:       c.netBytesTx.Load(),
+		CodecV1Frames:    c.codecV1Frames.Load(),
+		CodecV2Frames:    c.codecV2Frames.Load(),
 		AttacksInjected:  c.attacksInjected.Load(),
 		UpdatesRejected:  c.updatesRejected.Load(),
 		UpdatesClipped:   c.updatesClipped.Load(),

@@ -12,9 +12,21 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 var one = big.NewInt(1)
+
+// intPool recycles big.Int scratch values across the hot arithmetic paths
+// (CRT decryption, encryption randomness, plaintext scalar reduction).
+// Only pure intermediates go back to the pool — a value that escapes into
+// a Ciphertext or a returned plaintext is never Put, because the caller
+// owns it. Pooled values keep their grown backing arrays, so steady-state
+// vector encryption/decryption stops allocating limb storage.
+var intPool = sync.Pool{New: func() any { return new(big.Int) }}
+
+func getInt() *big.Int  { return intPool.Get().(*big.Int) }
+func putInt(x *big.Int) { intPool.Put(x) }
 
 // PublicKey holds the Paillier public parameters (n, g = n+1).
 type PublicKey struct {
@@ -87,15 +99,21 @@ func GenerateKey(rnd io.Reader, bits int) (*PrivateKey, error) {
 // expN2 computes c^λ mod n² via the CRT: two half-size exponentiations mod
 // p² and q² recombined with Garner's formula.
 func (sk *PrivateKey) expN2(c *big.Int) *big.Int {
-	cp := new(big.Int).Exp(new(big.Int).Mod(c, sk.p2), sk.lambda, sk.p2)
-	cq := new(big.Int).Exp(new(big.Int).Mod(c, sk.q2), sk.lambda, sk.q2)
-	// x = cq + q²·((cp − cq)·(q²)⁻¹ mod p²)
-	diff := new(big.Int).Sub(cp, cq)
+	red := getInt()
+	cp := getInt().Exp(red.Mod(c, sk.p2), sk.lambda, sk.p2)
+	cq := getInt().Exp(red.Mod(c, sk.q2), sk.lambda, sk.q2)
+	putInt(red)
+	// x = cq + q²·((cp − cq)·(q²)⁻¹ mod p²). cp doubles as the diff scratch
+	// and x is a fresh value the caller owns, so only cp/cq are recycled.
+	diff := cp.Sub(cp, cq)
 	diff.Mul(diff, sk.q2inv)
 	diff.Mod(diff, sk.p2)
-	x := diff.Mul(diff, sk.q2)
+	x := new(big.Int).Mul(diff, sk.q2)
 	x.Add(x, cq)
-	return x.Mod(x, sk.N2)
+	x.Mod(x, sk.N2)
+	putInt(cp)
+	putInt(cq)
+	return x
 }
 
 // Encrypt encrypts m ∈ [0, n) with fresh randomness from rnd.
@@ -103,24 +121,29 @@ func (pk *PublicKey) Encrypt(rnd io.Reader, m *big.Int) (*Ciphertext, error) {
 	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
 		return nil, fmt.Errorf("paillier: plaintext out of range [0, n)")
 	}
+	gcd := getInt()
 	var r *big.Int
 	for {
 		var err error
 		r, err = rand.Int(rnd, pk.N)
 		if err != nil {
+			putInt(gcd)
 			return nil, fmt.Errorf("paillier: sampling r: %w", err)
 		}
-		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+		if r.Sign() > 0 && gcd.GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
 			break
 		}
 	}
-	// g^m = (1+n)^m = 1 + m·n (mod n²)
+	putInt(gcd)
+	// g^m = (1+n)^m = 1 + m·n (mod n²). gm escapes as the ciphertext; rn is
+	// pure scratch and goes back to the pool.
 	gm := new(big.Int).Mul(m, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	rn := getInt().Exp(r, pk.N, pk.N2)
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
+	putInt(rn)
 	return &Ciphertext{C: c}, nil
 }
 
@@ -148,7 +171,9 @@ func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
 // AddPlain returns the encryption of a+m given an encryption of a and a
 // plaintext m ∈ [0, n).
 func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
-	gm := new(big.Int).Mul(new(big.Int).Mod(m, pk.N), pk.N)
+	red := getInt().Mod(m, pk.N)
+	gm := new(big.Int).Mul(red, pk.N)
+	putInt(red)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
 	c := gm.Mul(gm, a.C)
@@ -159,8 +184,10 @@ func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
 // MulPlain returns the encryption of k·a given an encryption of a and a
 // plaintext scalar k.
 func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
-	kk := new(big.Int).Mod(k, pk.N)
-	return &Ciphertext{C: new(big.Int).Exp(a.C, kk, pk.N2)}
+	kk := getInt().Mod(k, pk.N)
+	c := new(big.Int).Exp(a.C, kk, pk.N2)
+	putInt(kk)
+	return &Ciphertext{C: c}
 }
 
 // Bytes returns the serialized size of a ciphertext in bytes, used by the

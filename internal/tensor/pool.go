@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Buffer pooling for the wire and aggregation hot paths: ingesting one
+// update should cost zero transient heap allocations once the pools are
+// warm, so a streamed round at 100k participants does not allocate O(cohort)
+// garbage per round. Slices are bucketed by capacity class (powers of two),
+// handed out with the requested length, and recycled on Put.
+//
+// Ownership contract: a pooled slice belongs to exactly one owner at a
+// time. Get transfers ownership to the caller; Put transfers it back and
+// the caller must not touch the slice afterwards. Anything that retains a
+// slice past the current call (a round buffer, an epoch record, a parked
+// out-of-order update) must either own a non-pooled slice or simply never
+// Put — the pools are advisory, and a slice that is never returned is
+// ordinary garbage for the GC. Never Put a slice that something else may
+// still reference.
+//
+// Contents are NOT zeroed in either direction: Get returns a slice with
+// undefined contents that the caller is expected to overwrite fully.
+
+// maxPoolClass bounds the bucketed classes at 2^maxPoolClass elements;
+// larger requests fall through to plain make and Put drops them.
+const maxPoolClass = 24 // 16Mi elements: 128MB float64, past any model here
+
+// sizeClass maps a requested size to its power-of-two bucket index, or -1
+// when the request is zero or too large to pool.
+func sizeClass(n int) int {
+	if n <= 0 || n > 1<<maxPoolClass {
+		return -1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Pools store *[]T header boxes (sync.Pool needs a pointer to avoid
+// boxing the slice header on every call); the empty boxes are themselves
+// recycled through a freelist so a warm Get/Put cycle is genuinely
+// allocation-free — boxing &v on each Put would otherwise cost one small
+// heap object per recycled slice.
+var (
+	vecPools  [maxPoolClass + 1]sync.Pool
+	vecBoxes  = sync.Pool{New: func() any { return new([]float64) }}
+	bytePools [maxPoolClass + 1]sync.Pool
+	byteBoxes = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// GetVec returns a float64 slice of length n with undefined contents,
+// recycled from the pool when one is available. Pair with PutVec once the
+// slice's last reader is done.
+func GetVec(n int) []float64 {
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	if box, ok := vecPools[c].Get().(*[]float64); ok {
+		v := (*box)[:n]
+		*box = nil
+		vecBoxes.Put(box)
+		return v
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutVec returns v to its pool. Safe to call with nil or with slices that
+// did not come from GetVec (off-class capacities are dropped).
+func PutVec(v []float64) {
+	class := sizeClass(cap(v))
+	if class < 0 || cap(v) != 1<<class {
+		return
+	}
+	box := vecBoxes.Get().(*[]float64)
+	*box = v[:cap(v)]
+	vecPools[class].Put(box)
+}
+
+// GetBytes returns a byte slice of length n with undefined contents,
+// recycled from the pool when one is available.
+func GetBytes(n int) []byte {
+	c := sizeClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if box, ok := bytePools[c].Get().(*[]byte); ok {
+		b := (*box)[:n]
+		*box = nil
+		byteBoxes.Put(box)
+		return b
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// PutBytes returns b to its pool; nil and off-class capacities are dropped.
+func PutBytes(b []byte) {
+	class := sizeClass(cap(b))
+	if class < 0 || cap(b) != 1<<class {
+		return
+	}
+	box := byteBoxes.Get().(*[]byte)
+	*box = b[:cap(b)]
+	bytePools[class].Put(box)
+}

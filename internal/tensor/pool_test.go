@@ -1,0 +1,76 @@
+package tensor
+
+import "testing"
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, -1}, {-3, -1}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1 << 10, 10}, {1<<10 + 1, 11},
+		{1 << maxPoolClass, maxPoolClass}, {1<<maxPoolClass + 1, -1},
+	}
+	for _, c := range cases {
+		if got := sizeClass(c.n); got != c.want {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestVecPoolRoundTrip(t *testing.T) {
+	v := GetVec(100)
+	if len(v) != 100 || cap(v) != 128 {
+		t.Fatalf("GetVec(100): len=%d cap=%d, want 100/128", len(v), cap(v))
+	}
+	for i := range v {
+		v[i] = float64(i)
+	}
+	PutVec(v)
+	w := GetVec(70) // same class: may (single-threaded: will) reuse the array
+	if len(w) != 70 || cap(w) != 128 {
+		t.Fatalf("GetVec(70): len=%d cap=%d, want 70/128", len(w), cap(w))
+	}
+	// Off-class and nil Puts must be dropped without panicking.
+	PutVec(nil)
+	PutVec(make([]float64, 0, 100))
+	big := GetVec(1<<maxPoolClass + 1)
+	if len(big) != 1<<maxPoolClass+1 {
+		t.Fatalf("oversized GetVec returned len %d", len(big))
+	}
+	PutVec(big)
+}
+
+func TestBytePoolRoundTrip(t *testing.T) {
+	b := GetBytes(1000)
+	if len(b) != 1000 || cap(b) != 1024 {
+		t.Fatalf("GetBytes(1000): len=%d cap=%d, want 1000/1024", len(b), cap(b))
+	}
+	PutBytes(b)
+	c := GetBytes(600)
+	if len(c) != 600 || cap(c) != 1024 {
+		t.Fatalf("GetBytes(600): len=%d cap=%d, want 600/1024", len(c), cap(c))
+	}
+	PutBytes(nil)
+	PutBytes(make([]byte, 3))
+}
+
+// TestPoolSteadyStateAllocs pins the zero-alloc contract: once warm, a
+// Get/Put cycle in the same class performs no heap allocation.
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	PutVec(GetVec(512)) // warm the class
+	allocs := testing.AllocsPerRun(100, func() {
+		v := GetVec(512)
+		v[0] = 1
+		PutVec(v)
+	})
+	if allocs > 0 {
+		t.Errorf("warm GetVec/PutVec cycle allocates %.1f times, want 0", allocs)
+	}
+	PutBytes(GetBytes(4096))
+	allocs = testing.AllocsPerRun(100, func() {
+		b := GetBytes(4096)
+		b[0] = 1
+		PutBytes(b)
+	})
+	if allocs > 0 {
+		t.Errorf("warm GetBytes/PutBytes cycle allocates %.1f times, want 0", allocs)
+	}
+}

@@ -51,7 +51,8 @@ type SecureConfig struct {
 	// Deprecated: set Runtime.Workers instead (note the differing zero
 	// default: Runtime.Workers 0 falls back to this field, so a zero
 	// value of both still selects GOMAXPROCS). Ignored whenever
-	// Runtime.Workers is non-zero.
+	// Runtime.Workers is non-zero. Marked for removal in the next API
+	// revision.
 	Workers int
 	// Faults optionally injects deterministic transient secure-round
 	// failures (and straggler delays for individual parties). An injected
