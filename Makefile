@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale verify-wire bench-json
+.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale verify-wire verify-crash bench-json
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,7 @@ verify:
 	$(MAKE) verify-adv
 	$(MAKE) verify-scale
 	$(MAKE) verify-wire
+	$(MAKE) verify-crash
 
 # verify-faults runs the fault-injection suite: the determinism gate
 # (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
@@ -83,11 +84,28 @@ verify-wire:
 # networked-runtime timings, APPENDED to $(BENCH_JSON) (entries from prior
 # revisions are preserved), then diffed against the committed copy so the
 # delta is visible before it lands.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 bench-json:
 	$(GO) run ./cmd/digfl-bench -exp wire -json $(BENCH_JSON)
 	$(GO) run ./cmd/digfl-bench -exp net -json $(BENCH_JSON)
+	$(GO) run ./cmd/digfl-bench -exp chaos -json $(BENCH_JSON)
 	git --no-pager diff --stat -- $(BENCH_JSON) || true
+
+# verify-crash runs the crash-safety gate: the deterministic chaos harness
+# (seeded coordinator kills at epoch-open/mid-round/epoch-close with WAL
+# recovery, plus an edge death mid-round with root failover, every
+# interrupted run bit-identical to its uninterrupted reference across 3
+# seeds and an uninterrupted journaled run indistinguishable from an
+# unjournaled one), the WAL replay tests (streamed mid-round graft,
+# torn-tail contract at every byte offset, 503-recovering rejoin with a
+# goroutine-leak check), the fault-domain collision guard, and a fuzz
+# smoke pass over the journal decoder (arbitrary bytes must error, never
+# panic). -count=1 defeats the test cache so the kills re-execute.
+verify-crash:
+	$(GO) vet ./internal/fednet/ ./internal/experiments/ ./internal/faults/
+	$(GO) test -count=1 -run 'WAL|Recover|Chaos|Failover|Rejoin|DomainsUnique' \
+		./internal/fednet/ ./internal/experiments/ ./internal/faults/
+	$(GO) test -count=1 -run '^$$' -fuzz FuzzWALReplay -fuzztime 5s ./internal/fednet/
 
 # verify-adv runs the adversarial-robustness gate: the efficacy test (30%
 # sign-flip attackers across 3 seeds — undefended run diverges >=2x while

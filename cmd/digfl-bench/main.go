@@ -191,6 +191,21 @@ func loadRunner(spec experiments.LoadSpec) runner {
 	}
 }
 
+// chaosRunner runs the deterministic chaos harness: seeded coordinator
+// kills with WAL recovery plus an edge death with root failover, gated on
+// bit-identity against uninterrupted references. Outside the paper's
+// artifact set, so -exp all does not include it.
+func chaosRunner() runner {
+	return runner{
+		ids:  []string{"chaos"},
+		desc: "chaos harness: coordinator kills + WAL recovery, edge failover (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.Chaos(o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables(), bench: r.Bench()}}
+		},
+	}
+}
+
 // adversarialRunner builds the adversarial-robustness runner from an
 // -attacks spec. Like "faults" and "net", it is outside the paper's
 // artifact set, so -exp all does not include it.
@@ -256,7 +271,7 @@ func main() {
 		os.Exit(2)
 	}
 	rs := append(runners(), faultsRunner(spec), netRunner(), adversarialRunner(advSpec),
-		wireRunner(), loadRunner(lspec))
+		wireRunner(), loadRunner(lspec), chaosRunner())
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
@@ -357,7 +372,7 @@ func main() {
 	if *exp == "all" {
 		for _, r := range rs {
 			if contains(r.ids, "faults") || contains(r.ids, "net") || contains(r.ids, "adversarial") ||
-				contains(r.ids, "wire") || contains(r.ids, "load") {
+				contains(r.ids, "wire") || contains(r.ids, "load") || contains(r.ids, "chaos") {
 				continue // robustness checks are opt-in; 'all' stays the paper set
 			}
 			emit(r)

@@ -46,20 +46,17 @@
 // interactive HFL estimator, per-block replay for the VFL estimator,
 // per-element Paillier operations for the secure protocol): 1 forces the
 // serial path, > 1 sets the pool size, negative selects GOMAXPROCS, and 0
-// defers to each component's deprecated legacy fields so zero-valued
-// configs behave exactly as before this API existed. Every component
-// resolves its pool size through the single Runtime.Resolve rule — a
-// non-zero Runtime.Workers always wins over the legacy fields.
+// takes the component's default — serial everywhere except the secure
+// protocol, whose Paillier arithmetic is compute-bound and defaults to
+// GOMAXPROCS. Every component resolves its pool size through the single
+// Runtime.Resolve rule.
 //
-// Deprecated legacy fields, kept only for source compatibility (each is
-// ignored whenever Runtime.Workers is non-zero): HFLConfig.Parallel and
-// HFLConfig.Workers (the historical bool+cap pair; Parallel defaulted to
-// GOMAXPROCS when Workers was unset), HFLEstimator.Workers (already the
-// Resolve convention), and SecureConfig.Workers (0 historically meant
-// GOMAXPROCS, preserved through Resolve's legacy argument). New code sets
-// Runtime.Workers and nothing else; the legacy fields are marked for
-// removal in the next API revision, and every in-tree caller and example
-// already routes through Runtime.
+// Migration note: the pre-Runtime knobs — HFLConfig.Parallel and
+// HFLConfig.Workers (the historical bool+cap pair), HFLEstimator.Workers,
+// and SecureConfig.Workers — have been removed after one deprecation
+// cycle. Replace any use with Runtime.Workers: Parallel:true maps to
+// Workers:-1 (GOMAXPROCS), Parallel:true+Workers:k to Workers:k, and a
+// zero-valued SecureConfig keeps its GOMAXPROCS default with no change.
 //
 // Pool outputs are bit-identical to the serial path, so parallelism is
 // purely a wall-clock knob; parallel estimator paths require a
@@ -498,6 +495,11 @@ const (
 	// (truncated, oversized, or header-contradicting). Fatal for the
 	// client.
 	WireBadFrame = fednet.CodeBadFrame
+	// WireRecovering is the 503 a restarted coordinator answers with
+	// while it waits for its participants to re-join: transient — retry,
+	// and re-join when the instance header changed (the built-in
+	// Participant does both automatically).
+	WireRecovering = fednet.CodeRecovering
 )
 
 // Vertical model kinds.

@@ -89,11 +89,13 @@ func ParseKind(s string) (Kind, error) {
 	return 0, fmt.Errorf("adversary: unknown attack kind %q", s)
 }
 
-// Attack domains for faults.Uniform; disjoint from the fault injector's 1–4.
+// Attack domains for faults.Uniform, drawn from the central registry so the
+// faults.Domains collision guard keeps them disjoint from every other
+// schedule sharing the seed.
 const (
-	domainFire = 101 + iota
-	domainNoise
-	domainCollude
+	domainFire    = faults.DomainAdversaryFire
+	domainNoise   = faults.DomainAdversaryNoise
+	domainCollude = faults.DomainAdversaryCollude
 )
 
 // Config parameterizes an adversary. The zero value (no attackers) attacks

@@ -33,7 +33,7 @@ func BenchmarkInteractiveObserve(b *testing.B) {
 	log, parts, model := benchLog(b)
 	replay := func(workers int) []float64 {
 		e := NewHFLEstimator(8, model.NumParams(), Interactive, LocalHVP(model, parts))
-		e.Workers = workers
+		e.Runtime.Workers = workers
 		for _, ep := range log {
 			e.Observe(ep)
 		}

@@ -48,26 +48,17 @@ type HFLEstimator struct {
 	attr      *Attribution
 	lastEpoch int
 
-	// Runtime is the unified worker-budget-plus-observability surface. A
-	// non-zero Runtime.Workers wins over the deprecated Workers field
-	// below and sets the per-epoch concurrency of the participant loop
-	// (1 forces serial, > 1 sets the bounded-pool size, negative selects
-	// GOMAXPROCS); anything beyond serial requires an HVPProvider that is
-	// safe for concurrent use (LocalHVP is). Results are bit-identical to
-	// the serial path: each participant's φ and ΔG-sum recursion touch
-	// only its own slots. Runtime.Sink receives one EstimatorRound event
-	// per observed epoch, timing the whole participant loop — in
-	// Interactive mode, the per-round Hessian-vector-product cost.
+	// Runtime is the unified worker-budget-plus-observability surface.
+	// Runtime.Workers sets the per-epoch concurrency of the participant
+	// loop (0 or 1 keeps the serial path, > 1 sets the bounded-pool size,
+	// negative selects GOMAXPROCS); anything beyond serial requires an
+	// HVPProvider that is safe for concurrent use (LocalHVP is). Results
+	// are bit-identical to the serial path: each participant's φ and
+	// ΔG-sum recursion touch only its own slots. Runtime.Sink receives
+	// one EstimatorRound event per observed epoch, timing the whole
+	// participant loop — in Interactive mode, the per-round
+	// Hessian-vector-product cost.
 	Runtime obs.Runtime
-
-	// Workers sets the per-epoch concurrency of the participant loop:
-	// 0 or 1 keeps the serial path, > 1 runs that many workers on the
-	// shared bounded pool, negative selects GOMAXPROCS.
-	//
-	// Deprecated: set Runtime.Workers instead. Ignored whenever
-	// Runtime.Workers is non-zero. Marked for removal in the next API
-	// revision.
-	Workers int
 
 	// TotalsOnly drops the per-epoch φ matrix and accumulates only the
 	// running Totals — the Shapley estimate itself (Eq. 15). Set it for
@@ -98,11 +89,9 @@ func NewHFLEstimator(n, p int, mode Mode, hvp HVPProvider) *HFLEstimator {
 }
 
 // workers resolves the effective pool size through the unified
-// obs.Runtime.Resolve rule; the deprecated Workers field is the legacy
-// fallback (0 or 1 serial, > 1 pool, negative GOMAXPROCS — already the
-// shared convention).
+// obs.Runtime.Resolve rule (0 or 1 serial, > 1 pool, negative GOMAXPROCS).
 func (e *HFLEstimator) workers() int {
-	return e.Runtime.Resolve(e.Workers)
+	return e.Runtime.Resolve(0)
 }
 
 // Observe ingests one training epoch and returns the per-epoch contributions

@@ -53,17 +53,17 @@ func TestHFLEstimatorSinkDoesNotPerturb(t *testing.T) {
 	}
 }
 
-// Runtime.Workers must override the deprecated Workers field (and a parallel
+// Runtime.Workers alone sizes the estimator pool (and a parallel
 // interactive replay must stay bit-identical to serial — LocalHVP and
 // TrainHVP are concurrency-safe).
 func TestHFLEstimatorRuntimeWorkers(t *testing.T) {
-	e := &HFLEstimator{Runtime: obs.Runtime{Workers: 1}, Workers: 8}
+	e := &HFLEstimator{Runtime: obs.Runtime{Workers: 1}}
 	if got := e.workers(); got != 1 {
-		t.Errorf("Runtime.Workers=1 with legacy 8: resolved %d, want 1", got)
+		t.Errorf("Runtime.Workers=1: resolved %d, want 1", got)
 	}
-	e = &HFLEstimator{Workers: 4}
+	e = &HFLEstimator{Runtime: obs.Runtime{Workers: 4}}
 	if got := e.workers(); got != 4 {
-		t.Errorf("legacy Workers=4: resolved %d, want 4", got)
+		t.Errorf("Runtime.Workers=4: resolved %d, want 4", got)
 	}
 	if got := (&HFLEstimator{}).workers(); got != 1 {
 		t.Errorf("zero config resolved %d workers, want serial", got)

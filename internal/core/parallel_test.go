@@ -200,7 +200,7 @@ func TestInteractiveParallelMatchesSerial(t *testing.T) {
 	res := tr.Run()
 	replay := func(workers int) []float64 {
 		e := NewHFLEstimator(6, model.NumParams(), Interactive, LocalHVP(model, parts))
-		e.Workers = workers
+		e.Runtime.Workers = workers
 		for _, ep := range res.Log {
 			e.Observe(ep)
 		}

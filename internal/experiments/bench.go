@@ -36,6 +36,9 @@ type BenchEntry struct {
 	Codec string `json:"codec,omitempty"`
 	// BytesOnWire totals request+response bytes over the measured rounds.
 	BytesOnWire int64 `json:"bytes_on_wire,omitempty"`
+	// BytesJournaled totals coordinator write-ahead-log bytes over the
+	// measured rounds (the chaos benchmark's WAL-on entry).
+	BytesJournaled int64 `json:"bytes_journaled,omitempty"`
 	// AllocsPerRound is the heap-allocation count per round, pools warm.
 	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
 	// Clients/Requests describe a load-test entry's concurrency and volume.

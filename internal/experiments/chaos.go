@@ -1,0 +1,584 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"digfl/internal/core"
+	"digfl/internal/dataset"
+	"digfl/internal/faults"
+	"digfl/internal/fednet"
+	"digfl/internal/hfl"
+	"digfl/internal/nn"
+	"digfl/internal/obs"
+	"digfl/internal/robust"
+	"digfl/internal/tensor"
+)
+
+// ChaosResult summarizes the deterministic chaos harness: seeded coordinator
+// kills with WAL recovery, an edge-aggregator death with root failover, and
+// the bit-identity of every interrupted run against its uninterrupted
+// reference.
+type ChaosResult struct {
+	Participants, Epochs int
+	Seeds                []int64
+	// Kills holds each seed's crash schedule (drawn from the DomainChaos
+	// hash stream, so reruns replay the identical kills).
+	Kills [][]faults.CrashAt
+	// Restarts counts coordinator incarnations beyond the first, summed
+	// over the crash runs.
+	Restarts int
+	// WALTransparent: an uninterrupted journaled run produced the same
+	// model, curve, phi, and archive bytes as the unjournaled reference.
+	WALTransparent bool
+	// CrashIdentical: every killed-and-recovered run reproduced the
+	// reference bit for bit (model, curve, per-epoch and total phi,
+	// archive bytes).
+	CrashIdentical bool
+	// EdgeIdentical: the tree run whose edge died mid-round reproduced the
+	// uninterrupted tree bit for bit through direct-submission failover.
+	EdgeIdentical bool
+	// WALBytes totals the journal bytes written by the uninterrupted
+	// journaled runs.
+	WALBytes int64
+	// Crash-safety event counts observed across the interrupted runs.
+	Recoveries, Rejoins, Failovers int64
+	// Closed-round latency with and without the journal attached
+	// (uninterrupted runs only, so kills never pollute the distribution).
+	WalP50, WalP99, RawP50, RawP99 time.Duration
+}
+
+// errChaosCrash is the injected journal-write failure that kills a
+// coordinator incarnation.
+var errChaosCrash = errors.New("chaos: injected crash during journal append")
+
+// chaosFront is the kill switch the harness places in front of a server: a
+// swappable inner handler plus a down flag and an incarnation counter.
+// While down, every request — and every in-flight response write from a
+// previous incarnation's handler — aborts its connection, so a killed
+// process's half-written replies and stale long-poll wakeups can never
+// reach a client, exactly as if the process had died.
+type chaosFront struct {
+	mu    sync.RWMutex
+	inner http.Handler
+	gen   int
+	down  bool
+}
+
+// install swaps in a new incarnation's handler and brings the front up.
+func (f *chaosFront) install(h http.Handler) {
+	f.mu.Lock()
+	f.inner = h
+	f.gen++
+	f.down = false
+	f.mu.Unlock()
+}
+
+// kill takes the front down; in-flight handlers abort at their next write.
+func (f *chaosFront) kill() {
+	f.mu.Lock()
+	f.down = true
+	f.mu.Unlock()
+}
+
+func (f *chaosFront) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	f.mu.RLock()
+	inner, gen, down := f.inner, f.gen, f.down
+	f.mu.RUnlock()
+	if down || inner == nil {
+		panic(http.ErrAbortHandler)
+	}
+	inner.ServeHTTP(&fencedWriter{front: f, gen: gen, w: w}, req)
+}
+
+// fencedWriter aborts the connection on any write attempted after the front
+// went down or moved to a newer incarnation — the handler goroutine is
+// treated as part of the killed process.
+type fencedWriter struct {
+	front *chaosFront
+	gen   int
+	w     http.ResponseWriter
+}
+
+func (fw *fencedWriter) check() {
+	fw.front.mu.RLock()
+	ok := !fw.front.down && fw.front.gen == fw.gen
+	fw.front.mu.RUnlock()
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (fw *fencedWriter) Header() http.Header { return fw.w.Header() }
+
+func (fw *fencedWriter) WriteHeader(code int) {
+	fw.check()
+	fw.w.WriteHeader(code)
+}
+
+func (fw *fencedWriter) Write(p []byte) (int, error) {
+	fw.check()
+	return fw.w.Write(p)
+}
+
+// killAfter kills its front (and cancels the victim's run context) once the
+// target-th member update has been fully served — deterministic placement
+// of an edge death relative to the round's ack sequence.
+type killAfter struct {
+	front  *chaosFront
+	inner  http.Handler
+	target int32
+	onKill func()
+	n      atomic.Int32
+}
+
+func (k *killAfter) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	k.inner.ServeHTTP(w, req)
+	if req.URL.Path == "/v1/update" && k.n.Add(1) == k.target {
+		k.front.kill()
+		k.onKill()
+	}
+}
+
+// walControl is the slice of the journal's JSON control records the crash
+// trigger needs (kind and epoch).
+type walControl struct {
+	Kind string `json:"kind"`
+	T    int    `json:"t"`
+}
+
+// crashWriter is the coordinator's journal sink with scheduled violence: it
+// parses each appended record (the WAL writes exactly one record per Write),
+// and at each scheduled (epoch, phase) it writes only half the record —
+// a torn tail, the canonical crash artifact — takes the front down, and
+// fails the append. Everything before the torn record is a clean prefix,
+// which is precisely what Recover's replay contract promises to resume from.
+type crashWriter struct {
+	mu      sync.Mutex
+	buf     *bytes.Buffer
+	sched   []faults.CrashAt
+	mid     int // which update ordinal a mid-round kill tears
+	openT   int
+	updates int
+	onCrash func()
+}
+
+func (w *crashWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hit(p) {
+		w.sched = w.sched[1:]
+		n, _ := w.buf.Write(p[:len(p)/2])
+		w.onCrash()
+		return n, errChaosCrash
+	}
+	return w.buf.Write(p)
+}
+
+// hit decides whether this record is a scheduled kill point, tracking the
+// open epoch and its update count as a side effect. Record framing is the
+// digfl-fednet-wal/1 wire: an 8-byte length+CRC header, then a payload that
+// is either a JSON control record or a binary update frame.
+func (w *crashWriter) hit(rec []byte) bool {
+	if len(rec) <= 8 {
+		return false
+	}
+	payload := rec[8:]
+	if payload[0] != '{' {
+		// Binary frame: one committed member update (the buffered chaos
+		// topology journals no edge partials).
+		w.updates++
+		return len(w.sched) > 0 && w.sched[0].Phase == faults.CrashMidRound &&
+			w.openT == w.sched[0].Epoch && w.updates == w.mid
+	}
+	var c walControl
+	if json.Unmarshal(payload, &c) != nil {
+		return false
+	}
+	switch c.Kind {
+	case "epoch_open":
+		w.openT, w.updates = c.T, 0
+		return len(w.sched) > 0 && w.sched[0].Phase == faults.CrashAtOpen && c.T == w.sched[0].Epoch
+	case "epoch_close":
+		return len(w.sched) > 0 && w.sched[0].Phase == faults.CrashAtClose && c.T == w.sched[0].Epoch
+	}
+	return false
+}
+
+// chaosProblem builds the 4-participant softmax problem each chaos seed
+// trains on.
+func chaosProblem(seed int64, o Opts) (nn.Model, []dataset.Dataset, dataset.Dataset) {
+	rng := tensor.NewRNG(seed)
+	full := imageData("MNIST", o.samples(600), seed, 0)
+	train, val := full.Split(0.1, rng)
+	parts := dataset.PartitionIID(train, 4, rng)
+	return nn.NewSoftmaxRegression(train.Dim(), train.Classes), parts, val
+}
+
+// chaosLoopback runs the buffered crash-safety stack — estimator,
+// quarantine, archive, and (when journal is non-nil) the write-ahead log —
+// over a loopback listener, killing the coordinator at each scheduled point
+// and restarting it through Recover until the run completes. A nil journal
+// runs the plain pre-WAL coordinator once, as the reference.
+func chaosLoopback(model nn.Model, parts []dataset.Dataset, val dataset.Dataset, cfg hfl.Config,
+	n int, journal *bytes.Buffer, kills []faults.CrashAt, sink obs.Sink,
+) (*hfl.Result, *core.HFLEstimator, *bytes.Buffer, int, error) {
+	archive := &bytes.Buffer{}
+	front := &chaosFront{}
+	var jw io.Writer
+	if journal != nil {
+		jw = &crashWriter{buf: journal, sched: kills, mid: (n + 1) / 2, onCrash: front.kill}
+	}
+	newCoord := func() (*fednet.Coordinator, *core.HFLEstimator) {
+		est := core.NewHFLEstimator(n, model.NumParams(), core.ResourceSaving, nil)
+		c := &fednet.Coordinator{
+			N: n, Model: model, Val: val, Cfg: cfg,
+			Estimator:  est,
+			Quarantine: robust.MustNewQuarantine(robust.Quarantine{}),
+			Archive:    archive,
+			Journal:    jw,
+		}
+		c.Cfg.Runtime.Sink = sink
+		return c, est
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("experiments: chaos listener: %w", err)
+	}
+	srv := &http.Server{Handler: front}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	coord, est := newCoord()
+	front.install(coord.Handler())
+
+	ctx := context.Background()
+	perrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p := &fednet.Participant{
+			Index: i, Model: model, Data: parts[i], BaseURL: base,
+			Retries: 400, Base: time.Millisecond, Cap: 20 * time.Millisecond, Sink: sink,
+		}
+		wg.Add(1)
+		go func(i int, p *fednet.Participant) { defer wg.Done(); perrs[i] = p.Run(ctx) }(i, p)
+	}
+
+	restarts := 0
+	var res *hfl.Result
+	for {
+		res, err = coord.Run(ctx)
+		if err == nil {
+			break
+		}
+		restarts++
+		if journal == nil || restarts > len(kills)+1 {
+			return nil, nil, nil, restarts, fmt.Errorf("experiments: chaos coordinator (incarnation %d): %w", restarts, err)
+		}
+		// The process "died": stand up a fresh coordinator, replay the
+		// journal's clean prefix into it, truncate the torn tail, and swap
+		// it in behind the same address.
+		coord, est = newCoord()
+		consumed, rerr := coord.Recover(bytes.NewReader(journal.Bytes()))
+		if rerr != nil {
+			return nil, nil, nil, restarts, fmt.Errorf("experiments: chaos recovery %d: %w", restarts, rerr)
+		}
+		journal.Truncate(int(consumed))
+		front.install(coord.Handler())
+	}
+	wg.Wait()
+	for i, perr := range perrs {
+		if perr != nil {
+			return nil, nil, nil, restarts, fmt.Errorf("experiments: chaos participant %d: %w", i, perr)
+		}
+	}
+	return res, est, archive, restarts, nil
+}
+
+// chaosTreeRun runs a two-level cohort tree; killRound > 0 kills edge 0
+// immediately after it acks the first member update of that round, so one
+// member must be re-solicited by the root (grace-timer resubmission) and the
+// rest fail over to direct submission on their own.
+func chaosTreeRun(model nn.Model, parts []dataset.Dataset, val dataset.Dataset, cfg hfl.Config,
+	n, edges, killRound int, sink obs.Sink,
+) (*hfl.Result, *core.HFLEstimator, error) {
+	est := core.NewHFLEstimator(n, model.NumParams(), core.ResourceSaving, nil)
+	width := (n + edges - 1) / edges
+	coord := &fednet.Coordinator{
+		N: n, Model: model, Val: val, Cfg: cfg,
+		Estimator: est,
+		Stream:    hfl.MeanStream{Seg: width},
+		Edges:     edges,
+	}
+	if killRound > 0 {
+		coord.FailoverGrace = 250 * time.Millisecond
+	}
+	coord.Cfg.Runtime.Sink = sink
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: chaos tree listener: %w", err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	root := "http://" + ln.Addr().String()
+
+	ctx := context.Background()
+	ectx, stopEdges := context.WithCancel(ctx)
+	defer stopEdges()
+	kctx, kcancel := context.WithCancel(ectx)
+	defer kcancel()
+
+	edgeURL := make([]string, n)
+	eerrs := make([]error, edges)
+	var ewg sync.WaitGroup
+	for e := 0; e < edges; e++ {
+		lo, hi := e*width, min((e+1)*width, n)
+		if lo >= hi {
+			break
+		}
+		members := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			members = append(members, i)
+		}
+		ea := &fednet.EdgeAggregator{
+			Root: root, Edge: e, Members: members, Sink: sink,
+			Retries: 4, Base: time.Millisecond, Cap: 50 * time.Millisecond,
+		}
+		var h http.Handler = ea.Handler()
+		runCtx := ectx
+		if e == 0 && killRound > 0 {
+			// The victim: serve exactly width*(killRound-1)+1 member acks —
+			// every update of the earlier rounds plus one of round killRound
+			// — then drop dead, leaving one acked member (resubmit path) and
+			// the rest unacked (transport-failover path).
+			front := &chaosFront{}
+			front.install(&killAfter{
+				front: front, inner: h,
+				target: int32(width*(killRound-1) + 1),
+				onKill: kcancel,
+			})
+			h = front
+			runCtx = kctx
+		}
+		eln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: chaos edge %d listener: %w", e, err)
+		}
+		esrv := &http.Server{Handler: h}
+		go func() { _ = esrv.Serve(eln) }()
+		defer esrv.Close()
+		url := "http://" + eln.Addr().String()
+		for i := lo; i < hi; i++ {
+			edgeURL[i] = url
+		}
+		ewg.Add(1)
+		go func(e int, ea *fednet.EdgeAggregator, ctx context.Context) {
+			defer ewg.Done()
+			eerrs[e] = ea.Run(ctx)
+		}(e, ea, runCtx)
+	}
+
+	perrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p := &fednet.Participant{
+			Index: i, Model: model, Data: parts[i], BaseURL: root, UpdateURL: edgeURL[i],
+			Retries: 100, Base: time.Millisecond, Cap: 20 * time.Millisecond, Sink: sink,
+		}
+		wg.Add(1)
+		go func(i int, p *fednet.Participant) { defer wg.Done(); perrs[i] = p.Run(ctx) }(i, p)
+	}
+
+	res, runErr := coord.Run(ctx)
+	wg.Wait()
+	stopEdges()
+	ewg.Wait()
+	if runErr != nil {
+		return nil, nil, fmt.Errorf("experiments: chaos tree coordinator: %w", runErr)
+	}
+	for i, perr := range perrs {
+		if perr != nil {
+			return nil, nil, fmt.Errorf("experiments: chaos tree participant %d: %w", i, perr)
+		}
+	}
+	for e, eerr := range eerrs {
+		if eerr != nil && !errors.Is(eerr, context.Canceled) {
+			return nil, nil, fmt.Errorf("experiments: chaos tree edge %d: %w", e, eerr)
+		}
+	}
+	return res, est, nil
+}
+
+// sameFed reports whether two federation runs match bit for bit: model
+// parameters, validation-loss curve, and the estimator's full attribution
+// state (per-epoch phi, totals, and the exact-mode accumulators).
+func sameFed(a, b *hfl.Result, ae, be *core.HFLEstimator) bool {
+	return reflect.DeepEqual(a.Model.Params(), b.Model.Params()) &&
+		reflect.DeepEqual(a.ValLossCurve, b.ValLossCurve) &&
+		reflect.DeepEqual(ae.State(), be.State())
+}
+
+// Chaos runs the deterministic chaos harness over three seeds: for each, an
+// unjournaled reference run, an uninterrupted journaled run (WAL
+// transparency), a run whose coordinator is killed at two seeded points and
+// recovered from the journal, and a cohort tree whose edge 0 dies mid-round
+// — asserting every interrupted run is bit-identical to its reference.
+func Chaos(o Opts) *ChaosResult {
+	o.validate()
+	const n = 4
+	const edges = 2
+	epochs := o.epochs(10)
+	seeds := []int64{o.Seed, o.Seed + 1, o.Seed + 2}
+
+	collector := &obs.Collector{}
+	sink := obs.Tee(o.Sink, collector)
+
+	r := &ChaosResult{
+		Participants: n, Epochs: epochs, Seeds: seeds,
+		WALTransparent: true, CrashIdentical: true, EdgeIdentical: true,
+	}
+	fail := func(err error) {
+		panic(fmt.Sprintf("experiments: chaos: %v", err))
+	}
+
+	var walDurs, rawDurs []time.Duration
+	for _, seed := range seeds {
+		model, parts, val := chaosProblem(seed, o)
+		cfg := hfl.Config{Epochs: epochs, LR: 0.3}
+
+		// Unjournaled reference: the pre-WAL coordinator, bit for bit.
+		rawLat := &netLatSink{next: o.Sink}
+		refRes, refEst, refArch, _, err := chaosLoopback(model, parts, val, cfg, n, nil, nil, rawLat)
+		if err != nil {
+			fail(err)
+		}
+		rawDurs = append(rawDurs, rawLat.durs...)
+
+		// Uninterrupted journaled run: the WAL must be invisible in the
+		// results and cost only its append path.
+		walBuf := &bytes.Buffer{}
+		walLat := &netLatSink{next: o.Sink}
+		walRes, walEst, walArch, _, err := chaosLoopback(model, parts, val, cfg, n, walBuf, nil, walLat)
+		if err != nil {
+			fail(err)
+		}
+		r.WALBytes += int64(walBuf.Len())
+		walDurs = append(walDurs, walLat.durs...)
+		if !sameFed(walRes, refRes, walEst, refEst) || !bytes.Equal(walArch.Bytes(), refArch.Bytes()) {
+			r.WALTransparent = false
+		}
+
+		// Killed-and-recovered run: two seeded kills per seed.
+		kills := faults.ChaosSchedule(seed, epochs, 2)
+		r.Kills = append(r.Kills, kills)
+		crashRes, crashEst, crashArch, restarts, err := chaosLoopback(
+			model, parts, val, cfg, n, &bytes.Buffer{}, kills, sink)
+		if err != nil {
+			fail(err)
+		}
+		r.Restarts += restarts
+		if !sameFed(crashRes, refRes, crashEst, refEst) || !bytes.Equal(crashArch.Bytes(), refArch.Bytes()) {
+			r.CrashIdentical = false
+		}
+
+		// Cohort tree with edge 0 dying in round 2, vs the intact tree.
+		treeRefRes, treeRefEst, err := chaosTreeRun(model, parts, val, cfg, n, edges, 0, o.Sink)
+		if err != nil {
+			fail(err)
+		}
+		treeRes, treeEst, err := chaosTreeRun(model, parts, val, cfg, n, edges, 2, sink)
+		if err != nil {
+			fail(err)
+		}
+		if !sameFed(treeRes, treeRefRes, treeEst, treeRefEst) {
+			r.EdgeIdentical = false
+		}
+	}
+
+	snap := collector.Snapshot()
+	r.Recoveries, r.Rejoins, r.Failovers = snap.Recoveries, snap.Rejoins, snap.EdgeFailovers
+	wq := Quantiles(walDurs, 0.50, 0.99)
+	rq := Quantiles(rawDurs, 0.50, 0.99)
+	r.WalP50, r.WalP99 = wq[0], wq[1]
+	r.RawP50, r.RawP99 = rq[0], rq[1]
+	return r
+}
+
+// Passed reports whether every bit-identity gate held.
+func (r *ChaosResult) Passed() bool {
+	return r.WALTransparent && r.CrashIdentical && r.EdgeIdentical
+}
+
+// Render writes the chaos-harness summary.
+func (r *ChaosResult) Render(w io.Writer) {
+	writeHeader(w, "Chaos harness — crashes and failover vs uninterrupted reference")
+	fmt.Fprintf(w, "%d participants, %d epochs, seeds %v\n", r.Participants, r.Epochs, r.Seeds)
+	for i, kills := range r.Kills {
+		fmt.Fprintf(w, "seed %d coordinator kills: %v\n", r.Seeds[i], kills)
+	}
+	fmt.Fprintf(w, "restarts=%d recoveries=%d rejoins=%d edge-failovers=%d\n",
+		r.Restarts, r.Recoveries, r.Rejoins, r.Failovers)
+	fmt.Fprintf(w, "WAL transparent (journaled == unjournaled): %v\n", r.WALTransparent)
+	fmt.Fprintf(w, "crash+recover bit-identical (model, curve, phi, archive): %v\n", r.CrashIdentical)
+	fmt.Fprintf(w, "edge-death tree bit-identical: %v\n", r.EdgeIdentical)
+	fmt.Fprintf(w, "journal bytes (uninterrupted): %d; round p50/p99 wal=%v/%v raw=%v/%v\n",
+		r.WALBytes, r.WalP50, r.WalP99, r.RawP50, r.RawP99)
+}
+
+// Tables returns the CSV rendering.
+func (r *ChaosResult) Tables() map[string][][]string {
+	f := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'g', -1, 64)
+	}
+	rows := [][]string{
+		{"metric", "value"},
+		{"participants", strconv.Itoa(r.Participants)},
+		{"epochs", strconv.Itoa(r.Epochs)},
+		{"restarts", strconv.Itoa(r.Restarts)},
+		{"recoveries", strconv.FormatInt(r.Recoveries, 10)},
+		{"rejoins", strconv.FormatInt(r.Rejoins, 10)},
+		{"edge_failovers", strconv.FormatInt(r.Failovers, 10)},
+		{"wal_transparent", strconv.FormatBool(r.WALTransparent)},
+		{"crash_identical", strconv.FormatBool(r.CrashIdentical)},
+		{"edge_identical", strconv.FormatBool(r.EdgeIdentical)},
+		{"wal_bytes", strconv.FormatInt(r.WALBytes, 10)},
+		{"wal_round_p50_ms", f(r.WalP50)},
+		{"wal_round_p99_ms", f(r.WalP99)},
+		{"raw_round_p50_ms", f(r.RawP50)},
+		{"raw_round_p99_ms", f(r.RawP99)},
+	}
+	return map[string][][]string{"chaos": rows}
+}
+
+// Bench returns the WAL-on/WAL-off machine-readable entries.
+func (r *ChaosResult) Bench() []BenchEntry {
+	rounds := r.Epochs * len(r.Seeds)
+	return []BenchEntry{
+		{
+			Exp: "chaos-wal-on", Epochs: int64(rounds), Rounds: rounds,
+			RoundP50MS:     float64(r.WalP50) / float64(time.Millisecond),
+			RoundP99MS:     float64(r.WalP99) / float64(time.Millisecond),
+			BytesJournaled: r.WALBytes,
+		},
+		{
+			Exp: "chaos-wal-off", Epochs: int64(rounds), Rounds: rounds,
+			RoundP50MS: float64(r.RawP50) / float64(time.Millisecond),
+			RoundP99MS: float64(r.RawP99) / float64(time.Millisecond),
+		},
+	}
+}

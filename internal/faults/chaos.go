@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CrashPhase names the point inside a federation round at which a
+// process-fault schedule kills the coordinator. The phases map onto the
+// coordinator's write-ahead-log record sequence (see internal/fednet/wal.go):
+// a kill lands on the journal write for the phase, so the surviving journal
+// ends exactly at a phase boundary — torn mid-record, which is what the
+// replay path must tolerate.
+type CrashPhase int
+
+const (
+	// CrashAtOpen kills the process while journaling the epoch-open record:
+	// the recovered coordinator finds the previous epoch closed and no open
+	// round, and reopens the epoch from scratch.
+	CrashAtOpen CrashPhase = iota
+	// CrashMidRound kills the process while journaling a mid-round update
+	// commit: the recovered coordinator finds an open round with roughly
+	// half its slots filled and grafts them back into the round buffer.
+	CrashMidRound
+	// CrashAtClose kills the process while journaling the epoch-close
+	// record: the recovered coordinator finds every update committed and
+	// re-closes the epoch from the journaled round alone.
+	CrashAtClose
+
+	numCrashPhases
+)
+
+var crashPhaseNames = [numCrashPhases]string{
+	CrashAtOpen:   "open",
+	CrashMidRound: "mid",
+	CrashAtClose:  "close",
+}
+
+func (p CrashPhase) String() string {
+	if p >= 0 && int(p) < len(crashPhaseNames) {
+		return crashPhaseNames[p]
+	}
+	return "unknown"
+}
+
+// CrashAt is one scheduled process kill: the federation epoch it lands in
+// and the phase within that epoch's round.
+type CrashAt struct {
+	// Epoch is the 1-based training epoch the kill lands in.
+	Epoch int
+	// Phase is the point within the epoch's round.
+	Phase CrashPhase
+}
+
+func (c CrashAt) String() string {
+	return fmt.Sprintf("epoch %d/%s", c.Epoch, c.Phase)
+}
+
+// ChaosSchedule draws k process kills for a run of the given epoch count —
+// a pure function of (seed, epochs, k) over the DomainChaos hash stream, so
+// the chaos harness replays the identical kill sequence on every run with
+// the same seed. Epochs are drawn without replacement (at most one kill per
+// epoch; k is clamped to epochs) and the schedule is returned sorted by
+// epoch, phases drawn independently per slot.
+func ChaosSchedule(seed int64, epochs, k int) []CrashAt {
+	if epochs <= 0 || k <= 0 {
+		return nil
+	}
+	if k > epochs {
+		k = epochs
+	}
+	// Order epochs by their hash key and kill in the k smallest — the same
+	// fixed-size-subset construction the cohort sampler uses, independent
+	// of call order and of k.
+	type keyed struct {
+		key   float64
+		epoch int
+	}
+	keys := make([]keyed, epochs)
+	for e := 1; e <= epochs; e++ {
+		keys[e-1] = keyed{key: Uniform(seed, DomainChaos, uint64(e), 0, 0), epoch: e}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].key != keys[j].key {
+			return keys[i].key < keys[j].key
+		}
+		return keys[i].epoch < keys[j].epoch
+	})
+	out := make([]CrashAt, k)
+	for s := 0; s < k; s++ {
+		phase := CrashPhase(Uniform(seed, DomainChaos, uint64(keys[s].epoch), 1, 0) * float64(numCrashPhases))
+		if phase >= numCrashPhases {
+			phase = numCrashPhases - 1
+		}
+		out[s] = CrashAt{Epoch: keys[s].epoch, Phase: phase}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}

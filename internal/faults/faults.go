@@ -115,14 +115,52 @@ func (in *Injector) Config() Config {
 	return in.cfg
 }
 
-// Fault domains keep the uniform streams of the different fault kinds
-// independent of each other for the same (epoch, participant) coordinate.
+// Hash domains keep the uniform streams of the runtime's deterministic
+// schedules independent of each other for the same (epoch, participant)
+// coordinate. Every consumer of Uniform across the repository draws from
+// this registry — the injector's fault kinds, the cohort sampler, the
+// chaos process-fault schedule, and the attack simulators in
+// internal/adversary — so a new injector cannot silently reuse a domain:
+// register it here and the collision-guard test (TestDomainsUnique)
+// enforces uniqueness.
 const (
-	domainDropout = 1 + iota
-	domainStraggler
-	domainSecure
-	domainNet
+	// DomainDropout draws per-(epoch, participant) dropout decisions.
+	DomainDropout uint64 = 1
+	// DomainStraggler draws per-(epoch, participant) straggle decisions.
+	DomainStraggler uint64 = 2
+	// DomainSecure draws per-(epoch, round, attempt) secure-round failures.
+	DomainSecure uint64 = 3
+	// DomainNet draws per-(round, participant, attempt) request failures.
+	DomainNet uint64 = 4
+	// DomainSampling draws the cohort sampler's per-(epoch, participant)
+	// keys (internal/sampling).
+	DomainSampling uint64 = 7
+	// DomainChaos draws the process-fault schedule: which epoch and phase
+	// each injected coordinator/edge kill lands on (ChaosSchedule).
+	DomainChaos uint64 = 8
+	// DomainAdversaryFire, DomainAdversaryNoise and DomainAdversaryCollude
+	// draw the attack simulators' schedules (internal/adversary).
+	DomainAdversaryFire    uint64 = 101
+	DomainAdversaryNoise   uint64 = 102
+	DomainAdversaryCollude uint64 = 103
 )
+
+// Domains returns the registry of every hash domain in use, keyed by the
+// consumer-facing name. The collision-guard test derives uniqueness from
+// this map; extend it together with the constants above.
+func Domains() map[string]uint64 {
+	return map[string]uint64{
+		"dropout":           DomainDropout,
+		"straggler":         DomainStraggler,
+		"secure":            DomainSecure,
+		"net":               DomainNet,
+		"sampling":          DomainSampling,
+		"chaos":             DomainChaos,
+		"adversary_fire":    DomainAdversaryFire,
+		"adversary_noise":   DomainAdversaryNoise,
+		"adversary_collude": DomainAdversaryCollude,
+	}
+}
 
 // Uniform maps (seed, domain, a, b, c) to a uniform variate in [0,1) via a
 // splitmix64-style finalizer. Coordinates are offset by 1 so the zero
@@ -130,9 +168,9 @@ const (
 // primitive of the runtime: the fault injector's decisions and the attack
 // simulators in internal/adversary both hash through it, so both schedules
 // are pure functions of (seed, coordinates) — independent of call order,
-// worker count, and resume point. Callers must pick domain values that do
-// not collide with another consumer using the same seed (this package uses
-// 1–4; internal/adversary uses 101+).
+// worker count, and resume point. Callers must draw their domain from the
+// exported Domain registry above so two consumers sharing a seed never
+// collide; the registry's collision-guard test enforces uniqueness.
 func Uniform(seed int64, domain, a, b, c uint64) float64 {
 	x := uint64(seed)
 	x ^= (domain + 1) * 0x9e3779b97f4a7c15
@@ -157,7 +195,7 @@ func (in *Injector) DropsOut(epoch, part int) bool {
 	if in == nil || in.cfg.Dropout == 0 {
 		return false
 	}
-	return in.uniform(domainDropout, uint64(epoch), uint64(part), 0) < in.cfg.Dropout
+	return in.uniform(DomainDropout, uint64(epoch), uint64(part), 0) < in.cfg.Dropout
 }
 
 // Straggles reports whether the participant straggles in the given epoch,
@@ -166,7 +204,7 @@ func (in *Injector) Straggles(epoch, part int) (time.Duration, bool) {
 	if in == nil || in.cfg.Straggler == 0 {
 		return 0, false
 	}
-	if in.uniform(domainStraggler, uint64(epoch), uint64(part), 0) < in.cfg.Straggler {
+	if in.uniform(DomainStraggler, uint64(epoch), uint64(part), 0) < in.cfg.Straggler {
 		return in.cfg.StragglerDelay, true
 	}
 	return 0, false
@@ -186,7 +224,7 @@ func (in *Injector) SecureRoundFails(epoch, round, attempt int) bool {
 	if in == nil || in.cfg.SecureFailure == 0 {
 		return false
 	}
-	return in.uniform(domainSecure, uint64(epoch), uint64(round), uint64(attempt)) < in.cfg.SecureFailure
+	return in.uniform(DomainSecure, uint64(epoch), uint64(round), uint64(attempt)) < in.cfg.SecureFailure
 }
 
 // RequestFails reports whether the given attempt of a networked
@@ -198,7 +236,7 @@ func (in *Injector) RequestFails(round, part, attempt int) bool {
 	if in == nil || in.cfg.NetFailure == 0 {
 		return false
 	}
-	return in.uniform(domainNet, uint64(round), uint64(part), uint64(attempt)) < in.cfg.NetFailure
+	return in.uniform(DomainNet, uint64(round), uint64(part), uint64(attempt)) < in.cfg.NetFailure
 }
 
 // Survivors partitions the subset for an epoch into the participants that

@@ -198,3 +198,19 @@ func TestBackoff(t *testing.T) {
 		t.Fatal("huge attempt must not overflow into a non-positive delay")
 	}
 }
+
+// TestDomainsUnique is the collision guard the Domains registry promises:
+// every hash domain must map to a distinct constant, or two consumers would
+// silently draw correlated variates from the same stream.
+func TestDomainsUnique(t *testing.T) {
+	seen := make(map[uint64]string)
+	for name, d := range Domains() {
+		if prev, ok := seen[d]; ok {
+			t.Errorf("hash domain %d is shared by %q and %q", d, name, prev)
+		}
+		seen[d] = name
+	}
+	if len(seen) == 0 {
+		t.Fatal("Domains registry is empty")
+	}
+}

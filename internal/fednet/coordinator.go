@@ -1,6 +1,7 @@
 package fednet
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -102,6 +104,29 @@ type Coordinator struct {
 	// order and stays bit-identical to a flat streamed run with Seg =
 	// edge width.
 	Edges int
+	// Journal, when non-nil, turns on the coordinator's write-ahead log
+	// (digfl-fednet-wal/1, see wal.go): every commit the round's outcome
+	// depends on is journaled before it is acknowledged, so a coordinator
+	// that dies mid-round can be rebuilt bit-identically — hand the journal
+	// to a fresh Coordinator's Recover, then Run. Each record is written
+	// with exactly one Write call; wrap the writer if it needs locking.
+	// Journaling cannot compose with Screen or IngestScreen (clipping
+	// rewrites updates after the journaled bytes, so replay would diverge)
+	// or a user-set Cfg.Resume (the journal owns the resume point).
+	Journal io.Writer
+	// FailoverGrace, when positive on an edge-mode run, arms the root's
+	// re-solicitation path: once the round has been open longer than the
+	// grace with a participant's slot still unfolded, that participant's
+	// next-round poll (?i=) answers Resubmit, telling it to re-send its
+	// round-T update directly to the root — its edge aggregator died after
+	// acknowledging the update, so the root never saw it. 0 (the default)
+	// disables re-solicitation and keeps the pre-failover semantics: a dead
+	// edge's whole cohort misses the round at the deadline.
+	FailoverGrace time.Duration
+	// EdgeWidth overrides the edge cohort width used to reconstruct a dead
+	// edge's segment from direct submissions (global index i belongs to
+	// edge i/EdgeWidth); 0 means ceil(N/Edges), the TreeLoopback partition.
+	EdgeWidth int
 
 	mu      sync.Mutex
 	changed chan struct{}
@@ -113,6 +138,16 @@ type Coordinator struct {
 	lastRes *hfl.RoundResult
 	done    bool
 	runErr  error
+
+	// Crash-safety state: the journal's append side, the replayed state a
+	// Recover call grafts into the first round, the coordinator incarnation
+	// (1 for a fresh run, +1 per recovery), and the recovering flag that
+	// 503s round traffic until the rejoin barrier refills.
+	wal        *WAL
+	rec        *walReplay
+	instance   int
+	recovering bool
+	archStage  *bytes.Buffer
 }
 
 // openRound is the coordinator's mutable view of the in-flight round.
@@ -142,6 +177,15 @@ type openRound struct {
 	parts    [][]float64
 	partIdx  [][]int
 	partDots [][]float64
+
+	// Edge-failover state: direct updates accepted on an edge-mode round
+	// after the member's edge died, keyed by slot, with their validation
+	// dot products. The close-time merge reconstructs the dead edge's
+	// segment from them. openedAt arms FailoverGrace (zero when
+	// re-solicitation is off).
+	direct     map[int][]float64
+	directDots map[int]float64
+	openedAt   time.Time
 }
 
 // streaming reports whether this round folds on arrival.
@@ -153,6 +197,9 @@ func (c *Coordinator) initLocked() {
 		c.changed = make(chan struct{})
 		c.joined = make([]bool, c.N)
 		c.aggs = make(map[int]*aggregateReply)
+		if c.instance == 0 {
+			c.instance = 1
+		}
 	}
 }
 
@@ -184,6 +231,11 @@ func (c *Coordinator) Run(ctx context.Context) (*hfl.Result, error) {
 	c.mu.Unlock()
 
 	res, err := c.run(ctx)
+	if err == nil && c.wal != nil {
+		// Advisory close marker: a later Recover on this journal reports
+		// the run complete instead of resuming it.
+		_ = c.wal.appendJSON(walRecord{Kind: walKindRunClose})
+	}
 	c.mu.Lock()
 	c.done = true
 	c.runErr = err
@@ -201,8 +253,30 @@ func (c *Coordinator) Run(ctx context.Context) (*hfl.Result, error) {
 }
 
 func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
+	if c.Journal != nil {
+		if c.Screen != nil || c.IngestScreen != nil {
+			return nil, errors.New("fednet: Journal cannot compose with Screen or IngestScreen (clipping rewrites updates after the journaled bytes)")
+		}
+		if c.Cfg.Resume != nil {
+			return nil, errors.New("fednet: Journal owns the resume point; clear Cfg.Resume and use Recover")
+		}
+		c.mu.Lock()
+		c.initLocked()
+		c.wal = newWAL(c.Journal, c.Cfg.Runtime.Sink)
+		inst := c.instance
+		c.mu.Unlock()
+		// Every incarnation opens the run: replay learns the restart count
+		// and validates the shape before trusting any older record.
+		if err := c.wal.appendJSON(walRecord{Kind: walKindRunOpen, Protocol: WALProtocol,
+			Instance: inst, N: c.N, Epochs: c.Cfg.Epochs, Params: c.Model.NumParams()}); err != nil {
+			return nil, err
+		}
+	}
+
 	// Join barrier: every round broadcast assumes the full population is
 	// listening, so training starts only when all N slots are claimed.
+	// A recovered coordinator holds this barrier too — its participants
+	// see 503 recovering on every round poll until they re-join.
 	for {
 		c.mu.Lock()
 		joined := c.nJoined
@@ -220,6 +294,31 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 
 	cfg := c.Cfg
 	cfg.Participants = c.N
+	// Crash recovery: resume the trainer from the journal's last closed
+	// epoch. The open round's commits (if the crash was mid-round) graft
+	// into the first Round call. Note the recovered Result.Log carries only
+	// post-recovery epochs — the journal checkpoints model, curve, and
+	// estimator state, not raw per-epoch deltas.
+	rec := c.rec
+	if rec != nil && rec.lastClosed > 0 {
+		cfg.Resume = &hfl.Checkpoint{Epoch: rec.lastClosed, Theta: rec.theta, ValLossCurve: rec.curve}
+	}
+	if c.wal != nil {
+		// Journal every closed epoch before the next opens: the checkpoint
+		// carries the exact state a recovery resumes from. A user
+		// checkpoint hook still fires at its own cadence.
+		userEvery, userFunc := cfg.CheckpointEvery, cfg.CheckpointFunc
+		cfg.CheckpointEvery = 1
+		cfg.CheckpointFunc = func(ck *hfl.Checkpoint) error {
+			if err := c.journalClose(ck); err != nil {
+				return err
+			}
+			if userFunc != nil && userEvery > 0 && ck.Epoch%userEvery == 0 {
+				return userFunc(ck)
+			}
+			return nil
+		}
+	}
 	if c.Stream != nil {
 		if c.Aggregator != nil || c.Reweighter != nil || c.Quarantine != nil || c.Screen != nil {
 			return nil, errors.New("fednet: Stream cannot compose with Aggregator, Reweighter, Quarantine, or Screen (they need the round buffer)")
@@ -266,7 +365,23 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 		}
 	}
 	if c.Archive != nil {
-		sw, err := logio.NewHFLWriter(c.Archive, c.Model.NumParams(), c.N)
+		var sw *logio.HFLWriter
+		var err error
+		if c.wal != nil {
+			// Stage epochs in memory and flush to the real archive only
+			// after the epoch's WAL commit: the journal, not the archive,
+			// is the source of truth, and an epoch whose close record tore
+			// must not reach the archive (its replay re-runs the epoch and
+			// would archive it twice).
+			c.archStage = &bytes.Buffer{}
+			if rec != nil && rec.lastClosed > 0 {
+				sw, err = logio.ResumeHFLWriter(c.archStage, c.Model.NumParams(), c.N, rec.lastClosed)
+			} else {
+				sw, err = logio.NewHFLWriter(c.archStage, c.Model.NumParams(), c.N)
+			}
+		} else {
+			sw, err = logio.NewHFLWriter(c.Archive, c.Model.NumParams(), c.N)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("fednet: opening archive: %w", err)
 		}
@@ -302,6 +417,119 @@ func (l *lockedReweighter) Weights(ep *hfl.Epoch) []float64 {
 	return l.rw.Weights(ep)
 }
 
+// Recover replays a write-ahead journal into this not-yet-run coordinator:
+// the trainer resumes from the last journaled epoch close, the estimator
+// and quarantine state reinstall from the same record, and the open
+// round's committed updates (if the crash was mid-round) graft into the
+// first Round call — so the recovered run is bit-identical to one that
+// never crashed. Call it after the coordinator's fields are configured
+// (the replay validates N, Epochs, and the model's parameter count) and
+// before Run.
+//
+// Recover returns the number of journal bytes it consumed. A torn final
+// record — the crash artifact — is skipped, not replayed; truncate the
+// journal file to the returned length before handing its append side to
+// Journal, so the next incarnation's records land on a clean prefix.
+func (c *Coordinator) Recover(r io.Reader) (int64, error) {
+	rep, err := replayWAL(r)
+	if err != nil {
+		return 0, err
+	}
+	if !rep.sawRunOpen {
+		return 0, errors.New("fednet: WAL journal has no run_open record")
+	}
+	if rep.runClosed {
+		return 0, errors.New("fednet: WAL journal records a completed run")
+	}
+	if rep.n != c.N || rep.epochs != c.Cfg.Epochs {
+		return 0, fmt.Errorf("fednet: WAL journal is for n=%d epochs=%d, coordinator has n=%d epochs=%d",
+			rep.n, rep.epochs, c.N, c.Cfg.Epochs)
+	}
+	if c.Model != nil && rep.params != c.Model.NumParams() {
+		return 0, fmt.Errorf("fednet: WAL journal is for a %d-param model, coordinator has %d",
+			rep.params, c.Model.NumParams())
+	}
+	if c.Estimator != nil && rep.est != nil {
+		if err := c.Estimator.SetState(rep.est); err != nil {
+			return 0, fmt.Errorf("fednet: reinstalling estimator state: %w", err)
+		}
+	}
+	if c.Quarantine != nil && rep.quar != nil {
+		if err := c.Quarantine.SetState(rep.quar); err != nil {
+			return 0, fmt.Errorf("fednet: reinstalling quarantine state: %w", err)
+		}
+	}
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return 0, errors.New("fednet: Recover must precede Run")
+	}
+	c.rec = rep
+	c.instance = rep.instance + 1
+	c.recovering = true
+	c.mu.Unlock()
+	obs.Emit(c.Cfg.Runtime.Sink, obs.Event{Kind: obs.KindRecover,
+		T: rep.lastClosed + 1, N: int64(rep.records)})
+	return rep.consumed, nil
+}
+
+// journalClose appends an epoch's close record — model, curve, estimator
+// and quarantine state — then flushes the staged archive epochs the commit
+// just made durable.
+func (c *Coordinator) journalClose(ck *hfl.Checkpoint) error {
+	rec := walRecord{Kind: walKindEpochClose, T: ck.Epoch,
+		Theta: jsonf.Vec(ck.Theta), Curve: jsonf.Vec(ck.ValLossCurve)}
+	c.mu.Lock()
+	if c.Estimator != nil {
+		rec.Estimator = toWalEst(c.Estimator.State())
+	}
+	if c.Quarantine != nil {
+		rec.Quarantine = toWalQuar(c.Quarantine.State())
+	}
+	c.mu.Unlock()
+	if err := c.wal.appendJSON(rec); err != nil {
+		return err
+	}
+	if c.archStage != nil && c.archStage.Len() > 0 {
+		// Best-effort, like the unjournaled archive path: a poisoned
+		// archive must not abort training — the journal holds the truth.
+		_, _ = c.Archive.Write(c.archStage.Bytes())
+		c.archStage.Reset()
+	}
+	return nil
+}
+
+// journalUpdate appends one accepted update as its canonical
+// digfl-fednet/2 frame (JSON arrivals are re-encoded, so replay needs one
+// decoder). Callers hold mu and must not acknowledge the update if the
+// append fails.
+func (c *Coordinator) journalUpdate(t, index int, delta []float64) error {
+	if c.wal == nil {
+		return nil
+	}
+	frame, err := CodecV2.EncodeUpdate(t, index, delta)
+	if err != nil {
+		return err
+	}
+	err = c.wal.Append(frame)
+	tensor.PutBytes(frame)
+	return err
+}
+
+// journalPartial is journalUpdate for an edge partial.
+func (c *Coordinator) journalPartial(t, edge int, indices []int, sum, dots []float64) error {
+	if c.wal == nil {
+		return nil
+	}
+	frame, err := CodecV2.EncodePartial(t, edge, indices, sum, dots)
+	if err != nil {
+		return err
+	}
+	err = c.wal.Append(frame)
+	tensor.PutBytes(frame)
+	return err
+}
+
 // Round implements hfl.RoundSource: it broadcasts the round to the polling
 // participants, waits until every active participant has reported or the
 // round deadline expires, and returns the collected deltas in active
@@ -326,6 +554,9 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 			r.parts = make([][]float64, c.Edges)
 			r.partIdx = make([][]int, c.Edges)
 			r.partDots = make([][]float64, c.Edges)
+			if c.FailoverGrace > 0 {
+				r.openedAt = time.Now()
+			}
 		} else {
 			r.fold = c.Stream.NewFold(len(spec.Theta), len(spec.Active), spec.ValGrad)
 			r.norms = make([]float64, 0, len(spec.Active))
@@ -343,6 +574,26 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 
 	c.mu.Lock()
 	c.initLocked()
+	// WAL: a fresh round journals its open before it is visible to any
+	// client; a recovered round (the previous incarnation already journaled
+	// this open and some commits) grafts the replayed commits instead.
+	rec := c.rec
+	c.rec = nil
+	grafted := rec != nil && rec.openT == spec.T
+	if c.wal != nil && !grafted {
+		if err := c.wal.appendJSON(walRecord{Kind: walKindEpochOpen,
+			T: spec.T, Active: spec.Active}); err != nil {
+			c.recovering = false
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	if grafted {
+		c.graftLocked(r, rec, spec)
+	}
+	// Recovery complete: the rejoin barrier refilled and the round is
+	// republishing, so stop 503ing round traffic.
+	c.recovering = false
 	// Publish the previous round's aggregate: this round's broadcast theta
 	// IS the post-aggregation model of round t-1.
 	if spec.T > 1 {
@@ -363,7 +614,22 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 		c.mu.Lock()
 		got := r.got
 		ch := c.changed
+		var walErr error
+		if c.wal != nil {
+			walErr = c.wal.Err()
+		}
 		c.mu.Unlock()
+		if walErr != nil {
+			// The journal is poisoned: an update the coordinator cannot
+			// replay was refused its ack (the ingest dropped the
+			// connection), and accepting more would fork the journaled
+			// history from the applied one. Abort the run.
+			c.mu.Lock()
+			r.closed = true
+			c.bcastLocked()
+			c.mu.Unlock()
+			return nil, walErr
+		}
 		if got == len(r.order) {
 			break
 		}
@@ -389,13 +655,19 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 	case r.parts != nil:
 		// Edge mode: merge the edge partials in edge order — exactly the
 		// segment-flush order of hfl.MeanStream with Seg = edge width — and
-		// apply the single 1/m scale.
+		// apply the single 1/m scale. Dead edges whose members failed over
+		// to direct submission are reconstructed first, so the merge sees
+		// the partial the edge itself would have sent.
+		dIdx, dSum, dDots := c.reconstructSegments(r)
 		var acc []float64
 		var rep []int
 		var dots []float64
 		last := -1
 		for e := range r.parts {
-			idx := r.partIdx[e]
+			idx, part, pdots := r.partIdx[e], r.parts[e], r.partDots[e]
+			if len(idx) == 0 && dIdx != nil && len(dIdx[e]) > 0 {
+				idx, part, pdots = dIdx[e], dSum[e], dDots[e]
+			}
 			if len(idx) == 0 {
 				continue
 			}
@@ -407,16 +679,16 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 			if acc == nil {
 				acc = make([]float64, len(r.theta))
 			}
-			tensor.AXPY(1, r.parts[e], acc)
+			tensor.AXPY(1, part, acc)
 			for _, s := range idx {
 				rep = append(rep, r.order[s])
 			}
-			dots = append(dots, r.partDots[e]...)
+			dots = append(dots, pdots...)
 			nAgg += len(idx)
 			// The merge copied everything out; the partial's vectors go
 			// back to the pool for the next round's ingest.
-			tensor.PutVec(r.parts[e])
-			tensor.PutVec(r.partDots[e])
+			tensor.PutVec(part)
+			tensor.PutVec(pdots)
 			r.parts[e] = nil
 			r.partDots[e] = nil
 		}
@@ -487,6 +759,127 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 	return res, nil
 }
 
+// graftLocked reinstalls a replayed journal's open-round commits into a
+// freshly built round: the restarted coordinator resumes mid-round with
+// every acknowledged update already committed, so clients that saw an ack
+// never recompute and the closed round is bit-identical to an
+// uninterrupted one. The fold's state is a pure function of the committed
+// (slot, delta) set, so re-adding in ascending slot order reproduces it.
+// Callers hold mu.
+func (c *Coordinator) graftLocked(r *openRound, rec *walReplay, spec *hfl.RoundSpec) {
+	switch {
+	case r.parts != nil:
+		for e, p := range rec.partials {
+			if e < 0 || e >= len(r.parts) || r.partIdx[e] != nil {
+				continue
+			}
+			slots := make([]int, len(p.indices))
+			ok := true
+			for j, i := range p.indices {
+				k, active := r.slots[i]
+				if !active {
+					ok = false
+					break
+				}
+				slots[j] = k
+			}
+			if !ok {
+				continue
+			}
+			for _, k := range slots {
+				r.folded[k] = true
+			}
+			r.partIdx[e] = slots
+			if len(slots) > 0 {
+				r.parts[e] = p.sum
+				r.partDots[e] = p.dots
+			}
+			r.got += len(slots)
+		}
+		for i, delta := range rec.updates {
+			k, active := r.slots[i]
+			if !active || r.folded[k] {
+				continue
+			}
+			if r.direct == nil {
+				r.direct = make(map[int][]float64)
+				r.directDots = make(map[int]float64)
+			}
+			r.direct[k] = delta
+			r.directDots[k] = tensor.Dot(spec.ValGrad, delta)
+			r.folded[k] = true
+			r.got++
+		}
+	case r.fold != nil:
+		slots := make([]int, 0, len(rec.updates))
+		byIdx := make(map[int][]float64, len(rec.updates))
+		for i, delta := range rec.updates {
+			if k, active := r.slots[i]; active && !r.folded[k] {
+				slots = append(slots, k)
+				byIdx[k] = delta
+			}
+		}
+		sort.Ints(slots)
+		for _, k := range slots {
+			if err := r.fold.Add(k, byIdx[k]); err != nil {
+				// The journaled commits folded once already; a replay
+				// failure means the journal and the fold disagree on
+				// shape, which Recover's validation precludes.
+				continue
+			}
+			r.folded[k] = true
+			r.got++
+		}
+	default:
+		for i, delta := range rec.updates {
+			if k, active := r.slots[i]; active && r.deltas[k] == nil {
+				r.deltas[k] = delta
+				r.got++
+			}
+		}
+	}
+}
+
+// reconstructSegments groups an edge-mode round's direct submissions into
+// their dead edge's segment, rebuilding the partial the edge would have
+// folded: member deltas summed in ascending slot order from a zero
+// accumulator, dots in the same order — bit-identical to the edge's own
+// fold over the same reporters. Returns nil when no one failed over.
+// Callers hold mu.
+func (c *Coordinator) reconstructSegments(r *openRound) (idx [][]int, sum, dots [][]float64) {
+	if len(r.direct) == 0 {
+		return nil, nil, nil
+	}
+	width := c.EdgeWidth
+	if width <= 0 {
+		width = (c.N + c.Edges - 1) / c.Edges
+	}
+	ne := len(r.parts)
+	idx = make([][]int, ne)
+	sum = make([][]float64, ne)
+	dots = make([][]float64, ne)
+	slots := make([]int, 0, len(r.direct))
+	for k := range r.direct {
+		slots = append(slots, k)
+	}
+	sort.Ints(slots)
+	for _, k := range slots {
+		e := r.order[k] / width
+		if e >= ne {
+			e = ne - 1
+		}
+		if sum[e] == nil {
+			sum[e] = make([]float64, len(r.theta))
+		}
+		tensor.AXPY(1, r.direct[k], sum[e])
+		idx[e] = append(idx[e], k)
+		dots[e] = append(dots[e], r.directDots[k])
+		tensor.PutVec(r.direct[k])
+		delete(r.direct, k)
+	}
+	return idx, sum, dots
+}
+
 // Handler returns the coordinator's wire-protocol handler, mountable on
 // any http.Server (or httptest server). Safe to call before Run; requests
 // arriving before the run starts simply wait.
@@ -499,10 +892,18 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/aggregate", c.handleAggregate)
 	mux.HandleFunc("GET /v1/score", c.handleScore)
 	sink := c.Cfg.Runtime.Sink
-	if sink == nil {
-		return mux
-	}
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// Every response carries the coordinator incarnation, so a client
+		// detects a restart from any reply — not just a join.
+		c.mu.Lock()
+		c.initLocked()
+		inst := c.instance
+		c.mu.Unlock()
+		w.Header().Set(instanceHeader, strconv.Itoa(inst))
+		if sink == nil {
+			mux.ServeHTTP(w, req)
+			return
+		}
 		obs.Emit(sink, obs.Event{Kind: obs.KindNetRequest, N: 1})
 		cr := &countingReader{rc: req.Body}
 		req.Body = cr
@@ -555,7 +956,9 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
 	}
 	c.mu.Lock()
 	c.initLocked()
-	// Idempotent: a retried join (the first reply was lost) succeeds.
+	inst := c.instance
+	// Idempotent: a retried join (the first reply was lost) succeeds. Join
+	// never answers 503 recovering — re-joining is how recovery completes.
 	if !c.joined[jr.Index] {
 		c.joined[jr.Index] = true
 		c.nJoined++
@@ -579,7 +982,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, joinReply{
 		Protocol: Protocol, N: c.N, Epochs: c.Cfg.Epochs, LocalSteps: steps,
-		Codec: codec,
+		Codec: codec, Instance: inst,
 	})
 }
 
@@ -622,6 +1025,15 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 			writeJSON(w, http.StatusOK, roundReply{State: StateDone})
 			return
 		}
+		if c.recovering {
+			// The coordinator restarted and is replaying its journal; the
+			// join barrier must refill before any round republishes. The
+			// client re-joins and retries with backoff.
+			c.mu.Unlock()
+			writeCodedError(w, http.StatusServiceUnavailable, CodeRecovering,
+				"coordinator is recovering; re-join and retry")
+			return
+		}
 		// A round at or past the requested one serves the request: a
 		// participant that missed rounds must jump forward, never wait for
 		// a round that already closed.
@@ -662,15 +1074,46 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 			writeJSON(w, http.StatusOK, reply)
 			return
 		}
+		// Failover re-solicitation: a participant polling for round t
+		// whose round t-1 slot is still unfolded past the grace gets told
+		// to re-send its t-1 update directly to the root — its edge
+		// aggregator acknowledged the update and then died with it.
+		var graceTimer *time.Timer
+		var graceCh <-chan time.Time
+		if hasIdx && c.FailoverGrace > 0 {
+			if r := c.round; r != nil && !r.closed && r.parts != nil && r.t == t-1 {
+				if k, active := r.slots[pollIdx]; active && !r.folded[k] {
+					rem := time.Until(r.openedAt.Add(c.FailoverGrace))
+					if rem <= 0 {
+						c.mu.Unlock()
+						writeJSON(w, http.StatusOK, roundReply{State: StateOpen, T: r.t, Resubmit: true})
+						return
+					}
+					graceTimer = time.NewTimer(rem)
+					graceCh = graceTimer.C
+				}
+			}
+		}
 		ch := c.changed
 		c.mu.Unlock()
 		select {
 		case <-ch:
+		case <-graceCh:
+			// Re-evaluate: the slot may have folded in the meantime.
 		case <-timer.C:
+			if graceTimer != nil {
+				graceTimer.Stop()
+			}
 			writeJSON(w, http.StatusOK, roundReply{State: StatePending})
 			return
 		case <-req.Context().Done():
+			if graceTimer != nil {
+				graceTimer.Stop()
+			}
 			return
+		}
+		if graceTimer != nil {
+			graceTimer.Stop()
 		}
 	}
 }
@@ -725,6 +1168,14 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 	sink := c.Cfg.Runtime.Sink
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.recovering {
+		// Not stale — the round may still be open once recovery finishes.
+		// The client re-joins and retries; its committed update then gets
+		// the idempotent ack from the grafted slot.
+		writeCodedError(w, http.StatusServiceUnavailable, CodeRecovering,
+			"coordinator is recovering; re-join and retry")
+		return
+	}
 	r := c.round
 	if r == nil || r.t != t || r.closed {
 		// The round is gone — the participant straggled past the deadline
@@ -734,20 +1185,17 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 			"round %d is not open", t)
 		return
 	}
-	if r.parts != nil {
-		writeError(w, http.StatusBadRequest,
-			"round %d ingests edge partials (/v1/partial), not direct updates", t)
-		return
-	}
 	k, active := r.slots[index]
 	switch {
 	case !active:
 		writeJSON(w, http.StatusOK, updateReply{Reason: "not-active"})
 		return
-	case r.fold != nil && r.folded[k], r.fold == nil && r.deltas[k] != nil:
+	case r.streaming() && r.folded[k], !r.streaming() && r.deltas[k] != nil:
 		// Idempotent: a retried submission (the first ack was lost) is
 		// acknowledged without overwriting — and without re-decoding the
-		// duplicate payload.
+		// duplicate payload. On an edge-mode round this also covers a
+		// failover resubmission whose slot the edge's partial already
+		// folded: exactly-once either way.
 		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 		return
 	}
@@ -770,7 +1218,37 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: t, Part: index})
 		writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
 			"delta carries non-finite values")
+	case r.parts != nil:
+		// Edge-mode direct submission: the member's edge died, so it fell
+		// back to the root (transport failure, or the re-solicitation
+		// path). Journal, then commit into the round's direct set; the
+		// close-time merge reconstructs the dead edge's segment.
+		if err := c.journalUpdate(t, index, delta); err != nil {
+			tensor.PutVec(delta)
+			c.bcastLocked()
+			panic(http.ErrAbortHandler)
+		}
+		if r.direct == nil {
+			r.direct = make(map[int][]float64)
+			r.directDots = make(map[int]float64)
+		}
+		r.direct[k] = delta
+		r.directDots[k] = tensor.Dot(r.valGrad, delta)
+		r.folded[k] = true
+		r.got++
+		obs.Emit(sink, obs.Event{Kind: obs.KindEdgeFailover, T: t, Part: index})
+		c.bcastLocked()
+		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 	case r.fold != nil:
+		// Journal before the fold consumes the delta: an update the
+		// journal cannot replay must never be acknowledged, so a failed
+		// append drops the connection without a reply (the client retries
+		// against the aborting run and gets 503/stale, never a false ack).
+		if err := c.journalUpdate(t, index, delta); err != nil {
+			tensor.PutVec(delta)
+			c.bcastLocked()
+			panic(http.ErrAbortHandler)
+		}
 		if c.IngestScreen != nil {
 			norm, clipped := c.IngestScreen.ClipNow(delta)
 			r.norms = append(r.norms, norm)
@@ -801,6 +1279,11 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 	default:
 		// Buffered round: the epoch retains the delta (estimator, archive,
 		// screens), so it stays off the pool.
+		if err := c.journalUpdate(t, index, delta); err != nil {
+			tensor.PutVec(delta)
+			c.bcastLocked()
+			panic(http.ErrAbortHandler)
+		}
 		r.deltas[k] = delta
 		r.got++
 		c.bcastLocked()
@@ -861,6 +1344,11 @@ func (c *Coordinator) ingestPartial(w http.ResponseWriter, t, edge int, indices 
 	sink := c.Cfg.Runtime.Sink
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.recovering {
+		writeCodedError(w, http.StatusServiceUnavailable, CodeRecovering,
+			"coordinator is recovering; re-join and retry")
+		return
+	}
 	r := c.round
 	if r == nil || r.t != t || r.closed {
 		writeCodedError(w, http.StatusConflict, CodeStaleRound,
@@ -892,6 +1380,14 @@ func (c *Coordinator) ingestPartial(w http.ResponseWriter, t, edge int, indices 
 			return
 		}
 		if r.folded[k] {
+			if _, dir := r.direct[k]; dir {
+				// The member failed over and reported directly while the
+				// edge was presumed dead; the partial as a whole is
+				// superseded. Benign for a recovering edge.
+				writeCodedError(w, http.StatusConflict, CodeStaleRound,
+					"participant %d already reported directly to the root", i)
+				return
+			}
 			writeError(w, http.StatusBadRequest, "edge %d re-claims participant %d", edge, i)
 			return
 		}
@@ -927,6 +1423,11 @@ func (c *Coordinator) ingestPartial(w http.ResponseWriter, t, edge int, indices 
 		writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
 			"partial carries non-finite values")
 		return
+	}
+	if err := c.journalPartial(t, edge, indices, sum, dots); err != nil {
+		reject()
+		c.bcastLocked()
+		panic(http.ErrAbortHandler)
 	}
 	for _, k := range slots {
 		r.folded[k] = true
@@ -974,6 +1475,15 @@ func (c *Coordinator) handleAggregate(w http.ResponseWriter, req *http.Request) 
 			writeError(w, http.StatusNotFound, "round %d has no aggregate (run ended)", t)
 			return
 		}
+		if c.recovering {
+			// A recovered coordinator does not republish pre-crash
+			// aggregates (the next round's broadcast theta carries the
+			// model forward); waiting here would hang past recovery.
+			c.mu.Unlock()
+			writeCodedError(w, http.StatusServiceUnavailable, CodeRecovering,
+				"coordinator is recovering; re-join and retry")
+			return
+		}
 		ch := c.changed
 		c.mu.Unlock()
 		select {
@@ -993,6 +1503,12 @@ func (c *Coordinator) handleScore(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	c.mu.Lock()
+	if c.recovering {
+		c.mu.Unlock()
+		writeCodedError(w, http.StatusServiceUnavailable, CodeRecovering,
+			"coordinator is recovering; re-join and retry")
+		return
+	}
 	attr := c.Estimator.Attribution()
 	reply := scoreReply{Epochs: attr.Epochs, Totals: append([]float64(nil), attr.Totals...)}
 	if c.Quarantine != nil {

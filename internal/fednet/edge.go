@@ -540,6 +540,15 @@ func (e *EdgeAggregator) do(ctx context.Context, round int, build func() (*http.
 		}()
 		if err != nil {
 			if resp.StatusCode != http.StatusOK {
+				// A recovering root is transient: it answers again once its
+				// journal replay lands. The edge holds no join slot, so unlike
+				// the participant there is nothing to re-establish — retrying
+				// the identical request is the whole failover.
+				var we *WireError
+				if errors.As(err, &we) && we.Code == CodeRecovering {
+					lastErr = err
+					continue
+				}
 				return err
 			}
 			lastErr = err

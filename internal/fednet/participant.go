@@ -61,6 +61,12 @@ type Participant struct {
 	// Sink receives a KindNetRequest per attempted request and a KindRetry
 	// per retried one.
 	Sink obs.Sink
+
+	// lastInst is the last coordinator incarnation observed in a response
+	// header; a change means the coordinator restarted and this participant
+	// must re-join (the restarted join barrier forgot it). Run is
+	// single-goroutine, so no lock.
+	lastInst string
 }
 
 func (p *Participant) client() *http.Client {
@@ -83,10 +89,12 @@ func (p *Participant) backoff(attempt int) time.Duration {
 
 // do runs one request with injected-failure checks, retries, and backoff.
 // build must return a fresh request each attempt (bodies are single-use);
-// round identifies the request for the deterministic failure schedule.
-func (p *Participant) do(ctx context.Context, round int, build func() (*http.Request, error), out any) error {
+// round identifies the request for the deterministic failure schedule and
+// retries bounds the attempts beyond the first (normally p.Retries; capped
+// low for edge uplinks so a dead edge fails over quickly).
+func (p *Participant) do(ctx context.Context, round, retries int, build func() (*http.Request, error), out any) error {
 	var lastErr error
-	for attempt := 0; attempt <= p.Retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -112,6 +120,15 @@ func (p *Participant) do(ctx context.Context, round int, build func() (*http.Req
 			lastErr = err
 			continue
 		}
+		// A changed incarnation header means the coordinator restarted
+		// since our last exchange: re-claim our slot before whatever this
+		// response says (join is idempotent, so a spurious rejoin is free).
+		if inst := resp.Header.Get(instanceHeader); inst != "" && inst != p.lastInst {
+			if p.lastInst != "" && req.URL.Path != "/v1/join" {
+				p.rejoin(ctx)
+			}
+			p.lastInst = inst
+		}
 		err = func() error {
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
@@ -123,8 +140,18 @@ func (p *Participant) do(ctx context.Context, round int, build func() (*http.Req
 			return decodeReply(resp, out)
 		}()
 		if err != nil {
-			// Non-2xx is a protocol rejection, not a transport flake; the
-			// coordinator will refuse the retry identically.
+			var we *WireError
+			if errors.As(err, &we) && we.Code == CodeRecovering {
+				// The coordinator is replaying its journal after a
+				// restart. Re-join (its join barrier refilled from zero —
+				// recovery cannot finish until every participant does) and
+				// keep retrying with backoff.
+				p.rejoin(ctx)
+				lastErr = err
+				continue
+			}
+			// Any other non-2xx is a protocol rejection, not a transport
+			// flake; the coordinator will refuse the retry identically.
 			if resp.StatusCode != http.StatusOK {
 				return err
 			}
@@ -135,11 +162,42 @@ func (p *Participant) do(ctx context.Context, round int, build func() (*http.Req
 	}
 	// faults.ErrRetriesExhausted is the module-wide retry sentinel, shared
 	// with the secure protocol's round retries.
-	return fmt.Errorf("%w: %d attempts: %w", faults.ErrRetriesExhausted, p.Retries+1, lastErr)
+	return fmt.Errorf("%w: %d attempts: %w", faults.ErrRetriesExhausted, retries+1, lastErr)
+}
+
+// rejoin re-claims this participant's slot after a coordinator restart:
+// one plain attempt, failures ignored — the caller's retry loop lands back
+// here until recovery completes. Not routed through do (no nested retries,
+// and join must go out even while other requests are being refused).
+func (p *Participant) rejoin(ctx context.Context) {
+	jr := joinRequest{Protocol: Protocol, Index: p.Index}
+	if !p.LegacyJSON {
+		jr.Accept = []string{ProtocolV2}
+	}
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.BaseURL+"/v1/join", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", contentTypeJSON)
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if inst := resp.Header.Get(instanceHeader); inst != "" {
+			p.lastInst = inst
+		}
+		obs.Emit(p.Sink, obs.Event{Kind: obs.KindRejoin, Part: p.Index})
+	}
 }
 
 func (p *Participant) get(ctx context.Context, round int, path string, out any) error {
-	return p.do(ctx, round, func() (*http.Request, error) {
+	return p.do(ctx, round, p.Retries, func() (*http.Request, error) {
 		return http.NewRequest(http.MethodGet, p.BaseURL+path, nil)
 	}, out)
 }
@@ -149,13 +207,13 @@ func (p *Participant) post(ctx context.Context, round int, path string, in, out 
 	if err != nil {
 		return fmt.Errorf("fednet: encoding request: %w", err)
 	}
-	return p.postBytes(ctx, round, p.BaseURL, path, body, contentTypeJSON, out)
+	return p.postBytes(ctx, round, p.Retries, p.BaseURL, path, body, contentTypeJSON, out)
 }
 
 // postBytes submits a pre-encoded body: built once, re-sent verbatim on
 // every backoff attempt (bytes.NewReader is the only per-attempt cost).
-func (p *Participant) postBytes(ctx context.Context, round int, base, path string, body []byte, contentType string, out any) error {
-	return p.do(ctx, round, func() (*http.Request, error) {
+func (p *Participant) postBytes(ctx context.Context, round, retries int, base, path string, body []byte, contentType string, out any) error {
+	return p.do(ctx, round, retries, func() (*http.Request, error) {
 		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
@@ -194,6 +252,12 @@ func (p *Participant) Run(ctx context.Context) error {
 	}
 
 	next := 1
+	// In edge mode the last acknowledged update body is held until the
+	// next round is observed: if the edge dies with it, the root
+	// re-solicits it (roundReply.Resubmit) and the same bytes are re-sent
+	// directly — no recomputation, no re-encoding.
+	var heldBody []byte
+	heldT := 0
 	for {
 		var round roundReply
 		// Polling with ?i= lets the coordinator answer Excluded when this
@@ -211,6 +275,23 @@ func (p *Participant) Run(ctx context.Context) error {
 		default:
 			return fmt.Errorf("fednet: participant %d: unknown round state %q", p.Index, round.State)
 		}
+		if round.Resubmit && round.T == heldT && heldBody != nil {
+			// Our edge acknowledged round heldT's update and then died
+			// before folding its partial; re-send the held bytes straight
+			// to the root. Checked before the stale-skip: a Resubmit reply
+			// names the still-open previous round.
+			var ack updateReply
+			err := p.postBytes(ctx, heldT, p.Retries, p.BaseURL, "/v1/update", heldBody, codec.ContentType(), &ack)
+			if err != nil {
+				var we *WireError
+				if !errors.As(err, &we) || we.Code != CodeStaleRound {
+					return fmt.Errorf("fednet: participant %d resubmit %d: %w", p.Index, heldT, err)
+				}
+			} else {
+				obs.Emit(p.Sink, obs.Event{Kind: obs.KindEdgeFailover, T: heldT, Part: p.Index})
+			}
+			continue
+		}
 		if round.T < next {
 			continue // stale broadcast; re-poll
 		}
@@ -227,19 +308,40 @@ func (p *Participant) Run(ctx context.Context) error {
 		if p.Tamper != nil {
 			p.Tamper(round.T, delta)
 		}
-		upBase := p.BaseURL
+		upBase, retries := p.BaseURL, p.Retries
 		if p.UpdateURL != "" {
+			// Cap the edge uplink's attempts so a dead edge fails over to
+			// the root quickly instead of burning the full backoff budget.
 			upBase = p.UpdateURL
+			retries = min(2, p.Retries)
 		}
 		// Encode once through the negotiated codec; the retry loop re-sends
-		// the same bytes. The body buffer is recycled after the last attempt.
+		// the same bytes. The body buffer is recycled after the last attempt
+		// (edge mode holds it one round for a possible resubmission).
 		body, err := codec.EncodeUpdate(round.T, p.Index, delta)
 		if err != nil {
 			return fmt.Errorf("fednet: participant %d update %d: %w", p.Index, round.T, err)
 		}
 		var ack updateReply
-		err = p.postBytes(ctx, round.T, upBase, "/v1/update", body, codec.ContentType(), &ack)
-		tensor.PutBytes(body)
+		err = p.postBytes(ctx, round.T, retries, upBase, "/v1/update", body, codec.ContentType(), &ack)
+		if err != nil && upBase != p.BaseURL {
+			var we *WireError
+			if !errors.As(err, &we) {
+				// The edge is unreachable (transport failure, not a
+				// protocol rejection): fall back to submitting directly
+				// to the root, which accepts the orphaned member.
+				obs.Emit(p.Sink, obs.Event{Kind: obs.KindEdgeFailover, T: round.T, Part: p.Index})
+				err = p.postBytes(ctx, round.T, p.Retries, p.BaseURL, "/v1/update", body, codec.ContentType(), &ack)
+			}
+		}
+		if err == nil && p.UpdateURL != "" {
+			if heldBody != nil {
+				tensor.PutBytes(heldBody)
+			}
+			heldBody, heldT = body, round.T
+		} else {
+			tensor.PutBytes(body)
+		}
 		if err != nil {
 			// A stale-round rejection means we straggled past the deadline
 			// and the epoch proceeded with the survivors — the protocol

@@ -1,0 +1,388 @@
+package fednet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"digfl/internal/core"
+	"digfl/internal/hfl"
+)
+
+// walFront is the test's stand-in for a process boundary: a swappable inner
+// handler behind one address, a down flag, and an incarnation counter.
+// While down — and for any in-flight handler of an older incarnation —
+// every write aborts its connection, so a killed coordinator's half-written
+// replies can never reach a participant, exactly as if the process died.
+type walFront struct {
+	mu    sync.RWMutex
+	inner http.Handler
+	gen   int
+	down  bool
+}
+
+func (f *walFront) install(h http.Handler) {
+	f.mu.Lock()
+	f.inner = h
+	f.gen++
+	f.down = false
+	f.mu.Unlock()
+}
+
+func (f *walFront) kill() {
+	f.mu.Lock()
+	f.down = true
+	f.mu.Unlock()
+}
+
+func (f *walFront) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	f.mu.RLock()
+	inner, gen, down := f.inner, f.gen, f.down
+	f.mu.RUnlock()
+	if down || inner == nil {
+		panic(http.ErrAbortHandler)
+	}
+	inner.ServeHTTP(&walFencedWriter{front: f, gen: gen, w: w}, req)
+}
+
+type walFencedWriter struct {
+	front *walFront
+	gen   int
+	w     http.ResponseWriter
+}
+
+func (fw *walFencedWriter) check() {
+	fw.front.mu.RLock()
+	ok := !fw.front.down && fw.front.gen == fw.gen
+	fw.front.mu.RUnlock()
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (fw *walFencedWriter) Header() http.Header { return fw.w.Header() }
+
+func (fw *walFencedWriter) WriteHeader(code int) {
+	fw.check()
+	fw.w.WriteHeader(code)
+}
+
+func (fw *walFencedWriter) Write(p []byte) (int, error) {
+	fw.check()
+	return fw.w.Write(p)
+}
+
+// tearAtBinary journals cleanly until the target-th binary (update-frame)
+// record, which it tears in half — the canonical mid-write crash artifact —
+// before taking the front down and failing the append.
+type tearAtBinary struct {
+	mu     sync.Mutex
+	buf    *bytes.Buffer
+	left   int
+	onTear func()
+}
+
+func (w *tearAtBinary) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.left > 0 && len(p) > walHdrLen && p[walHdrLen] != '{' {
+		w.left--
+		if w.left == 0 {
+			n, _ := w.buf.Write(p[:len(p)/2])
+			w.onTear()
+			return n, errors.New("wal test: injected crash")
+		}
+	}
+	return w.buf.Write(p)
+}
+
+// TestStreamedWALMidRoundRecovery kills a journaled fold-mode coordinator
+// in the middle of round 2 — after some updates were folded on arrival and
+// their raw deltas exist only in the journal — and recovers it. The graft
+// must re-fold the committed updates in slot order, so the finished run is
+// bit-identical to the uninterrupted in-process streamed trainer. This is
+// the one recovery path the buffered chaos harness cannot reach: a fold
+// releases each delta immediately, so only the journal can rebuild the
+// partial round.
+func TestStreamedWALMidRoundRecovery(t *testing.T) {
+	const seed = 5
+	want, wantAttr := localStreamRun(t, seed, testN, 0, nil)
+
+	model, parts, val := problemN(seed, testN)
+	journal := &bytes.Buffer{}
+	front := &walFront{}
+	// Round 1 journals testN update frames; tearing the second frame of
+	// round 2 leaves a round with some committed updates and some missing.
+	writer := &tearAtBinary{buf: journal, left: testN + 2, onTear: front.kill}
+
+	newCoord := func() (*Coordinator, *core.HFLEstimator) {
+		est := core.NewHFLEstimator(testN, model.NumParams(), core.ResourceSaving, nil)
+		c := &Coordinator{
+			N: testN, Model: model, Val: val, Cfg: testConfig(),
+			Estimator: est,
+			Stream:    hfl.MeanStream{},
+			Journal:   writer,
+		}
+		return c, est
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listener: %v", err)
+	}
+	srv := &http.Server{Handler: front}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	coord, est := newCoord()
+	front.install(coord.Handler())
+
+	ctx := context.Background()
+	perrs := make([]error, testN)
+	var wg sync.WaitGroup
+	for i := 0; i < testN; i++ {
+		p := &Participant{
+			Index: i, Model: model, Data: parts[i],
+			BaseURL: "http://" + ln.Addr().String(),
+			Retries: 400, Base: time.Millisecond, Cap: 20 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func(i int, p *Participant) { defer wg.Done(); perrs[i] = p.Run(ctx) }(i, p)
+	}
+
+	restarts := 0
+	var res *hfl.Result
+	for {
+		res, err = coord.Run(ctx)
+		if err == nil {
+			break
+		}
+		restarts++
+		if restarts > 2 {
+			t.Fatalf("coordinator incarnation %d: %v", restarts, err)
+		}
+		coord, est = newCoord()
+		consumed, rerr := coord.Recover(bytes.NewReader(journal.Bytes()))
+		if rerr != nil {
+			t.Fatalf("recovery %d: %v", restarts, rerr)
+		}
+		journal.Truncate(int(consumed))
+		front.install(coord.Handler())
+	}
+	wg.Wait()
+	for i, perr := range perrs {
+		if perr != nil {
+			t.Fatalf("participant %d: %v", i, perr)
+		}
+	}
+	if restarts != 1 {
+		t.Errorf("expected exactly one injected crash, saw %d restarts", restarts)
+	}
+	checkSameRun(t, "streamed crash-recovery vs in-process", res, want, est.Attribution(), wantAttr)
+}
+
+// buildTestJournal assembles a minimal valid journal — run_open, an
+// epoch_open for round 1, and one committed binary update frame — and
+// returns it with the byte offset where the final record starts.
+func buildTestJournal(tb testing.TB) (journal []byte, lastRecOff int, delta []float64) {
+	tb.Helper()
+	var buf bytes.Buffer
+	wl := newWAL(&buf, nil)
+	if err := wl.appendJSON(walRecord{Kind: walKindRunOpen, Protocol: WALProtocol,
+		Instance: 1, N: 3, Epochs: 2, Params: 4}); err != nil {
+		tb.Fatalf("run_open: %v", err)
+	}
+	if err := wl.appendJSON(walRecord{Kind: walKindEpochOpen, T: 1}); err != nil {
+		tb.Fatalf("epoch_open: %v", err)
+	}
+	lastRecOff = buf.Len()
+	delta = []float64{0.25, -1, 2, 0.5}
+	frame, err := CodecV2.EncodeUpdate(1, 0, delta)
+	if err != nil {
+		tb.Fatalf("encoding update: %v", err)
+	}
+	if err := wl.Append(frame); err != nil {
+		tb.Fatalf("appending update: %v", err)
+	}
+	return buf.Bytes(), lastRecOff, delta
+}
+
+// TestWALTornTail pins the replay contract: a journal whose final record is
+// torn at any byte — the artifact of a crash mid-Write — replays cleanly up
+// to the tear and reports the clean-prefix length, while a corrupted
+// interior byte (payload or checksum) fails the whole replay.
+func TestWALTornTail(t *testing.T) {
+	journal, lastRecOff, delta := buildTestJournal(t)
+
+	rep, err := replayWAL(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatalf("intact journal: %v", err)
+	}
+	if rep.consumed != int64(len(journal)) || rep.records != 3 {
+		t.Errorf("intact journal: consumed %d bytes, %d records; want %d, 3", rep.consumed, rep.records, len(journal))
+	}
+	if rep.openT != 1 || !sameVec(rep.updates[0], delta) {
+		t.Errorf("intact journal: open round %d, update %v; want 1, %v", rep.openT, rep.updates[0], delta)
+	}
+
+	// Every possible tear point inside the final record — mid-header and
+	// mid-payload — must replay as the two-record clean prefix.
+	for cut := lastRecOff; cut < len(journal); cut++ {
+		rep, err := replayWAL(bytes.NewReader(journal[:cut]))
+		if err != nil {
+			t.Fatalf("tear at byte %d: %v", cut, err)
+		}
+		if rep.consumed != int64(lastRecOff) || rep.records != 2 {
+			t.Errorf("tear at byte %d: consumed %d bytes, %d records; want %d, 2",
+				cut, rep.consumed, rep.records, lastRecOff)
+		}
+		if len(rep.updates) != 0 {
+			t.Errorf("tear at byte %d: torn update replayed", cut)
+		}
+	}
+
+	// Corruption on an interior record is not a crash artifact: flipping a
+	// payload byte (CRC mismatch) or a stored-checksum byte must fail.
+	for _, off := range []int{4, walHdrLen} {
+		bad := bytes.Clone(journal)
+		bad[off] ^= 0x40
+		if _, err := replayWAL(bytes.NewReader(bad)); err == nil {
+			t.Errorf("flipped byte %d: replay accepted a corrupt journal", off)
+		}
+	}
+}
+
+// TestRecoveringRetryAfterRecover pins the rejoin protocol's server side: a
+// freshly recovered coordinator answers round polls with 503/"recovering"
+// until its population re-joins, then runs to a bit-identical finish — and
+// the barrier leaks no goroutines.
+func TestRecoveringRetryAfterRecover(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const seed = 7
+	want, wantAttr := localRun(t, seed, testConfig())
+	model, parts, val := problemN(seed, testN)
+
+	// A journal holding only the first incarnation's run_open: the crash
+	// landed before any round opened, so recovery restarts from scratch
+	// but must still hold the rejoin barrier.
+	journal := &bytes.Buffer{}
+	wl := newWAL(journal, nil)
+	if err := wl.appendJSON(walRecord{Kind: walKindRunOpen, Protocol: WALProtocol,
+		Instance: 1, N: testN, Epochs: testEpochs, Params: model.NumParams()}); err != nil {
+		t.Fatalf("run_open: %v", err)
+	}
+
+	est := core.NewHFLEstimator(testN, model.NumParams(), core.ResourceSaving, nil)
+	coord := &Coordinator{
+		N: testN, Model: model, Val: val, Cfg: testConfig(),
+		Estimator: est, Journal: journal,
+	}
+	consumed, err := coord.Recover(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if consumed != int64(journal.Len()) {
+		t.Fatalf("recover consumed %d of %d journal bytes", consumed, journal.Len())
+	}
+
+	srv := httptest.NewServer(coord.Handler())
+
+	// A dedicated transport keeps this test's keep-alive connections out
+	// of the process-wide pool, so the goroutine accounting below sees
+	// only its own clients.
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+
+	// Before any participant re-joins, a round poll must be refused with
+	// the machine-readable recovering code — the client's cue to re-join
+	// rather than give up.
+	resp, err := client.Get(srv.URL + "/v1/round?t=1&i=0")
+	if err != nil {
+		t.Fatalf("round poll: %v", err)
+	}
+	var reply struct {
+		Code string `json:"code"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&reply)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding 503 body: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || reply.Code != CodeRecovering {
+		t.Fatalf("pre-rejoin round poll: status %d code %q; want %d %q",
+			resp.StatusCode, reply.Code, http.StatusServiceUnavailable, CodeRecovering)
+	}
+
+	// The population (re-)joins and the run must complete exactly as if
+	// the coordinator had never crashed.
+	ctx := context.Background()
+	perrs := make([]error, testN)
+	var wg sync.WaitGroup
+	for i := 0; i < testN; i++ {
+		p := &Participant{
+			Index: i, Model: model, Data: parts[i], BaseURL: srv.URL,
+			Client:  client,
+			Retries: 100, Base: time.Millisecond, Cap: 20 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func(i int, p *Participant) { defer wg.Done(); perrs[i] = p.Run(ctx) }(i, p)
+	}
+	res, err := coord.Run(ctx)
+	if err != nil {
+		t.Fatalf("recovered run: %v", err)
+	}
+	wg.Wait()
+	for i, perr := range perrs {
+		if perr != nil {
+			t.Fatalf("participant %d: %v", i, perr)
+		}
+	}
+	checkSameRun(t, "recovered-from-run_open vs local", res, want, est.Attribution(), wantAttr)
+
+	// No handler, long-poll, or connection goroutine may outlive the run:
+	// flush the keep-alive pool, stop the server, and require the count
+	// to drain back to the baseline.
+	tr.CloseIdleConnections()
+	srv.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the journal decoder: whatever the
+// framing, lengths, checksums, or payload contents, replay must either
+// succeed or fail with an error — never panic — because a recovery reads
+// whatever the dying process left on disk.
+func FuzzWALReplay(f *testing.F) {
+	journal, lastRecOff, _ := buildTestJournal(f)
+	f.Add(journal)
+	f.Add(journal[:lastRecOff])
+	for _, cut := range []int{0, 1, walHdrLen - 1, walHdrLen, lastRecOff + 3, len(journal) - 1} {
+		f.Add(journal[:cut])
+	}
+	corrupt := bytes.Clone(journal)
+	corrupt[walHdrLen] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := replayWAL(bytes.NewReader(data))
+		if err == nil && rep == nil {
+			t.Fatal("replayWAL returned neither state nor error")
+		}
+	})
+}

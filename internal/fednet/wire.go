@@ -70,6 +70,12 @@ type joinReply struct {
 	// its uploads — the coordinator's pick from the request's Accept list.
 	// Empty (an old coordinator) means v1 JSON.
 	Codec string `json:"codec,omitempty"`
+	// Instance is the coordinator incarnation number (1 for a fresh run,
+	// +1 per crash recovery). A participant that sees the incarnation
+	// change — here or in the X-Digfl-Instance response header — re-joins
+	// before continuing, because a restarted coordinator forgot its join
+	// barrier. Additive: old coordinators send 0.
+	Instance int `json:"instance,omitempty"`
 }
 
 // roundReply is the /v1/round long-poll response: the open round's
@@ -91,8 +97,14 @@ type roundReply struct {
 	// ValGrad is ∇loss^v(θ_{T-1}), served only when the poll asked for it
 	// (?vg=1) on a streaming round — edge sub-aggregators need it to
 	// compute the per-update validation dot products the estimator consumes
-	// after the raw deltas are released. Additive.
+	// after the poll's round. Additive.
 	ValGrad jsonf.Vec `json:"val_grad,omitempty"`
+	// Resubmit asks a participant polling for round T+1 to re-send its
+	// round-T update directly to the root: its edge aggregator died before
+	// folding the cohort partial, so the root never saw the update the
+	// edge acknowledged. Served only on ?i= polls whose slot is unfolded
+	// after the failover grace expires. Additive.
+	Resubmit bool `json:"resubmit,omitempty"`
 
 	// binary records, client-side only, that this reply arrived as a
 	// digfl-fednet/2 frame — the signal an edge uses to pick its uplink
@@ -203,7 +215,16 @@ const (
 	// malformed — truncated, oversized, wrong magic, or a byte length that
 	// contradicts the header. Fatal for the client.
 	CodeBadFrame = "bad_frame"
+	// CodeRecovering (503) tells a client the coordinator is replaying its
+	// write-ahead log after a restart and is not yet serving rounds.
+	// Retryable: the client re-joins (the restarted coordinator forgot its
+	// join barrier) and retries with backoff until recovery completes.
+	CodeRecovering = "recovering"
 )
+
+// instanceHeader carries the coordinator incarnation number on every
+// response, so clients detect a restart from any reply — not just a join.
+const instanceHeader = "X-Digfl-Instance"
 
 // WireError is a typed protocol rejection (any non-2xx reply). The
 // participant surfaces it unretried: the coordinator would refuse the

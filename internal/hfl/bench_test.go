@@ -6,13 +6,14 @@ import (
 
 	"digfl/internal/dataset"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/tensor"
 )
 
 // benchTrainer builds a moderately heavy local-update workload: multi-step
 // local training on an MLP, where per-participant gradient computation
 // dominates the round and the bounded pool can actually help.
-func benchTrainer(parallel bool, workers int) *Trainer {
+func benchTrainer(workers int) *Trainer {
 	rng := tensor.NewRNG(91)
 	full := dataset.MNISTLike(1600, 91)
 	train, val := full.Split(0.1, rng)
@@ -22,7 +23,7 @@ func benchTrainer(parallel bool, workers int) *Trainer {
 		Val:   val,
 		Cfg: Config{
 			Epochs: 2, LR: 0.1, LocalSteps: 4,
-			Parallel: parallel, Workers: workers,
+			Runtime: obs.Runtime{Workers: workers},
 		},
 	}
 }
@@ -33,18 +34,17 @@ func benchTrainer(parallel bool, workers int) *Trainer {
 // run, so a determinism regression fails the benchmark rather than skewing
 // it.
 func BenchmarkLocalUpdates(b *testing.B) {
-	serial := benchTrainer(false, 0).Run().Model.Params()
+	serial := benchTrainer(0).Run().Model.Params()
 	for _, cfg := range []struct {
-		name     string
-		parallel bool
-		workers  int
+		name    string
+		workers int
 	}{
-		{"serial", false, 0},
-		{"parallel2", true, 2},
-		{"parallel8", true, 8},
+		{"serial", 0},
+		{"parallel2", 2},
+		{"parallel8", 8},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			got := benchTrainer(cfg.parallel, cfg.workers).Run().Model.Params()
+			got := benchTrainer(cfg.workers).Run().Model.Params()
 			for i := range serial {
 				if got[i] != serial[i] {
 					b.Fatalf("%s diverged from serial at param %d", cfg.name, i)
@@ -52,7 +52,7 @@ func BenchmarkLocalUpdates(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				benchTrainer(cfg.parallel, cfg.workers).Run()
+				benchTrainer(cfg.workers).Run()
 			}
 		})
 	}
@@ -71,7 +71,7 @@ func BenchmarkLocalUpdatesScaling(b *testing.B) {
 				Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
 				Parts: dataset.PartitionIID(train, n, rng),
 				Val:   val,
-				Cfg:   Config{Epochs: 1, LR: 0.1, LocalSteps: 2, Parallel: true, Workers: 8},
+				Cfg:   Config{Epochs: 1, LR: 0.1, LocalSteps: 2, Runtime: obs.Runtime{Workers: 8}},
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -56,29 +56,16 @@ type Config struct {
 	// KeepLog retains the per-epoch training log in the result. Retraining
 	// sweeps (actual Shapley) disable it to save memory.
 	KeepLog bool
-	// Runtime is the unified worker-budget-plus-observability surface. A
-	// non-zero Runtime.Workers wins over the deprecated Parallel/Workers
-	// pair below (1 forces serial, > 1 sets the bounded-pool size,
-	// negative selects GOMAXPROCS); Runtime.Sink receives EpochStart/End,
-	// LocalUpdate, Aggregate and PoolTask events. Local updates run
-	// concurrently on the shared bounded pool (internal/parallel) with
-	// fan-out fixed at production participant counts; results are
-	// bit-identical to the serial path because each participant writes
-	// only its own δ slot and aggregation order is fixed.
+	// Runtime is the unified worker-budget-plus-observability surface.
+	// Runtime.Workers sizes the local-update pool (0 selects serial, 1
+	// forces serial, > 1 sets the bounded-pool size, negative selects
+	// GOMAXPROCS); Runtime.Sink receives EpochStart/End, LocalUpdate,
+	// Aggregate and PoolTask events. Local updates run concurrently on
+	// the shared bounded pool (internal/parallel) with fan-out fixed at
+	// production participant counts; results are bit-identical to the
+	// serial path because each participant writes only its own δ slot and
+	// aggregation order is fixed.
 	Runtime obs.Runtime
-	// Parallel computes the participants' local updates concurrently.
-	//
-	// Deprecated: set Runtime.Workers instead (negative for GOMAXPROCS).
-	// Ignored whenever Runtime.Workers is non-zero. Marked for removal in
-	// the next API revision.
-	Parallel bool
-	// Workers caps the worker pool when Parallel is set; 0 or negative
-	// selects GOMAXPROCS.
-	//
-	// Deprecated: set Runtime.Workers instead. Ignored whenever
-	// Runtime.Workers is non-zero. Marked for removal in the next API
-	// revision.
-	Workers int
 	// Faults optionally injects deterministic faults (per-epoch dropout,
 	// straggler delay, crash-at-epoch). Nil — or an injector whose
 	// schedule happens to fire nothing — leaves every output bit-identical
@@ -148,17 +135,9 @@ func (ck *Checkpoint) validate(p, epochs int) error {
 }
 
 // workers resolves the effective local-update pool size through the
-// unified obs.Runtime.Resolve rule: Runtime.Workers wins when non-zero,
-// then the deprecated Parallel/Workers pair, then serial.
+// unified obs.Runtime.Resolve rule: zero selects serial.
 func (c Config) workers() int {
-	legacy := 0
-	if c.Parallel {
-		legacy = c.Workers
-		if legacy <= 0 {
-			legacy = -1 // historical Parallel default: GOMAXPROCS
-		}
-	}
-	return c.Runtime.Resolve(legacy)
+	return c.Runtime.Resolve(0)
 }
 
 func (c Config) localSteps() int {

@@ -90,8 +90,8 @@ func TestEpochEndCarriesLoss(t *testing.T) {
 	}
 }
 
-// Runtime.Workers must win over the deprecated Parallel/Workers pair, with 0
-// deferring to them — observable through the pool events' worker counts.
+// Runtime.Workers alone sizes the pool: 0 keeps the serial path, explicit
+// budgets bound it — observable through the pool events' worker counts.
 func TestRuntimeWorkersPrecedence(t *testing.T) {
 	maxWorkers := func(cfg Config) int64 {
 		c := &obs.Collector{}
@@ -104,11 +104,9 @@ func TestRuntimeWorkersPrecedence(t *testing.T) {
 		cfg  Config
 		want int64
 	}{
-		{"legacy serial default", Config{Epochs: 2, LR: 0.3}, 1},
-		{"legacy parallel", Config{Epochs: 2, LR: 0.3, Parallel: true, Workers: 2}, 2},
-		{"runtime wins over legacy", Config{Epochs: 2, LR: 0.3, Parallel: true, Workers: 4,
-			Runtime: obs.Runtime{Workers: 1}}, 1},
-		{"runtime alone", Config{Epochs: 2, LR: 0.3, Runtime: obs.Runtime{Workers: 3}}, 3},
+		{"serial default", Config{Epochs: 2, LR: 0.3}, 1},
+		{"forced serial", Config{Epochs: 2, LR: 0.3, Runtime: obs.Runtime{Workers: 1}}, 1},
+		{"bounded pool", Config{Epochs: 2, LR: 0.3, Runtime: obs.Runtime{Workers: 3}}, 3},
 	}
 	for _, tc := range cases {
 		if got := maxWorkers(tc.cfg); got != tc.want {

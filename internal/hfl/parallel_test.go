@@ -5,6 +5,7 @@ import (
 
 	"digfl/internal/dataset"
 	"digfl/internal/nn"
+	"digfl/internal/obs"
 	"digfl/internal/tensor"
 )
 
@@ -17,18 +18,19 @@ func TestParallelRunMatchesSerial(t *testing.T) {
 	train, val := full.Split(0.2, rng)
 	parts := dataset.PartitionIID(train, 6, rng)
 	for _, steps := range []int{1, 3} {
-		run := func(parallel bool, workers int) []float64 {
+		run := func(workers int) []float64 {
 			tr := &Trainer{
 				Model: nn.NewSoftmaxRegression(train.Dim(), train.Classes),
 				Parts: parts,
 				Val:   val,
-				Cfg:   Config{Epochs: 5, LR: 0.3, LocalSteps: steps, Parallel: parallel, Workers: workers},
+				Cfg: Config{Epochs: 5, LR: 0.3, LocalSteps: steps,
+					Runtime: obs.Runtime{Workers: workers}},
 			}
 			return tr.Run().Model.Params()
 		}
-		serial := run(false, 0)
-		for _, workers := range []int{0, 1, 2, 8} {
-			parallel := run(true, workers)
+		serial := run(0)
+		for _, workers := range []int{-1, 1, 2, 8} {
+			parallel := run(workers)
 			for i := range serial {
 				if serial[i] != parallel[i] {
 					t.Fatalf("steps=%d workers=%d: parallel run diverged at param %d", steps, workers, i)

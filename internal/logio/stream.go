@@ -42,6 +42,26 @@ func NewHFLWriter(w io.Writer, params, parties int) (*HFLWriter, error) {
 	return sw, nil
 }
 
+// ResumeHFLWriter continues a streaming HFL archive that already holds its
+// header line and the first epochs epoch records — the recovered
+// coordinator's path: its write-ahead-log replay reports how many epochs
+// the archive already holds, and writing resumes at epochs+1 without
+// emitting a second header. Output across the original and resumed writers
+// is byte-identical to one uninterrupted HFLWriter.
+func ResumeHFLWriter(w io.Writer, params, parties, epochs int) (*HFLWriter, error) {
+	if params <= 0 || parties <= 0 {
+		return nil, fmt.Errorf("logio: invalid stream shape params=%d parties=%d", params, parties)
+	}
+	if epochs < 0 {
+		return nil, fmt.Errorf("logio: negative resume epoch count %d", epochs)
+	}
+	return &HFLWriter{
+		enc:    json.NewEncoder(w),
+		shape:  header{Format: formatHFL, Version: version, Params: params, Parties: parties},
+		epochs: epochs,
+	}, nil
+}
+
 // WriteEpoch appends one epoch record. Epochs must arrive in order starting
 // at 1, matching the shape declared at construction.
 func (sw *HFLWriter) WriteEpoch(ep *hfl.Epoch) error {

@@ -114,6 +114,21 @@ const (
 	// KindCodecV2Frame counts a bulk payload carried in the digfl-fednet/2
 	// binary encoding.
 	KindCodecV2Frame
+	// KindWALAppend counts one record appended to the coordinator's
+	// write-ahead journal; N is the record's size in bytes (header
+	// included), so the counter sums to the run's bytes journaled.
+	KindWALAppend
+	// KindRecover marks a restarted coordinator finishing WAL replay; T is
+	// the epoch the recovered run resumes in and N the number of journal
+	// records replayed.
+	KindRecover
+	// KindRejoin marks participant Part re-joining a restarted coordinator
+	// after a 503 recovering reply or an instance-token change.
+	KindRejoin
+	// KindEdgeFailover marks participant Part falling back to submitting
+	// its round-T update directly to the root after its edge aggregator
+	// died mid-round.
+	KindEdgeFailover
 
 	numKinds
 )
@@ -148,6 +163,10 @@ var kindNames = [numKinds]string{
 	KindNetBytesTx:       "net_bytes_tx",
 	KindCodecV1Frame:     "codec_v1_frame",
 	KindCodecV2Frame:     "codec_v2_frame",
+	KindWALAppend:        "wal_append",
+	KindRecover:          "recover",
+	KindRejoin:           "rejoin",
+	KindEdgeFailover:     "edge_failover",
 }
 
 func (k Kind) String() string {

@@ -248,6 +248,8 @@ func TestKindString(t *testing.T) {
 		KindSample:     "sample",
 		KindNetBytesRx: "net_bytes_rx", KindNetBytesTx: "net_bytes_tx",
 		KindCodecV1Frame: "codec_v1_frame", KindCodecV2Frame: "codec_v2_frame",
+		KindWALAppend: "wal_append", KindRecover: "recover",
+		KindRejoin: "rejoin", KindEdgeFailover: "edge_failover",
 	}
 	got := map[Kind]string{}
 	for k := Kind(0); k < numKinds; k++ {

@@ -48,8 +48,15 @@ type Snapshot struct {
 	// run's bytes-on-wire. CodecV1Frames and CodecV2Frames count bulk
 	// payloads (updates, partials, round broadcasts) carried in the JSON and
 	// binary encodings respectively.
-	NetBytesRx, NetBytesTx         int64
-	CodecV1Frames, CodecV2Frames   int64
+	NetBytesRx, NetBytesTx       int64
+	CodecV1Frames, CodecV2Frames int64
+	// WALAppends and WALBytes count coordinator journal records and their
+	// total size; Recoveries, Rejoins and EdgeFailovers count crash-safety
+	// events: coordinator WAL replays, participant re-joins after a
+	// coordinator restart, and member fallbacks to the root after an edge
+	// died mid-round.
+	WALAppends, WALBytes               int64
+	Recoveries, Rejoins, EdgeFailovers int64
 	// AttacksInjected, UpdatesRejected, UpdatesClipped and Quarantines
 	// count adversarial-robustness events: simulated update corruptions,
 	// updates dropped by screening or wire validation, updates norm-clipped
@@ -93,6 +100,10 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" wire[rx=%dB tx=%dB v1=%d v2=%d]",
 			s.NetBytesRx, s.NetBytesTx, s.CodecV1Frames, s.CodecV2Frames)
 	}
+	if s.WALAppends+s.Recoveries+s.Rejoins+s.EdgeFailovers > 0 {
+		out += fmt.Sprintf(" crash[wal=%d (%dB) recover=%d rejoin=%d failover=%d]",
+			s.WALAppends, s.WALBytes, s.Recoveries, s.Rejoins, s.EdgeFailovers)
+	}
 	if s.AttacksInjected+s.UpdatesRejected+s.UpdatesClipped+s.Quarantines > 0 {
 		out += fmt.Sprintf(" adv[attacks=%d rejected=%d clipped=%d quarantined=%d]",
 			s.AttacksInjected, s.UpdatesRejected, s.UpdatesClipped, s.Quarantines)
@@ -116,6 +127,8 @@ type Collector struct {
 	updatesClipped, quarantines                             atomic.Int64
 	netBytesRx, netBytesTx                                  atomic.Int64
 	codecV1Frames, codecV2Frames                            atomic.Int64
+	walAppends, walBytes                                    atomic.Int64
+	recoveries, rejoins, edgeFailovers                      atomic.Int64
 }
 
 // Emit implements Sink.
@@ -189,6 +202,15 @@ func (c *Collector) Emit(e Event) {
 		c.codecV1Frames.Add(e.N)
 	case KindCodecV2Frame:
 		c.codecV2Frames.Add(e.N)
+	case KindWALAppend:
+		c.walAppends.Add(1)
+		c.walBytes.Add(e.N)
+	case KindRecover:
+		c.recoveries.Add(1)
+	case KindRejoin:
+		c.rejoins.Add(1)
+	case KindEdgeFailover:
+		c.edgeFailovers.Add(1)
 	}
 }
 
@@ -222,6 +244,11 @@ func (c *Collector) Snapshot() Snapshot {
 		NetBytesTx:       c.netBytesTx.Load(),
 		CodecV1Frames:    c.codecV1Frames.Load(),
 		CodecV2Frames:    c.codecV2Frames.Load(),
+		WALAppends:       c.walAppends.Load(),
+		WALBytes:         c.walBytes.Load(),
+		Recoveries:       c.recoveries.Load(),
+		Rejoins:          c.rejoins.Load(),
+		EdgeFailovers:    c.edgeFailovers.Load(),
 		AttacksInjected:  c.attacksInjected.Load(),
 		UpdatesRejected:  c.updatesRejected.Load(),
 		UpdatesClipped:   c.updatesClipped.Load(),

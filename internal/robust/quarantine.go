@@ -205,6 +205,59 @@ func (q *Quarantine) Weights(ep *hfl.Epoch) []float64 {
 	return w
 }
 
+// QuarantineState is the serializable state of a Quarantine policy —
+// everything needed to continue the EWMA/streak bookkeeping after a crash
+// so the resumed ban sequence is bit-identical to an uninterrupted run.
+// The networked coordinator journals it in its write-ahead log. All slices
+// share one length (the highest participant index seen so far plus one).
+type QuarantineState struct {
+	// Ewma is each participant's rectified contribution EWMA.
+	Ewma []float64
+	// Seen marks participants whose EWMA has been initialized.
+	Seen []bool
+	// Streak counts consecutive non-positive epochs per participant.
+	Streak []int
+	// Banned marks quarantined participants.
+	Banned []bool
+}
+
+// State snapshots the policy for checkpointing. The snapshot is a deep
+// copy: later epochs do not mutate it.
+func (q *Quarantine) State() *QuarantineState {
+	s := &QuarantineState{
+		Ewma:   append([]float64(nil), q.ewma...),
+		Seen:   append([]bool(nil), q.seen...),
+		Streak: append([]int(nil), q.streak...),
+		Banned: append([]bool(nil), q.banned...),
+	}
+	return s
+}
+
+// SetState reinstalls a snapshot captured by State; subsequent epochs
+// continue the EWMA recursion and ban streaks bit-identically to a policy
+// that never stopped.
+func (q *Quarantine) SetState(s *QuarantineState) error {
+	if s == nil {
+		return fmt.Errorf("robust: nil quarantine state")
+	}
+	n := len(s.Ewma)
+	if len(s.Seen) != n || len(s.Streak) != n || len(s.Banned) != n {
+		return fmt.Errorf("robust: quarantine state slices disagree on length (%d/%d/%d/%d)",
+			len(s.Ewma), len(s.Seen), len(s.Streak), len(s.Banned))
+	}
+	q.ewma = append([]float64(nil), s.Ewma...)
+	q.seen = append([]bool(nil), s.Seen...)
+	q.streak = append([]int(nil), s.Streak...)
+	q.banned = append([]bool(nil), s.Banned...)
+	q.nBanned = 0
+	for _, b := range q.banned {
+		if b {
+			q.nBanned++
+		}
+	}
+	return nil
+}
+
 // IsQuarantined reports whether participant i is currently banned.
 func (q *Quarantine) IsQuarantined(i int) bool {
 	return i >= 0 && i < len(q.banned) && q.banned[i]

@@ -27,10 +27,10 @@ import (
 	"digfl/internal/faults"
 )
 
-// Domain is the faults.Uniform hash domain the sampler draws its keys from.
-// The fault injector uses domains 1–4 and internal/adversary uses 101+;
-// sampling takes 7 so all three schedules stay independent under one seed.
-const Domain = 7
+// Domain is the faults.Uniform hash domain the sampler draws its keys from,
+// registered as faults.DomainSampling so every schedule sharing a seed stays
+// independent (the faults.Domains collision guard enforces uniqueness).
+const Domain = faults.DomainSampling
 
 // Config parameterizes a Sampler.
 type Config struct {

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"testing"
 
+	"digfl/internal/obs"
 	"digfl/internal/paillier"
 )
 
@@ -21,7 +22,8 @@ func BenchmarkSecureEpoch(b *testing.B) {
 	}
 	run := func(workers int) *SecureNResult {
 		res, err := RunSecureN(prob, SecureConfig{
-			Epochs: 1, LR: 0.05, Key: sk, MaskSeed: 3, Workers: workers,
+			Epochs: 1, LR: 0.05, Key: sk, MaskSeed: 3,
+			Runtime: obs.Runtime{Workers: workers},
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -136,14 +136,14 @@ func TestSecureSinkDoesNotPerturb(t *testing.T) {
 	}
 }
 
-// SecureConfig's worker precedence: non-zero Runtime.Workers beats the
-// deprecated Workers field; both zero keeps the legacy GOMAXPROCS default.
+// SecureConfig's worker resolution: an explicit Runtime.Workers wins and a
+// zero value keeps the protocol's historical GOMAXPROCS default.
 func TestSecureWorkersPrecedence(t *testing.T) {
-	if got := (SecureConfig{Runtime: obs.Runtime{Workers: 1}, Workers: 8}).workers(); got != 1 {
-		t.Errorf("Runtime.Workers=1 with legacy 8: resolved %d, want 1", got)
+	if got := (SecureConfig{Runtime: obs.Runtime{Workers: 1}}).workers(); got != 1 {
+		t.Errorf("Runtime.Workers=1: resolved %d, want 1", got)
 	}
-	if got := (SecureConfig{Workers: 3}).workers(); got != 3 {
-		t.Errorf("legacy Workers=3: resolved %d, want 3", got)
+	if got := (SecureConfig{Runtime: obs.Runtime{Workers: 3}}).workers(); got != 3 {
+		t.Errorf("Runtime.Workers=3: resolved %d, want 3", got)
 	}
 	if got := (SecureConfig{}).workers(); got < 1 {
 		t.Errorf("zero config resolved %d workers", got)

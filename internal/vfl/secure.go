@@ -30,14 +30,15 @@ type SecureConfig struct {
 	Key *paillier.PrivateKey
 	// MaskSeed seeds the gradient masks M₁, M₂ (Algorithm 3 step 4).
 	MaskSeed int64
-	// Runtime is the unified worker-budget-plus-observability surface. A
-	// non-zero Runtime.Workers wins over the deprecated Workers field
-	// below and bounds the pool used for the per-element Paillier
+	// Runtime is the unified worker-budget-plus-observability surface.
+	// Runtime.Workers bounds the pool used for the per-element Paillier
 	// operations (vector encryption, the ring folds, the per-feature
 	// ciphertext accumulations, and decryption); 1 forces the serial path
-	// and negative selects GOMAXPROCS. Every decrypted result is
-	// bit-identical for any worker count — modular arithmetic is exact, so
-	// the accumulation order cannot perturb the plaintexts.
+	// and 0 or negative selects GOMAXPROCS (the protocol's historical
+	// default — Paillier is compute-bound, so serial-by-default would
+	// only hide cores). Every decrypted result is bit-identical for any
+	// worker count — modular arithmetic is exact, so the accumulation
+	// order cannot perturb the plaintexts.
 	//
 	// Runtime.Sink receives exact PaillierOp counter events (Enc, Dec,
 	// Add, MulPlain) alongside the protocol's pool batches, so the paper's
@@ -45,15 +46,6 @@ type SecureConfig struct {
 	// known dimensions the collected counts equal the closed form implied
 	// by Algorithm 3 (asserted in this package's tests).
 	Runtime obs.Runtime
-	// Workers bounds the Paillier worker pool: 0 or negative selects
-	// GOMAXPROCS, 1 forces the serial path.
-	//
-	// Deprecated: set Runtime.Workers instead (note the differing zero
-	// default: Runtime.Workers 0 falls back to this field, so a zero
-	// value of both still selects GOMAXPROCS). Ignored whenever
-	// Runtime.Workers is non-zero. Marked for removal in the next API
-	// revision.
-	Workers int
 	// Faults optionally injects deterministic transient secure-round
 	// failures (and straggler delays for individual parties). An injected
 	// failure models message loss before the round consumes any entropy,
@@ -72,14 +64,10 @@ type SecureConfig struct {
 }
 
 // workers resolves the effective Paillier pool size through the unified
-// obs.Runtime.Resolve rule. The deprecated Workers field's historical zero
-// default is GOMAXPROCS (not serial), so 0 maps to the negative sentinel.
+// obs.Runtime.Resolve rule. The protocol's historical zero default is
+// GOMAXPROCS (not serial), so 0 maps to the negative sentinel.
 func (c SecureConfig) workers() int {
-	legacy := c.Workers
-	if legacy <= 0 {
-		legacy = -1
-	}
-	return c.Runtime.Resolve(legacy)
+	return c.Runtime.Resolve(-1)
 }
 
 // SecureResult reports the outcome of a secure run together with the

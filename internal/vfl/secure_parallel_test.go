@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"digfl/internal/dataset"
+	"digfl/internal/obs"
 	"digfl/internal/tensor"
 )
 
@@ -16,7 +17,8 @@ func TestSecureParallelMatchesSerial(t *testing.T) {
 	prob := twoPartyProblem(31, 40, 4)
 	run := func(workers int) *SecureNResult {
 		res, err := RunSecureN(prob, SecureConfig{
-			Epochs: 3, LR: 0.05, KeyBits: 256, MaskSeed: 9, Workers: workers,
+			Epochs: 3, LR: 0.05, KeyBits: 256, MaskSeed: 9,
+			Runtime: obs.Runtime{Workers: workers},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -54,7 +56,8 @@ func TestSecureNPartyParallelMatchesSerial(t *testing.T) {
 	prob := &Problem{Train: train, Val: val, Blocks: dataset.VerticalBlocks(9, 3), Kind: LinReg}
 	run := func(workers int) *SecureNResult {
 		res, err := RunSecureN(prob, SecureConfig{
-			Epochs: 2, LR: 0.05, KeyBits: 256, MaskSeed: 5, Workers: workers,
+			Epochs: 2, LR: 0.05, KeyBits: 256, MaskSeed: 5,
+			Runtime: obs.Runtime{Workers: workers},
 		})
 		if err != nil {
 			t.Fatal(err)
