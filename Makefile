@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale verify-wire verify-crash bench-json
+.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale verify-wire verify-crash verify-engines bench-json
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,7 @@ verify:
 	$(MAKE) verify-scale
 	$(MAKE) verify-wire
 	$(MAKE) verify-crash
+	$(MAKE) verify-engines
 
 # verify-faults runs the fault-injection suite: the determinism gate
 # (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
@@ -84,12 +85,29 @@ verify-wire:
 # networked-runtime timings, APPENDED to $(BENCH_JSON) (entries from prior
 # revisions are preserved), then diffed against the committed copy so the
 # delta is visible before it lands.
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 bench-json:
 	$(GO) run ./cmd/digfl-bench -exp wire -json $(BENCH_JSON)
 	$(GO) run ./cmd/digfl-bench -exp net -json $(BENCH_JSON)
 	$(GO) run ./cmd/digfl-bench -exp chaos -json $(BENCH_JSON)
+	$(GO) run ./cmd/digfl-bench -exp engines -json $(BENCH_JSON)
 	git --no-pager diff --stat -- $(BENCH_JSON) || true
+
+# verify-engines runs the contribution-engine gate: the cross-engine
+# equivalence suite (truncation-disabled GTG/DPVS reproduce the exact
+# per-round Shapley value to 1e-9, exact-parallel is bit-identical to
+# exact, 3-seed checkpoint/resume bit-identity per engine, Lemma-3 zero
+# rows under partial participation), the fednet loopback equivalence
+# (every engine identical over the wire to the local trainer, /v1/score
+# reporting, composition rejections), the accuracy-vs-cost acceptance
+# test (gtg/dpvs recover the exact ranking at Kendall τ >= 0.9 on fewer
+# utility evaluations than tmc), and the volatility determinism gate
+# (the -exp volatility report rerun bit-identical across 3 seeds).
+# -count=1 defeats the test cache so the gates re-execute.
+verify-engines:
+	$(GO) vet ./internal/shapley/ ./internal/experiments/ ./internal/fednet/ ./internal/metrics/
+	$(GO) test -count=1 -run 'Engine|Truncation|Reported|AllDropped|Sampler|PooledValLoss|Kendall|Volatility|RunWrappers' \
+		./internal/shapley/ ./internal/experiments/ ./internal/fednet/ ./internal/metrics/ ./internal/hfl/ ./internal/vfl/
 
 # verify-crash runs the crash-safety gate: the deterministic chaos harness
 # (seeded coordinator kills at epoch-open/mid-round/epoch-close with WAL

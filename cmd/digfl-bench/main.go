@@ -40,8 +40,12 @@
 // binary codec against v1 JSON on a streamed sampled-cohort run (bytes on
 // wire, allocs per round, bit-identity); the extra "load" id hammers a live
 // coordinator with concurrent /v1/score readers and long-poll round
-// watchers per the -load spec. None is part of the paper's evaluation, so
-// -exp all includes none of them.
+// watchers per the -load spec; the extra "engines" id replays one training
+// log through every registered contribution engine (exact, TMC, GT, GTG,
+// DPVS) and reports rank accuracy against exact Shapley next to
+// utility-evaluation cost; the extra "volatility" id reports each engine's
+// rank stability (Kendall tau spread) across sampling seeds. None is part
+// of the paper's evaluation, so -exp all includes none of them.
 package main
 
 import (
@@ -206,6 +210,34 @@ func chaosRunner() runner {
 	}
 }
 
+// enginesRunner replays one training log through every registered
+// contribution engine and reports rank accuracy vs exact Shapley next to
+// utility-evaluation cost. Outside the paper's artifact set, so -exp all
+// does not include it.
+func enginesRunner() runner {
+	return runner{
+		ids:  []string{"engines"},
+		desc: "contribution engines: rank accuracy vs utility-eval cost (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.EngineMatrix(o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables(), bench: r.Bench()}}
+		},
+	}
+}
+
+// volatilityRunner reports each engine's rank stability across sampling
+// seeds. Outside the paper's artifact set, so -exp all does not include it.
+func volatilityRunner() runner {
+	return runner{
+		ids:  []string{"volatility"},
+		desc: "contribution engines: rank stability across sampling seeds (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.Volatility(o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables()}}
+		},
+	}
+}
+
 // adversarialRunner builds the adversarial-robustness runner from an
 // -attacks spec. Like "faults" and "net", it is outside the paper's
 // artifact set, so -exp all does not include it.
@@ -271,7 +303,7 @@ func main() {
 		os.Exit(2)
 	}
 	rs := append(runners(), faultsRunner(spec), netRunner(), adversarialRunner(advSpec),
-		wireRunner(), loadRunner(lspec), chaosRunner())
+		wireRunner(), loadRunner(lspec), chaosRunner(), enginesRunner(), volatilityRunner())
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
@@ -372,7 +404,8 @@ func main() {
 	if *exp == "all" {
 		for _, r := range rs {
 			if contains(r.ids, "faults") || contains(r.ids, "net") || contains(r.ids, "adversarial") ||
-				contains(r.ids, "wire") || contains(r.ids, "load") || contains(r.ids, "chaos") {
+				contains(r.ids, "wire") || contains(r.ids, "load") || contains(r.ids, "chaos") ||
+				contains(r.ids, "engines") || contains(r.ids, "volatility") {
 				continue // robustness checks are opt-in; 'all' stays the paper set
 			}
 			emit(r)

@@ -29,7 +29,10 @@
 //		Parts: parts, Val: val,
 //		Cfg:   digfl.HFLConfig{Epochs: 30, LR: 0.1, KeepLog: true},
 //	}
-//	res := tr.Run()
+//	res, err := tr.RunContext(ctx)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	attr := digfl.EstimateHFL(res.Log, len(parts), digfl.ResourceSaving, nil)
 //	fmt.Println(attr.Totals) // estimated Shapley value per participant
 //
@@ -611,6 +614,44 @@ type (
 	TMCConfig = shapley.TMCConfig
 	// GTConfig controls group-testing Shapley.
 	GTConfig = shapley.GTConfig
+	// ContributionEngine is the pluggable contribution-estimator seam:
+	// per-epoch Observe, Finalize → φ matrix + totals + cost, and
+	// State/SetState for checkpoint/resume. Registered engines: exact,
+	// exact-parallel, tmc, gt, gtg, dpvs.
+	ContributionEngine = shapley.Engine
+	// EngineSpec configures a contribution engine (population size,
+	// validation-loss oracle, seed, per-engine knobs).
+	EngineSpec = shapley.EngineSpec
+	// EngineReport is a contribution engine's finalized attribution.
+	EngineReport = shapley.Report
+	// EngineState is a contribution engine's checkpoint snapshot.
+	EngineState = shapley.EngineState
+	// GTGConfig controls the GTG-Shapley engine (guided truncation +
+	// within-round permutation sampling with convergence cutoff).
+	GTGConfig = shapley.GTGConfig
+	// DPVSConfig controls the DPVS-Shapley engine (dynamic pruning of
+	// low-volatility participants).
+	DPVSConfig = shapley.DPVSConfig
+	// EngineValLoss is the validation-loss oracle engines reconstruct
+	// coalition models against.
+	EngineValLoss = shapley.ValLoss
+)
+
+// Contribution-engine registry.
+var (
+	// NewContributionEngine builds a registered engine by name.
+	NewContributionEngine = shapley.NewEngine
+	// ContributionEngines lists the registered engine names.
+	ContributionEngines = shapley.Engines
+	// RegisterContributionEngine adds a custom engine to the registry.
+	RegisterContributionEngine = shapley.RegisterEngine
+	// DefaultGTG and DefaultDPVS are the tuned engine configurations the
+	// experiments use.
+	DefaultGTG  = shapley.DefaultGTG
+	DefaultDPVS = shapley.DefaultDPVS
+	// PooledEngineValLoss makes a ValLoss safe for the exact-parallel
+	// engine's concurrent evaluation.
+	PooledEngineValLoss = shapley.PooledValLoss
 )
 
 // Robust-aggregation baselines (extension: hfl.Aggregator plugins that
@@ -628,9 +669,19 @@ type (
 	// NormBoundAggregator clips every update to a maximum L2 norm before
 	// the mean.
 	NormBoundAggregator = robust.NormBound
-	// HFLAggregatorE is the error-returning aggregation plugin interface;
-	// the trainer prefers it over the legacy panicking HFLAggregator.
+	// HFLAggregator is the aggregation plugin interface: it returns the
+	// round's global update or an error that fails the run.
+	HFLAggregator = hfl.Aggregator
+	// HFLAggregatorE is the historical name of the error-returning
+	// aggregation interface, which is now the only one.
+	//
+	// Deprecated: use HFLAggregator.
 	HFLAggregatorE = hfl.AggregatorE
+	// HFLAggregatorFunc adapts the legacy panicking aggregate function
+	// shape to the error-returning interface.
+	//
+	// Deprecated: implement HFLAggregator directly.
+	HFLAggregatorFunc = hfl.AggregatorFunc
 	// HFLScreener vets a round's collected updates before aggregation,
 	// returning the positions to drop.
 	HFLScreener = hfl.Screener

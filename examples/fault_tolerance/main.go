@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -80,7 +81,7 @@ func main() {
 	}
 
 	fmt.Printf("training %d epochs with 25%% dropout, crash injected at epoch %d:\n", epochs, crashAt)
-	_, err := tr.RunE()
+	_, err := tr.RunContext(context.Background())
 	var crash *digfl.CrashError
 	if !errors.As(err, &crash) {
 		fmt.Fprintf(os.Stderr, "expected an injected crash, got: %v\n", err)
@@ -111,7 +112,7 @@ func main() {
 	tr2 := newTrainer(est2)
 	tr2.Cfg.Faults = digfl.MustNewFaultInjector(fcfg).WithoutCrash()
 	tr2.Cfg.Resume = &restored.Trainer
-	res, err := tr2.RunE()
+	res, err := tr2.RunContext(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -131,7 +132,7 @@ func main() {
 	ref := digfl.NewHFLEstimator(nParts, p, digfl.ResourceSaving, nil)
 	tru := newTrainer(ref)
 	tru.Cfg.Faults = digfl.MustNewFaultInjector(fcfg).WithoutCrash()
-	want, err := tru.RunE()
+	want, err := tru.RunContext(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

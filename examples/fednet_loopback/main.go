@@ -31,7 +31,7 @@ func main() {
 	refEst := digfl.NewHFLEstimator(n, model.NumParams(), digfl.ResourceSaving, nil)
 	ref := &digfl.HFLTrainer{Model: model, Parts: parts, Val: val, Cfg: cfg}
 	ref.Observer = func(ep *digfl.HFLEpoch) { refEst.Observe(ep) }
-	want, err := ref.RunE()
+	want, err := ref.RunContext(context.Background())
 	if err != nil {
 		panic(err)
 	}

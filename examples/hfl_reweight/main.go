@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"digfl"
@@ -45,7 +46,10 @@ func main() {
 			probe.SetParams(ep.Theta)
 			accs = append(accs, digfl.HFLAccuracy(probe, val))
 		}
-		res := tr.Run()
+		res, err := tr.RunContext(context.Background())
+		if err != nil {
+			panic(err)
+		}
 		return append(accs, digfl.HFLAccuracy(res.Model, val))
 	}
 

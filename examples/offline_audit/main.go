@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -45,7 +46,10 @@ func main() {
 		Cfg: digfl.HFLConfig{Epochs: 15, LR: 0.3, KeepLog: true,
 			Runtime: digfl.Runtime{Sink: digfl.Tee(collector, tw)}},
 	}
-	res := tr.Run()
+	res, err := tr.RunContext(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	live := digfl.EstimateHFL(res.Log, len(parts), digfl.ResourceSaving, nil)
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)

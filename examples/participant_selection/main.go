@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -47,7 +48,10 @@ func main() {
 	// Phase 1: short probe round with everyone, contributions from the log.
 	fmt.Printf("probe round: %d participants, 6 epochs\n", n)
 	probe := newTrainer(all, 6)
-	res := probe.Run()
+	res, err := probe.RunContext(context.Background())
+	if err != nil {
+		panic(err)
+	}
 	attr := digfl.EstimateHFL(res.Log, n, digfl.ResourceSaving, nil)
 	order := seq(n)
 	sort.Slice(order, func(a, b int) bool { return attr.Totals[order[a]] > attr.Totals[order[b]] })
@@ -60,7 +64,11 @@ func main() {
 	evaluate := func(label string, sel []int) {
 		tr := newTrainer(sel, 25)
 		tr.Cfg.KeepLog = false
-		acc := digfl.HFLAccuracy(tr.Run().Model, val)
+		long, err := tr.RunContext(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		acc := digfl.HFLAccuracy(long.Model, val)
 		fmt.Printf("  %-22s %v -> accuracy %.1f%%\n", label, sel, 100*acc)
 	}
 	fmt.Printf("\nlong run keeping %d of %d participants:\n", keep, n)

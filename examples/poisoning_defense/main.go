@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"digfl"
@@ -56,7 +57,7 @@ func main() {
 		} else {
 			tr.Observer = func(ep *digfl.HFLEpoch) { est.Observe(ep) }
 		}
-		res, err := tr.RunE()
+		res, err := tr.RunContext(context.Background())
 		if err != nil {
 			panic(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -34,7 +35,10 @@ func main() {
 
 	fmt.Println("training the federation (FedSGD, 20 epochs)...")
 	start := time.Now()
-	res := tr.Run()
+	res, err := tr.RunContext(context.Background())
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  validation loss %.4f -> %.4f, accuracy %.1f%% (%.2fs)\n\n",
 		res.InitLoss, res.FinalLoss, 100*digfl.HFLAccuracy(res.Model, val), time.Since(start).Seconds())
 

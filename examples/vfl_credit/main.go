@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -40,7 +41,10 @@ func main() {
 	tr := &digfl.VFLTrainer{Problem: prob, Cfg: digfl.VFLConfig{Epochs: 40, LR: 0.5, KeepLog: true}}
 
 	fmt.Println("training vertical logistic regression across 3 institutions...")
-	res := tr.Run()
+	res, err := tr.RunContext(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  validation loss %.4f -> %.4f\n\n", res.InitLoss, res.FinalLoss)
 
 	attr := digfl.EstimateVFL(res.Log, blocks, digfl.ResourceSaving, nil)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -184,7 +185,7 @@ func Adversarial(spec AdvSpec, o Opts) *AdvResult {
 				ClipFactor: spec.Clip, Sink: sink,
 			})
 			tr.Reweighter = q
-			res, err := tr.RunE()
+			res, err := tr.RunContext(context.Background())
 			if err != nil {
 				panic(fmt.Sprintf("experiments: defended run: %v", err))
 			}
@@ -194,7 +195,7 @@ func Adversarial(spec AdvSpec, o Opts) *AdvResult {
 			// unprotected deployment would run. The estimator still watches so
 			// φ is comparable, but nothing acts on it.
 			tr.Observer = func(ep *hfl.Epoch) { est.Observe(ep) }
-			res, err := tr.RunE()
+			res, err := tr.RunContext(context.Background())
 			if err != nil {
 				panic(fmt.Sprintf("experiments: undefended run: %v", err))
 			}
@@ -215,7 +216,7 @@ func Adversarial(spec AdvSpec, o Opts) *AdvResult {
 		Rounds:     &fednet.LocalSource{Model: model, Parts: parts},
 		Reweighter: &core.HFLReweighter{Estimator: cleanEst},
 	}
-	clean, err := cleanTr.RunE()
+	clean, err := cleanTr.RunContext(context.Background())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: clean baseline: %v", err))
 	}

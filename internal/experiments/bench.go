@@ -44,6 +44,12 @@ type BenchEntry struct {
 	// Clients/Requests describe a load-test entry's concurrency and volume.
 	Clients  int   `json:"clients,omitempty"`
 	Requests int64 `json:"requests,omitempty"`
+	// Engine names the contribution engine an engine-matrix entry
+	// measured; UtilityEvals counts its distinct validation-loss
+	// evaluations and KendallTau its rank agreement with exact Shapley.
+	Engine       string  `json:"engine,omitempty"`
+	UtilityEvals int64   `json:"utility_evals,omitempty"`
+	KendallTau   float64 `json:"kendall_tau,omitempty"`
 }
 
 // BenchFile is the versioned on-disk form of digfl-bench -json output.

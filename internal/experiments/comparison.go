@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -73,7 +74,7 @@ func HFLComparison(o Opts) *ComparisonResult {
 
 			// The shared training run every log-based method consumes.
 			sw := metrics.NewStopwatch()
-			run := tr.Run()
+			run := runHFL(context.Background(), tr)
 			trainTime := sw.Elapsed()
 
 			// Actual Shapley ground truth.
@@ -150,7 +151,7 @@ func VFLComparison(o Opts) *ComparisonResult {
 		row := ComparisonRow{Dataset: preset.Config.Name, N: n, Scores: map[string]MethodScore{}}
 
 		sw := metrics.NewStopwatch()
-		run := tr.Run()
+		run := runVFL(context.Background(), tr)
 		trainTime := sw.Elapsed()
 
 		counter := &shapley.Counter{U: tr.Utility}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -15,6 +16,7 @@ import (
 	"digfl/internal/nn"
 	"digfl/internal/obs"
 	"digfl/internal/tensor"
+	"digfl/internal/vfl"
 )
 
 // Opts are the shared experiment options.
@@ -169,4 +171,25 @@ func hflCommFloats(retrains int64, epochs, n, p int) int64 {
 // writeHeader renders an experiment banner.
 func writeHeader(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// runHFL drives an HFL trainer through the canonical context-first
+// entrypoint. Experiment runners have no cancellation story of their own,
+// so trainer errors — which the legacy panicking Run would raise anyway —
+// still panic here.
+func runHFL(ctx context.Context, tr *hfl.Trainer) *hfl.Result {
+	res, err := tr.RunContext(ctx)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// runVFL is runHFL for the vertical trainer.
+func runVFL(ctx context.Context, tr *vfl.Trainer) *vfl.Result {
+	res, err := tr.RunContext(ctx)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -197,7 +198,7 @@ func FaultTolerance(spec FaultSpec, o Opts) *FaultTolResult {
 			lastCk, lastEst = &cp, est.State()
 			return nil
 		}
-		_, err := tr.RunE()
+		_, err := tr.RunContext(context.Background())
 		var ce *faults.CrashError
 		if !errors.As(err, &ce) {
 			panic(fmt.Sprintf("experiments: expected injected crash, got %v", err))
@@ -213,7 +214,7 @@ func FaultTolerance(spec FaultSpec, o Opts) *FaultTolResult {
 		tr2 := newTrainer(rec, est2)
 		tr2.Cfg.Faults = faults.MustNew(fcfg).WithoutCrash()
 		tr2.Cfg.Resume = lastCk
-		res, err := tr2.RunE()
+		res, err := tr2.RunContext(context.Background())
 		if err != nil {
 			panic(fmt.Sprintf("experiments: resumed run: %v", err))
 		}
@@ -240,7 +241,7 @@ func FaultTolerance(spec FaultSpec, o Opts) *FaultTolResult {
 	refEst := core.NewHFLEstimator(len(parts), p, core.ResourceSaving, nil)
 	ref := newTrainer(o.Sink, refEst)
 	ref.Cfg.Faults = faults.MustNew(fcfg).WithoutCrash()
-	want, err := ref.RunE()
+	want, err := ref.RunContext(context.Background())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: reference run: %v", err))
 	}

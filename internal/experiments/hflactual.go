@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -83,7 +84,7 @@ func HFLvsActual(o Opts) *HFLActualResult {
 		tr := BuildHFL(s)
 
 		sw := metrics.NewStopwatch()
-		run := tr.Run()
+		run := runHFL(context.Background(), tr)
 		attr := core.EstimateHFL(run.Log, s.N, core.ResourceSaving, nil)
 		digflCost := metrics.Cost{Wall: sw.Elapsed()}
 

@@ -114,7 +114,7 @@ func Net(o Opts) *NetResult {
 		Observer: func(ep *hfl.Epoch) { refEst.Observe(ep) },
 	}
 	ref.Cfg.Runtime.Sink = o.Sink
-	want, err := ref.RunE()
+	want, err := ref.RunContext(context.Background())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: net reference run: %v", err))
 	}

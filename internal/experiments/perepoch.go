@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -62,7 +63,7 @@ func PerEpoch(o Opts) *PerEpochResult {
 		}
 		tr := BuildHFL(s)
 		tr.Parts[3] = mislabelPart(tr.Parts[3], 0.5, o.Seed+3)
-		run := tr.Run()
+		run := runHFL(context.Background(), tr)
 
 		attr := core.EstimateHFL(run.Log, s.N, core.ResourceSaving, nil)
 		mr := baselines.MR(run.Log, baselines.NewValLoss(tr.Model, tr.Val.X, tr.Val.Y))

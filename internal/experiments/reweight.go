@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -101,7 +102,7 @@ func accuracyCurve(tr *hfl.Trainer, rw hfl.Reweighter) []float64 {
 			curve = append(curve, acc(ep.Theta))
 		}
 	}
-	res := tr.Run()
+	res := runHFL(context.Background(), tr)
 	curve = append(curve, acc(res.Model.Params()))
 	return curve
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -60,7 +61,7 @@ func VFLvsActual(o Opts) *VFLActualResult {
 		tr := &vfl.Trainer{Problem: prob, Cfg: cfg}
 
 		sw := metrics.NewStopwatch()
-		run := tr.Run()
+		run := runVFL(context.Background(), tr)
 		attr := core.EstimateVFL(run.Log, prob.Blocks, core.ResourceSaving, nil)
 		tDIGFL := sw.Elapsed().Seconds()
 

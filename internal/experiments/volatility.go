@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+
+	"digfl/internal/hfl"
+	"digfl/internal/metrics"
+	"digfl/internal/shapley"
+	"digfl/internal/tensor"
+)
+
+// VolatilityRow summarizes one engine's rank stability on the same training
+// log under two perturbations: resampling (pairwise Kendall τ between the
+// rankings the engine produces under different sampling seeds) and
+// participation (pairwise τ between the rankings produced under different
+// seeded partial-participation patterns, each epoch degraded by one dropped
+// participant). Deterministic engines (exact enumeration) sit at τ = 1
+// exactly on the seed axis; a sampler's spread measures how much of its
+// ranking is noise, and the participation spread measures how sensitive
+// every engine's ranking is to who shows up.
+type VolatilityRow struct {
+	Engine   string
+	Seeds    int
+	Patterns int
+	// MinTau/MeanTau/MaxTau summarize the pairwise-τ distribution across
+	// sampling seeds.
+	MinTau, MeanTau, MaxTau float64
+	// PartMinTau/PartMeanTau/PartMaxTau summarize the pairwise-τ
+	// distribution across participation patterns.
+	PartMinTau, PartMeanTau, PartMaxTau float64
+}
+
+// VolatilityResult is the -exp volatility report: per-engine rank
+// stability on one shared training log. The whole result is a pure
+// function of Opts — reruns are bit-identical, which `make verify-engines`
+// gates on.
+type VolatilityResult struct {
+	N, Epochs int
+	Rows      []VolatilityRow
+}
+
+// volatilitySeeds is the seed fan each engine is resampled under;
+// volatilityPatterns is the participation-pattern fan.
+const (
+	volatilitySeeds    = 4
+	volatilityPatterns = 3
+)
+
+// degradeLog derives a partial-participation view of a full-participation
+// training log: every epoch drops one seeded participant (Lemma-3 zero row
+// for the estimator), keeping the broadcast trajectory untouched.
+func degradeLog(log []*hfl.Epoch, seed int64) []*hfl.Epoch {
+	rng := tensor.NewRNG(seed)
+	out := make([]*hfl.Epoch, len(log))
+	for i, ep := range log {
+		drop := rng.Intn(len(ep.Deltas))
+		d := *ep
+		d.Reported = make([]int, 0, len(ep.Deltas)-1)
+		d.Deltas = make([][]float64, 0, len(ep.Deltas)-1)
+		for k, delta := range ep.Deltas {
+			if k == drop {
+				continue
+			}
+			d.Reported = append(d.Reported, k)
+			d.Deltas = append(d.Deltas, delta)
+		}
+		out[i] = &d
+	}
+	return out
+}
+
+// tauSpread reduces a family of totals vectors to the min/mean/max of
+// their pairwise Kendall τ.
+func tauSpread(totals [][]float64) (min, mean, max float64) {
+	min, max = 1, -1
+	var sum float64
+	pairs := 0
+	for a := 0; a < len(totals); a++ {
+		for b := a + 1; b < len(totals); b++ {
+			tau := metrics.Kendall(totals[a], totals[b])
+			sum += tau
+			pairs++
+			if tau < min {
+				min = tau
+			}
+			if tau > max {
+				max = tau
+			}
+		}
+	}
+	return min, sum / float64(pairs), max
+}
+
+// Volatility trains one federation, then replays its log through every
+// registered engine under several sampling seeds and several seeded
+// partial-participation patterns, and reports the pairwise Kendall τ
+// spread of the resulting rankings on each axis.
+func Volatility(o Opts) *VolatilityResult {
+	o.validate()
+	tr, epochs := engineTrainer(o)
+	run := runHFL(context.Background(), tr)
+	newLoss := engineValLoss(tr)
+
+	degraded := make([][]*hfl.Epoch, volatilityPatterns)
+	for p := range degraded {
+		degraded[p] = degradeLog(run.Log, o.Seed+int64(100*(p+1)))
+	}
+
+	res := &VolatilityResult{N: engineN, Epochs: epochs}
+	for _, name := range shapley.Engines() {
+		mkSpec := func(seed int64) shapley.EngineSpec {
+			spec := shapley.EngineSpec{N: engineN, Loss: newLoss(), Seed: seed}
+			if name == "exact-parallel" {
+				spec.Loss = shapley.PooledValLoss(newLoss)
+			}
+			return spec
+		}
+		seedTotals := make([][]float64, volatilitySeeds)
+		for k := range seedTotals {
+			seedTotals[k] = feedEngine(name, mkSpec(o.Seed+int64(1000*k)), run.Log).Totals
+		}
+		partTotals := make([][]float64, volatilityPatterns)
+		for p := range partTotals {
+			partTotals[p] = feedEngine(name, mkSpec(o.Seed), degraded[p]).Totals
+		}
+		row := VolatilityRow{Engine: name, Seeds: volatilitySeeds, Patterns: volatilityPatterns}
+		row.MinTau, row.MeanTau, row.MaxTau = tauSpread(seedTotals)
+		row.PartMinTau, row.PartMeanTau, row.PartMaxTau = tauSpread(partTotals)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render writes the volatility report.
+func (r *VolatilityResult) Render(w io.Writer) {
+	writeHeader(w, "Contribution engines — rank stability across sampling seeds and participation")
+	fmt.Fprintf(w, "n=%d epochs=%d seeds=%d patterns=%d graded corruption (pairwise Kendall tau of totals)\n\n",
+		r.N, r.Epochs, volatilitySeeds, volatilityPatterns)
+	fmt.Fprintf(w, "%-16s %8s %8s %8s   %8s %8s %8s\n",
+		"engine", "min", "mean", "max", "p.min", "p.mean", "p.max")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %8.3f %8.3f %8.3f   %8.3f %8.3f %8.3f\n",
+			row.Engine, row.MinTau, row.MeanTau, row.MaxTau,
+			row.PartMinTau, row.PartMeanTau, row.PartMaxTau)
+	}
+}
+
+// Tables renders the report as CSV.
+func (r *VolatilityResult) Tables() map[string][][]string {
+	rows := [][]string{{
+		"engine", "seeds", "min_tau", "mean_tau", "max_tau",
+		"patterns", "part_min_tau", "part_mean_tau", "part_max_tau",
+	}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Engine, strconv.Itoa(row.Seeds), f(row.MinTau), f(row.MeanTau), f(row.MaxTau),
+			strconv.Itoa(row.Patterns), f(row.PartMinTau), f(row.PartMeanTau), f(row.PartMaxTau),
+		})
+	}
+	return map[string][][]string{"engines_volatility": rows}
+}

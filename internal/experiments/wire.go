@@ -257,7 +257,7 @@ func Wire(o Opts) *WireResult {
 		Stream: hfl.MeanStream{},
 	}
 	ref.Cfg.Runtime.Sink = o.Sink
-	want, err := ref.RunE()
+	want, err := ref.RunContext(context.Background())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: wire reference run: %v", err))
 	}

@@ -22,6 +22,7 @@ import (
 	"digfl/internal/nn"
 	"digfl/internal/obs"
 	"digfl/internal/robust"
+	"digfl/internal/shapley"
 	"digfl/internal/tensor"
 )
 
@@ -67,6 +68,16 @@ type Coordinator struct {
 	// coordinator's lock) and backs the /v1/score endpoint, so
 	// contribution evaluation runs server-side inside the live round loop.
 	Estimator *core.HFLEstimator
+	// Engine, when non-nil, is a pluggable contribution engine
+	// (internal/shapley) that observes every epoch under the coordinator's
+	// lock; /v1/score reports its name, running φ totals, and utility-eval
+	// cost alongside the DIG-FL estimator's attribution. Setting
+	// Cfg.Engine is equivalent — the coordinator promotes a config-carried
+	// engine here so all observation is race-free against score reads.
+	// Engines need the round buffer's raw deltas, so Engine cannot compose
+	// with Stream or Edges; engine state is not journaled, so Engine
+	// cannot compose with Journal or Recover.
+	Engine shapley.Engine
 	// RoundDeadline bounds how long a round stays open once broadcast.
 	// Participants that have not reported when it expires are dropped from
 	// the epoch (Epoch.Reported survivor semantics); 0 waits for everyone.
@@ -253,6 +264,32 @@ func (c *Coordinator) Run(ctx context.Context) (*hfl.Result, error) {
 }
 
 func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
+	if c.Cfg.Engine != nil {
+		// Promote a config-carried engine to the coordinator field: the
+		// trainer's unlocked Observe would race with /v1/score reads, so
+		// the coordinator observes it under c.mu instead (the trainer's
+		// copy of the config is cleared below).
+		eng, ok := c.Cfg.Engine.(shapley.Engine)
+		if !ok {
+			return nil, errors.New("fednet: Cfg.Engine must be a shapley.Engine (the coordinator reports it on /v1/score)")
+		}
+		if c.Engine != nil && c.Engine != eng {
+			return nil, errors.New("fednet: set Engine or Cfg.Engine, not both")
+		}
+		// Score handlers may already be serving; the field write needs the
+		// same lock the handler reads under.
+		c.mu.Lock()
+		c.Engine = eng
+		c.mu.Unlock()
+	}
+	if c.Engine != nil {
+		if c.Stream != nil {
+			return nil, errors.New("fednet: Engine cannot compose with Stream — engines need the round buffer's raw deltas")
+		}
+		if c.Journal != nil || c.rec != nil {
+			return nil, errors.New("fednet: Engine cannot compose with Journal or Recover — engine state is not journaled, so a recovery would replay a log gap")
+		}
+	}
 	if c.Journal != nil {
 		if c.Screen != nil || c.IngestScreen != nil {
 			return nil, errors.New("fednet: Journal cannot compose with Screen or IngestScreen (clipping rewrites updates after the journaled bytes)")
@@ -294,6 +331,9 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 
 	cfg := c.Cfg
 	cfg.Participants = c.N
+	// The coordinator observes a promoted engine under its lock; the
+	// trainer must not observe it a second time.
+	cfg.Engine = nil
 	// Crash recovery: resume the trainer from the journal's last closed
 	// epoch. The open round's commits (if the crash was mid-round) graft
 	// into the first Round call. Note the recovered Result.Log carries only
@@ -358,6 +398,19 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 		observer = func(ep *hfl.Epoch) {
 			c.mu.Lock()
 			est.Observe(ep)
+			c.mu.Unlock()
+			if user != nil {
+				user(ep)
+			}
+		}
+	}
+	if c.Engine != nil {
+		// Engine φ state is read live by /v1/score, so observation happens
+		// under the coordinator's lock, like the estimator's.
+		eng, user := c.Engine, observer
+		observer = func(ep *hfl.Epoch) {
+			c.mu.Lock()
+			eng.Observe(ep)
 			c.mu.Unlock()
 			if user != nil {
 				user(ep)
@@ -1498,19 +1551,35 @@ func (c *Coordinator) handleAggregate(w http.ResponseWriter, req *http.Request) 
 }
 
 func (c *Coordinator) handleScore(w http.ResponseWriter, req *http.Request) {
-	if c.Estimator == nil {
-		writeError(w, http.StatusNotFound, "coordinator has no estimator attached")
+	c.mu.Lock()
+	if c.Estimator == nil && c.Engine == nil {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, "coordinator has no estimator or engine attached")
 		return
 	}
-	c.mu.Lock()
 	if c.recovering {
 		c.mu.Unlock()
 		writeCodedError(w, http.StatusServiceUnavailable, CodeRecovering,
 			"coordinator is recovering; re-join and retry")
 		return
 	}
-	attr := c.Estimator.Attribution()
-	reply := scoreReply{Epochs: attr.Epochs, Totals: append([]float64(nil), attr.Totals...)}
+	var reply scoreReply
+	if c.Estimator != nil {
+		attr := c.Estimator.Attribution()
+		reply.Epochs = attr.Epochs
+		reply.Totals = append([]float64(nil), attr.Totals...)
+		reply.Engine = "dig-fl"
+	}
+	if c.Engine != nil {
+		rep := c.Engine.Finalize()
+		reply.Engine = rep.Name
+		reply.EngineTotals = rep.Totals
+		reply.EngineEpochs = rep.Epochs
+		reply.EngineEvals = rep.Cost.UtilityEvals
+		if c.Estimator == nil {
+			reply.Epochs = rep.Epochs
+		}
+	}
 	if c.Quarantine != nil {
 		reply.Quarantined = c.Quarantine.Quarantined()
 	}

@@ -247,7 +247,7 @@ func TestRunEReturnsConfigErrors(t *testing.T) {
 
 type badAggregator struct{}
 
-func (badAggregator) Aggregate(ep *Epoch) []float64 { return []float64{1} }
+func (badAggregator) Aggregate(ep *Epoch) ([]float64, error) { return []float64{1}, nil }
 
 type badReweighter struct{}
 

@@ -104,6 +104,13 @@ type Config struct {
 	// after aggregation and the Observer; the zero value (RetainAll) is the
 	// historical keep-everything behavior.
 	RetainDeltas RetainPolicy
+	// Engine, when non-nil, attaches a contribution engine
+	// (internal/shapley.Engine) to the run: it observes every epoch record
+	// right after the Observer and before ReleaseAfterObserve drops the raw
+	// updates. Engines need buffered rounds — configuring Engine together
+	// with Trainer.Stream is a validation error — and never see retraining
+	// sweeps (Trainer.Utility strips the engine like it strips Faults).
+	Engine ContributionEngine
 }
 
 // Checkpoint is the trainer state persisted every CheckpointEvery epochs:
@@ -210,17 +217,39 @@ type Reweighter interface {
 // Aggregator replaces the server's weighted-sum combination of local updates
 // entirely — the hook robust aggregation rules (coordinate median, trimmed
 // mean) plug into. It receives the epoch record after Weights are fixed and
-// returns the global update G_t the server subtracts from θ_{t-1}.
+// returns the global update G_t the server subtracts from θ_{t-1}; an error
+// fails the run through the RunContext contract instead of panicking
+// mid-epoch. (This is the former AggregatorE shape — the panicking variant
+// is gone; wrap legacy panicking rules with AggregatorFunc.)
 type Aggregator interface {
-	Aggregate(ep *Epoch) []float64
+	Aggregate(ep *Epoch) ([]float64, error)
 }
 
-// AggregatorE is the error-returning variant of Aggregator. When the
-// trainer's Aggregator also implements AggregatorE, the trainer calls
-// AggregateE instead and surfaces the error through the RunE contract — a
-// misconfigured robust rule fails the run instead of panicking mid-epoch.
-type AggregatorE interface {
-	AggregateE(ep *Epoch) ([]float64, error)
+// AggregatorE is the historical name of the error-returning aggregation
+// interface, which is now the only one.
+//
+// Deprecated: use Aggregator.
+type AggregatorE = Aggregator
+
+// AggregatorFunc adapts the legacy panicking aggregate function shape to
+// the error-returning Aggregator interface.
+//
+// Deprecated: implement Aggregator directly; panics inside f still escape.
+type AggregatorFunc func(ep *Epoch) []float64
+
+// Aggregate implements Aggregator.
+func (f AggregatorFunc) Aggregate(ep *Epoch) ([]float64, error) { return f(ep), nil }
+
+// ContributionEngine is the trainer-facing slice of a contribution engine
+// (internal/shapley.Engine): a name for reporting plus per-epoch
+// observation. It is defined here, structurally satisfied by the engine
+// implementations, so the trainer can carry an engine without depending on
+// them. The trainer feeds the engine every epoch record — after screening,
+// reweighting, aggregation, and the Observer, but before a ReleaseAfterObserve
+// policy drops the raw Deltas the engine needs.
+type ContributionEngine interface {
+	Name() string
+	Observe(ep *Epoch)
 }
 
 // Screener vets an epoch's local updates server-side before weights are
@@ -369,8 +398,11 @@ func (tr *Trainer) participants() int {
 	return tr.Cfg.Participants
 }
 
-// Run trains with all participants, panicking on error — the historical
-// convenience API. Fault-tolerant callers use RunE.
+// Run trains with all participants, panicking on error. It is a thin
+// wrapper over RunContext(context.Background()) — the canonical entrypoint
+// — kept as a convenience for throwaway scripts; it adds nothing beyond
+// unwrapping the error, so results are bit-identical to RunContext
+// (proven by TestRunWrappersBitIdentical).
 func (tr *Trainer) Run() *Result {
 	res, err := tr.RunE()
 	if err != nil {
@@ -381,12 +413,14 @@ func (tr *Trainer) Run() *Result {
 
 // RunE trains with all participants, returning mid-training failures
 // (config errors, plugin shape mismatches, injected crashes, checkpoint
-// write failures) as errors. It is RunContext without cancellation.
+// write failures) as errors. It is exactly RunContext(context.Background())
+// — a documented thin wrapper, not a separate code path.
 func (tr *Trainer) RunE() (*Result, error) {
 	return tr.RunContext(context.Background())
 }
 
-// RunContext trains with all participants under a cancelable context:
+// RunContext is the canonical full-population entrypoint: it trains with
+// all participants under a cancelable context:
 // cancellation is observed at the next epoch boundary (and inside a blocked
 // RoundSource), returns the context's error, and never corrupts trainer
 // state — checkpoints written for completed epochs remain valid resume
@@ -399,7 +433,9 @@ func (tr *Trainer) RunContext(ctx context.Context) (*Result, error) {
 	return tr.RunSubsetContext(ctx, all)
 }
 
-// RunSubset is RunSubsetE panicking on error, kept for compatibility.
+// RunSubset is RunSubsetE panicking on error, kept for compatibility. Like
+// Run, it is a thin wrapper whose results are bit-identical to
+// RunSubsetContext.
 func (tr *Trainer) RunSubset(subset []int) *Result {
 	res, err := tr.RunSubsetE(subset)
 	if err != nil {
@@ -408,12 +444,14 @@ func (tr *Trainer) RunSubset(subset []int) *Result {
 	return res
 }
 
-// RunSubsetE is RunSubsetContext without cancellation.
+// RunSubsetE is exactly RunSubsetContext(context.Background(), subset) — a
+// documented thin wrapper, not a separate code path.
 func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
 	return tr.RunSubsetContext(context.Background(), subset)
 }
 
-// RunSubsetContext trains with only the listed participants (the coalition
+// RunSubsetContext is the canonical trainer entrypoint; every other Run
+// variant delegates here. It trains with only the listed participants (the coalition
 // S), averaging their updates with weight 1/|S|. An empty subset performs no
 // training, leaving θ at the initial model — the V(∅) case. The reweighter
 // and observer only see rounds of the subset run.
@@ -436,6 +474,11 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 		// streaming exists to avoid; refuse the combination instead of
 		// silently buffering (see BufferedRule).
 		return nil, fmt.Errorf("hfl: Stream cannot compose with Aggregator/Reweighter/Screen — those need the buffered path")
+	}
+	if tr.Stream != nil && tr.Cfg.Engine != nil {
+		// Contribution engines reconstruct coalition models from the raw
+		// per-participant updates; a streamed round folds and releases them.
+		return nil, fmt.Errorf("hfl: Cfg.Engine cannot compose with Stream — engines need the buffered path's raw deltas")
 	}
 	model := tr.Model.Clone()
 	res := &Result{Model: model}
@@ -661,13 +704,9 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 			var grad []float64
 			switch {
 			case tr.Aggregator != nil:
-				if agg, ok := tr.Aggregator.(AggregatorE); ok {
-					var err error
-					if grad, err = agg.AggregateE(ep); err != nil {
-						return nil, fmt.Errorf("hfl: epoch %d: aggregator: %w", t, err)
-					}
-				} else {
-					grad = tr.Aggregator.Aggregate(ep)
+				var err error
+				if grad, err = tr.Aggregator.Aggregate(ep); err != nil {
+					return nil, fmt.Errorf("hfl: epoch %d: aggregator: %w", t, err)
 				}
 				if len(grad) != p {
 					return nil, fmt.Errorf("hfl: epoch %d: aggregator returned %d values for %d params", t, len(grad), p)
@@ -694,6 +733,12 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 		}
 		if tr.Observer != nil {
 			tr.Observer(ep)
+		}
+		if tr.Cfg.Engine != nil {
+			// The engine sees every epoch — including all-dropped ones, to
+			// keep its epoch numbering sequential — while the raw Deltas it
+			// reconstructs coalition models from are still alive.
+			tr.Cfg.Engine.Observe(ep)
 		}
 		if tr.Cfg.RetainDeltas == ReleaseAfterObserve {
 			// The epoch is aggregated and observed; release the raw updates
@@ -733,11 +778,18 @@ func (tr *Trainer) Utility(subset []int) float64 {
 	cfg := tr.Cfg
 	cfg.KeepLog = false
 	// Ground-truth utilities are defined on fault-free retraining: coalition
-	// sweeps never inherit the production run's injector or checkpoints.
+	// sweeps never inherit the production run's injector, checkpoints, or
+	// contribution engine (feeding sweep epochs to the engine would corrupt
+	// its sequential view of the production run).
 	cfg.Faults = nil
 	cfg.CheckpointEvery, cfg.CheckpointFunc, cfg.Resume = 0, nil, nil
+	cfg.Engine = nil
 	sub := &Trainer{Model: tr.Model, Parts: tr.Parts, Val: tr.Val, Cfg: cfg}
-	return sub.RunSubset(subset).Utility()
+	res, err := sub.RunSubsetContext(context.Background(), subset)
+	if err != nil {
+		panic(err)
+	}
+	return res.Utility()
 }
 
 // Accuracy evaluates the final model of a run on ds (classification only).

@@ -83,18 +83,35 @@ func TestScreenerErrors(t *testing.T) {
 	}
 }
 
-// errAggE implements both Aggregator and AggregatorE; the trainer must
-// prefer AggregateE and surface its error instead of panicking.
-type errAggE struct{}
+// errAgg returns an error from Aggregate; the trainer must surface it
+// through the RunContext contract instead of panicking.
+type errAgg struct{}
 
-func (errAggE) Aggregate(*Epoch) []float64           { panic("legacy path used") }
-func (errAggE) AggregateE(*Epoch) ([]float64, error) { return nil, errors.New("agg boom") }
+func (errAgg) Aggregate(*Epoch) ([]float64, error) { return nil, errors.New("agg boom") }
 
-// TestAggregatorEPreferred checks the error-returning aggregator contract.
-func TestAggregatorEPreferred(t *testing.T) {
+// TestAggregatorErrorSurfaced checks the error-returning aggregator
+// contract, and that the deprecated AggregatorFunc adapter still plugs the
+// legacy panicking function shape into the same seam.
+func TestAggregatorErrorSurfaced(t *testing.T) {
 	tr, _ := setup(t, 6)
-	tr.Aggregator = errAggE{}
+	tr.Aggregator = errAgg{}
 	if _, err := tr.RunE(); err == nil || !strings.Contains(err.Error(), "agg boom") {
-		t.Fatalf("AggregateE error not surfaced: %v", err)
+		t.Fatalf("Aggregate error not surfaced: %v", err)
+	}
+	tr2, _ := setup(t, 6)
+	called := false
+	tr2.Aggregator = AggregatorFunc(func(ep *Epoch) []float64 {
+		called = true
+		out := make([]float64, len(ep.Theta))
+		inv := 1 / float64(len(ep.Deltas))
+		for _, d := range ep.Deltas {
+			for j, v := range d {
+				out[j] += inv * v
+			}
+		}
+		return out
+	})
+	if _, err := tr2.RunE(); err != nil || !called {
+		t.Fatalf("AggregatorFunc adapter run: err=%v called=%v", err, called)
 	}
 }

@@ -1,0 +1,97 @@
+package hfl
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunWrappersBitIdentical proves the Run API surface is pure
+// delegation: Run, RunE, and RunContext produce results bit-identical to
+// calling the canonical RunSubsetContext entrypoint with the identity
+// subset, and RunSubset/RunSubsetE match RunSubsetContext on a proper
+// subset. The wrappers add only panic-on-error or a background context —
+// never behavior.
+func TestRunWrappersBitIdentical(t *testing.T) {
+	const seed = 7
+	ref := func() *Result {
+		tr, _ := setup(t, seed)
+		all := make([]int, len(tr.Parts))
+		for i := range all {
+			all[i] = i
+		}
+		res, err := tr.RunSubsetContext(context.Background(), all)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	variants := map[string]func() *Result{
+		"Run": func() *Result {
+			tr, _ := setup(t, seed)
+			return tr.Run()
+		},
+		"RunE": func() *Result {
+			tr, _ := setup(t, seed)
+			res, err := tr.RunE()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+		"RunContext": func() *Result {
+			tr, _ := setup(t, seed)
+			res, err := tr.RunContext(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+	}
+	for name, f := range variants {
+		got := f()
+		if !sameVec(ref.Model.Params(), got.Model.Params()) {
+			t.Fatalf("%s: model differs from RunSubsetContext", name)
+		}
+		if !sameVec(ref.ValLossCurve, got.ValLossCurve) {
+			t.Fatalf("%s: loss curve differs from RunSubsetContext", name)
+		}
+		if ref.InitLoss != got.InitLoss || ref.FinalLoss != got.FinalLoss {
+			t.Fatalf("%s: losses differ from RunSubsetContext", name)
+		}
+		sameLog(t, ref.Log, got.Log)
+	}
+
+	subset := []int{0, 2}
+	subRef := func() *Result {
+		tr, _ := setup(t, seed)
+		res, err := tr.RunSubsetContext(context.Background(), subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+	subVariants := map[string]func() *Result{
+		"RunSubset": func() *Result {
+			tr, _ := setup(t, seed)
+			return tr.RunSubset(subset)
+		},
+		"RunSubsetE": func() *Result {
+			tr, _ := setup(t, seed)
+			res, err := tr.RunSubsetE(subset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+	}
+	for name, f := range subVariants {
+		got := f()
+		if !sameVec(subRef.Model.Params(), got.Model.Params()) {
+			t.Fatalf("%s: model differs from RunSubsetContext", name)
+		}
+		if !sameVec(subRef.ValLossCurve, got.ValLossCurve) {
+			t.Fatalf("%s: loss curve differs from RunSubsetContext", name)
+		}
+	}
+}

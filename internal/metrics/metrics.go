@@ -65,6 +65,40 @@ func ranks(x []float64) []float64 {
 	return r
 }
 
+// Kendall returns Kendall's τ-b rank correlation between x and y: concordant
+// minus discordant pairs over the geometric mean of the tie-adjusted pair
+// counts. τ-b handles ties in either series, matching the average-rank
+// convention Spearman uses. It returns 0 when the lengths differ, fewer than
+// two points are given, or either series is entirely tied.
+func Kendall(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	var conc, disc, tieX, tieY float64
+	for i := 0; i < len(x); i++ {
+		for j := i + 1; j < len(x); j++ {
+			dx, dy := x[i]-x[j], y[i]-y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// jointly tied pairs drop out of every term
+			case dx == 0:
+				tieX++
+			case dy == 0:
+				tieY++
+			case dx*dy > 0:
+				conc++
+			default:
+				disc++
+			}
+		}
+	}
+	den := math.Sqrt((conc + disc + tieX) * (conc + disc + tieY))
+	if den == 0 {
+		return 0
+	}
+	return (conc - disc) / den
+}
+
 // RelErr returns |a−b| / |a|, the relative error the paper reports in
 // Table II. It returns |a−b| when a is zero.
 func RelErr(a, b float64) float64 {

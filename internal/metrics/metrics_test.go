@@ -161,3 +161,31 @@ func TestStopwatch(t *testing.T) {
 		t.Fatal("elapsed must be non-negative")
 	}
 }
+
+func TestKendall(t *testing.T) {
+	// Perfect agreement and perfect reversal.
+	x := []float64{1, 2, 3, 4, 5}
+	if got := Kendall(x, []float64{10, 20, 30, 40, 50}); got != 1 {
+		t.Fatalf("monotone τ = %v, want 1", got)
+	}
+	if got := Kendall(x, []float64{5, 4, 3, 2, 1}); got != -1 {
+		t.Fatalf("reversed τ = %v, want -1", got)
+	}
+	// Hand-computed: x = 1,2,3; y = 1,3,2 → pairs (1,2)C (1,3)C (2,3)D →
+	// τ = (2-1)/3 = 1/3.
+	if got, want := Kendall([]float64{1, 2, 3}, []float64{1, 3, 2}), 1.0/3; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("hand-computed τ = %v, want %v", got, want)
+	}
+	// τ-b with a tie in y: x = 1,2,3; y = 1,1,2 → C=2, D=0, tieY=1 →
+	// τ = 2/sqrt(2·3).
+	if got, want := Kendall([]float64{1, 2, 3}, []float64{1, 1, 2}), 2/math.Sqrt(6); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("tied τ-b = %v, want %v", got, want)
+	}
+	// Degenerate inputs.
+	if got := Kendall([]float64{1, 2}, []float64{3}); got != 0 {
+		t.Fatalf("length mismatch τ = %v", got)
+	}
+	if got := Kendall([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("constant-series τ = %v", got)
+	}
+}

@@ -13,13 +13,13 @@ import (
 	"digfl/internal/tensor"
 )
 
-// TestAggregateEErrors checks the error contract: empty epochs, ragged
-// shapes, and bad configs return errors from AggregateE on every rule.
-func TestAggregateEErrors(t *testing.T) {
+// TestAggregateErrors checks the error contract: empty epochs, ragged
+// shapes, and bad configs return errors from Aggregate on every rule.
+func TestAggregateErrors(t *testing.T) {
 	ragged := epoch([]float64{1, 2}, []float64{3})
 	empty := &hfl.Epoch{}
 	cases := map[string]struct {
-		agg  hfl.AggregatorE
+		agg  hfl.Aggregator
 		ep   *hfl.Epoch
 		want string
 	}{
@@ -35,27 +35,12 @@ func TestAggregateEErrors(t *testing.T) {
 		"normbound ragged": {NormBound{MaxNorm: 1}, ragged, "ragged"},
 	}
 	for name, c := range cases {
-		out, err := c.agg.AggregateE(c.ep)
+		out, err := c.agg.Aggregate(c.ep)
 		if err == nil {
-			t.Errorf("%s: AggregateE returned %v, want error", name, out)
+			t.Errorf("%s: Aggregate returned %v, want error", name, out)
 		} else if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %q missing %q", name, err, c.want)
 		}
-	}
-	// The legacy Aggregate entry points panic on the same inputs.
-	for i, fn := range []func(){
-		func() { Krum{F: 1}.Aggregate(epoch([]float64{1}, []float64{2}, []float64{3})) },
-		func() { NormBound{}.Aggregate(epoch([]float64{1})) },
-		func() { Median{}.Aggregate(ragged) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("panic case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
 	}
 }
 
@@ -69,7 +54,7 @@ func TestKrumSelectsHonestCenter(t *testing.T) {
 		[]float64{1.05, 1.0},
 		[]float64{-50, 80},
 	)
-	got, err := Krum{F: 1}.AggregateE(ep)
+	got, err := Krum{F: 1}.Aggregate(ep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +62,7 @@ func TestKrumSelectsHonestCenter(t *testing.T) {
 		t.Fatalf("Krum selected the outlier: %v", got)
 	}
 	// Multi-Krum with M=3 averages cluster members only.
-	mk, err := MultiKrum{F: 1, M: 3}.AggregateE(ep)
+	mk, err := MultiKrum{F: 1, M: 3}.Aggregate(ep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +80,7 @@ func TestKrumRejectsNaNUpdate(t *testing.T) {
 		[]float64{math.NaN(), 1},
 		[]float64{1, 0.9},
 	)
-	got, err := Krum{F: 1}.AggregateE(ep)
+	got, err := Krum{F: 1}.Aggregate(ep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +94,7 @@ func TestKrumRejectsNaNUpdate(t *testing.T) {
 func TestKrumDegradedSurvivors(t *testing.T) {
 	ep := epoch([]float64{2, 4})
 	ep.Reported = []int{3}
-	got, err := Krum{F: 2}.AggregateE(ep)
+	got, err := Krum{F: 2}.Aggregate(ep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +104,7 @@ func TestKrumDegradedSurvivors(t *testing.T) {
 	// Three survivors, F=2 infeasible for n=3: still aggregates.
 	ep = epoch([]float64{1}, []float64{2}, []float64{3})
 	ep.Reported = []int{0, 2, 4}
-	if _, err := (MultiKrum{F: 2, M: 5}).AggregateE(ep); err != nil {
+	if _, err := (MultiKrum{F: 2, M: 5}).Aggregate(ep); err != nil {
 		t.Fatalf("degraded Multi-Krum errored: %v", err)
 	}
 }
@@ -127,7 +112,7 @@ func TestKrumDegradedSurvivors(t *testing.T) {
 // TestNormBound clips only over-norm updates.
 func TestNormBound(t *testing.T) {
 	ep := epoch([]float64{3, 4}, []float64{30, 40}) // norms 5 and 50
-	got, err := NormBound{MaxNorm: 5}.AggregateE(ep)
+	got, err := NormBound{MaxNorm: 5}.Aggregate(ep)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func TestTrimmedMeanDegradesOnSurvivorEpochs(t *testing.T) {
 		Deltas:   [][]float64{{2}, {6}},
 		Reported: []int{0, 3},
 	}
-	got := tm.Aggregate(ep)
+	got := mustAgg(t, tm, ep)
 	if got[0] != 4 { // plain mean: effective trim clamped to 0
 		t.Fatalf("degraded trimmed mean = %v, want 4", got)
 	}
@@ -41,7 +41,7 @@ func TestTrimmedMeanDegradesOnSurvivorEpochs(t *testing.T) {
 		Deltas:   [][]float64{{1}, {2}, {1000}},
 		Reported: []int{0, 2, 4},
 	}
-	if got := tm.Aggregate(ep); got[0] != 2 {
+	if got := mustAgg(t, tm, ep); got[0] != 2 {
 		t.Fatalf("survivor-epoch trimmed mean = %v, want 2", got)
 	}
 }
@@ -51,7 +51,7 @@ func TestMedianOnSurvivorEpochs(t *testing.T) {
 		Deltas:   [][]float64{{1, 10}, {5, 20}},
 		Reported: []int{1, 4},
 	}
-	got := Median{}.Aggregate(ep)
+	got := mustAgg(t, Median{}, ep)
 	if got[0] != 3 || got[1] != 15 {
 		t.Fatalf("survivor-epoch median = %v", got)
 	}

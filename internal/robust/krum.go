@@ -21,7 +21,6 @@ type Krum struct {
 
 var (
 	_ hfl.Aggregator   = Krum{}
-	_ hfl.AggregatorE  = Krum{}
 	_ hfl.BufferedRule = Krum{}
 )
 
@@ -29,14 +28,11 @@ var (
 // update of the round materialized at once; Krum cannot stream.
 func (Krum) NeedsBuffer() bool { return true }
 
-// Aggregate implements hfl.Aggregator, panicking on error.
-func (k Krum) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(k, ep) }
-
-// AggregateE implements hfl.AggregatorE: the selected update is returned
+// Aggregate implements hfl.Aggregator: the selected update is returned
 // as the global step. On a degraded (partial-participation) epoch with too
 // few survivors for the configured F, the neighbor count shrinks to the
 // largest feasible value instead of failing the round.
-func (k Krum) AggregateE(ep *hfl.Epoch) ([]float64, error) {
+func (k Krum) Aggregate(ep *hfl.Epoch) ([]float64, error) {
 	sel, err := krumSelect(ep, k.F, 1)
 	if err != nil {
 		return nil, err
@@ -58,7 +54,6 @@ type MultiKrum struct {
 
 var (
 	_ hfl.Aggregator   = MultiKrum{}
-	_ hfl.AggregatorE  = MultiKrum{}
 	_ hfl.BufferedRule = MultiKrum{}
 )
 
@@ -66,12 +61,9 @@ var (
 // selection needs the full round buffer.
 func (MultiKrum) NeedsBuffer() bool { return true }
 
-// Aggregate implements hfl.Aggregator, panicking on error.
-func (m MultiKrum) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(m, ep) }
-
-// AggregateE implements hfl.AggregatorE. Degraded epochs clamp M (and the
+// Aggregate implements hfl.Aggregator. Degraded epochs clamp M (and the
 // neighbor count) to the survivors instead of failing the round.
-func (m MultiKrum) AggregateE(ep *hfl.Epoch) ([]float64, error) {
+func (m MultiKrum) Aggregate(ep *hfl.Epoch) ([]float64, error) {
 	sel, err := krumSelect(ep, m.F, m.M)
 	if err != nil {
 		return nil, err
@@ -168,7 +160,6 @@ type NormBound struct {
 
 var (
 	_ hfl.Aggregator   = NormBound{}
-	_ hfl.AggregatorE  = NormBound{}
 	_ hfl.BufferedRule = NormBound{}
 )
 
@@ -179,12 +170,9 @@ var (
 // Aggregator form here still runs on the buffered path.
 func (NormBound) NeedsBuffer() bool { return false }
 
-// Aggregate implements hfl.Aggregator, panicking on error.
-func (b NormBound) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(b, ep) }
-
-// AggregateE implements hfl.AggregatorE. The epoch's deltas are not
+// Aggregate implements hfl.Aggregator. The epoch's deltas are not
 // mutated; clipping happens on the accumulation.
-func (b NormBound) AggregateE(ep *hfl.Epoch) ([]float64, error) {
+func (b NormBound) Aggregate(ep *hfl.Epoch) ([]float64, error) {
 	if b.MaxNorm <= 0 {
 		return nil, fmt.Errorf("robust: NormBound MaxNorm %v must be positive", b.MaxNorm)
 	}

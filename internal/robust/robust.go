@@ -11,10 +11,9 @@
 // federation is low-quality (the paper's Fig. 7 regime). The ablation
 // benchmarks at the repository root measure exactly that contrast.
 //
-// Every aggregator implements both hfl.Aggregator (the historical
-// panicking API) and hfl.AggregatorE (the error-returning API the trainer
-// prefers): configuration and shape failures surface as errors through the
-// RunE contract, and only the legacy Aggregate entry point panics.
+// Every aggregator implements the error-returning hfl.Aggregator
+// interface: configuration and shape failures surface as errors through
+// the trainer's RunContext contract instead of panicking mid-epoch.
 package robust
 
 import (
@@ -29,7 +28,6 @@ type Median struct{}
 
 var (
 	_ hfl.Aggregator   = Median{}
-	_ hfl.AggregatorE  = Median{}
 	_ hfl.BufferedRule = Median{}
 )
 
@@ -37,11 +35,8 @@ var (
 // every update of the round materialized at once and cannot stream.
 func (Median) NeedsBuffer() bool { return true }
 
-// Aggregate implements hfl.Aggregator, panicking on error.
-func (m Median) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(m, ep) }
-
-// AggregateE implements hfl.AggregatorE.
-func (Median) AggregateE(ep *hfl.Epoch) ([]float64, error) {
+// Aggregate implements hfl.Aggregator.
+func (Median) Aggregate(ep *hfl.Epoch) ([]float64, error) {
 	return aggregate(ep, func(vals []float64) float64 {
 		sort.Float64s(vals)
 		n := len(vals)
@@ -62,7 +57,6 @@ type TrimmedMean struct {
 
 var (
 	_ hfl.Aggregator   = TrimmedMean{}
-	_ hfl.AggregatorE  = TrimmedMean{}
 	_ hfl.BufferedRule = TrimmedMean{}
 )
 
@@ -74,7 +68,7 @@ func (TrimmedMean) NeedsBuffer() bool { return true }
 // surfaces before training starts instead of as an error epochs in. The
 // participant count is a per-epoch property (dropouts shrink it), so it is
 // checked at aggregation time: full-participation epochs still reject an
-// oversized trim, degraded epochs degrade gracefully (see AggregateE).
+// oversized trim, degraded epochs degrade gracefully (see Aggregate).
 func NewTrimmedMean(trim int) (TrimmedMean, error) {
 	if trim < 0 {
 		return TrimmedMean{}, fmt.Errorf("robust: negative trim %d", trim)
@@ -82,15 +76,12 @@ func NewTrimmedMean(trim int) (TrimmedMean, error) {
 	return TrimmedMean{Trim: trim}, nil
 }
 
-// Aggregate implements hfl.Aggregator, panicking on error.
-func (t TrimmedMean) Aggregate(ep *hfl.Epoch) []float64 { return mustAggregate(t, ep) }
-
-// AggregateE implements hfl.AggregatorE. On a degraded
+// Aggregate implements hfl.Aggregator. On a degraded
 // (partial-participation) epoch whose survivor count is too small for the
 // configured trim, the per-side trim shrinks to the largest feasible value
 // — a transient dropout must not fail a run whose configuration is valid
 // for the full federation.
-func (t TrimmedMean) AggregateE(ep *hfl.Epoch) ([]float64, error) {
+func (t TrimmedMean) Aggregate(ep *hfl.Epoch) ([]float64, error) {
 	trim := t.Trim
 	if trim < 0 || 2*trim >= len(ep.Deltas) {
 		if ep.Reported == nil && len(ep.Deltas) > 0 {
@@ -112,16 +103,6 @@ func (t TrimmedMean) AggregateE(ep *hfl.Epoch) ([]float64, error) {
 		}
 		return s / float64(len(kept))
 	})
-}
-
-// mustAggregate adapts AggregateE to the panicking legacy Aggregate
-// contract.
-func mustAggregate(a hfl.AggregatorE, ep *hfl.Epoch) []float64 {
-	out, err := a.AggregateE(ep)
-	if err != nil {
-		panic(err.Error())
-	}
-	return out
 }
 
 // checkShapes validates that the epoch has updates and that they form a

@@ -15,26 +15,36 @@ func epoch(deltas ...[]float64) *hfl.Epoch {
 	return &hfl.Epoch{T: 1, Deltas: deltas}
 }
 
+// mustAgg unwraps an Aggregate call the test expects to succeed.
+func mustAgg(t *testing.T, a hfl.Aggregator, ep *hfl.Epoch) []float64 {
+	t.Helper()
+	out, err := a.Aggregate(ep)
+	if err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	return out
+}
+
 func TestMedianHandComputed(t *testing.T) {
 	ep := epoch(
 		[]float64{1, 10},
 		[]float64{2, 20},
 		[]float64{100, 30},
 	)
-	got := Median{}.Aggregate(ep)
+	got := mustAgg(t, Median{}, ep)
 	if got[0] != 2 || got[1] != 20 {
 		t.Fatalf("median = %v", got)
 	}
 	// Even count: average of middle two.
 	ep = epoch([]float64{1}, []float64{2}, []float64{3}, []float64{100})
-	if got := (Median{}).Aggregate(ep); got[0] != 2.5 {
+	if got := mustAgg(t, Median{}, ep); got[0] != 2.5 {
 		t.Fatalf("even median = %v", got)
 	}
 }
 
 func TestTrimmedMeanHandComputed(t *testing.T) {
 	ep := epoch([]float64{1}, []float64{2}, []float64{3}, []float64{4}, []float64{1000})
-	got := TrimmedMean{Trim: 1}.Aggregate(ep)
+	got := mustAgg(t, TrimmedMean{Trim: 1}, ep)
 	if got[0] != 3 { // mean of {2,3,4}
 		t.Fatalf("trimmed mean = %v", got)
 	}
@@ -42,27 +52,27 @@ func TestTrimmedMeanHandComputed(t *testing.T) {
 
 func TestTrimmedMeanResistsOutlier(t *testing.T) {
 	ep := epoch([]float64{1, 1}, []float64{1, 1}, []float64{1, 1}, []float64{1e9, -1e9})
-	got := TrimmedMean{Trim: 1}.Aggregate(ep)
+	got := mustAgg(t, TrimmedMean{Trim: 1}, ep)
 	if math.Abs(got[0]-1) > 1e-12 || math.Abs(got[1]-1) > 1e-12 {
 		t.Fatalf("outlier leaked through trimmed mean: %v", got)
 	}
 }
 
-func TestPanics(t *testing.T) {
-	cases := []func(){
-		func() { Median{}.Aggregate(&hfl.Epoch{}) },
-		func() { TrimmedMean{Trim: 2}.Aggregate(epoch([]float64{1}, []float64{2}, []float64{3})) },
-		func() { TrimmedMean{Trim: -1}.Aggregate(epoch([]float64{1}, []float64{2}, []float64{3})) },
+func TestAggregateConfigErrors(t *testing.T) {
+	cases := []hfl.Aggregator{
+		Median{},
+		TrimmedMean{Trim: 2},
+		TrimmedMean{Trim: -1},
 	}
-	for i, fn := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("case %d: expected panic", i)
-				}
-			}()
-			fn()
-		}()
+	eps := []*hfl.Epoch{
+		{},
+		epoch([]float64{1}, []float64{2}, []float64{3}),
+		epoch([]float64{1}, []float64{2}, []float64{3}),
+	}
+	for i, a := range cases {
+		if out, err := a.Aggregate(eps[i]); err == nil {
+			t.Fatalf("case %d: Aggregate returned %v, want error", i, out)
+		}
 	}
 }
 

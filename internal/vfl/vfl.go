@@ -255,7 +255,10 @@ type Result struct {
 func (r *Result) Utility() float64 { return r.InitLoss - r.FinalLoss }
 
 // Run trains with all participants, panicking on error — the historical
-// convenience API. Fault-tolerant callers use RunE.
+// convenience API, kept as a documented thin wrapper over RunE (and so
+// over RunSubsetContext). It adds no behavior of its own; see
+// TestRunWrappersBitIdentical. Fault-tolerant callers use RunE or
+// RunContext.
 func (tr *Trainer) Run() *Result {
 	res, err := tr.RunE()
 	if err != nil {
@@ -271,11 +274,13 @@ func (tr *Trainer) RunE() (*Result, error) {
 	return tr.RunContext(context.Background())
 }
 
-// RunContext trains with all participants under a cancelable context:
-// cancellation is observed at the next epoch boundary, returns the
-// context's error, and never corrupts trainer state — checkpoints written
-// for completed epochs remain valid resume points, so a canceled run
-// continues bit-identically via Cfg.Resume.
+// RunContext trains with all participants under a cancelable context —
+// the canonical full-population entrypoint (it materializes the identity
+// subset and delegates to RunSubsetContext). Cancellation is observed at
+// the next epoch boundary, returns the context's error, and never
+// corrupts trainer state — checkpoints written for completed epochs
+// remain valid resume points, so a canceled run continues bit-identically
+// via Cfg.Resume.
 func (tr *Trainer) RunContext(ctx context.Context) (*Result, error) {
 	all := make([]int, tr.Problem.Parties())
 	for i := range all {
@@ -284,7 +289,8 @@ func (tr *Trainer) RunContext(ctx context.Context) (*Result, error) {
 	return tr.RunSubsetContext(ctx, all)
 }
 
-// RunSubset is RunSubsetE panicking on error, kept for compatibility.
+// RunSubset is RunSubsetE panicking on error, kept for compatibility as a
+// thin wrapper; it adds no behavior of its own.
 func (tr *Trainer) RunSubset(subset []int) *Result {
 	res, err := tr.RunSubsetE(subset)
 	if err != nil {
@@ -300,7 +306,9 @@ func (tr *Trainer) RunSubsetE(subset []int) (*Result, error) {
 
 // RunSubsetContext trains with only the blocks of the listed participants;
 // the remaining blocks stay frozen at zero — the paper's removal semantics
-// (a removed participant's local output is identically 0, Sec. II-C2).
+// (a removed participant's local output is identically 0, Sec. II-C2). It
+// is the canonical trainer entrypoint: every other Run variant delegates
+// here and adds only panic-on-error or a background context.
 //
 // With Cfg.Faults attached, a party may drop out of individual epochs: its
 // block of that epoch's update is frozen at zero (the same removal

@@ -1,0 +1,66 @@
+package vfl
+
+import (
+	"context"
+	"testing"
+)
+
+func eqVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRunWrappersBitIdentical proves the Run API surface is pure
+// delegation: Run, RunE, and RunContext produce results bit-identical to
+// the canonical RunSubsetContext entrypoint with the identity subset, and
+// RunSubset/RunSubsetE match it on a proper subset.
+func TestRunWrappersBitIdentical(t *testing.T) {
+	const seed = 11
+	mk := func() *Trainer {
+		return &Trainer{Problem: regProblem(seed), Cfg: Config{Epochs: 25, LR: 0.05, KeepLog: true}}
+	}
+	ref, err := mk().RunSubsetContext(context.Background(), []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := map[string]func() (*Result, error){
+		"Run":        func() (*Result, error) { return mk().Run(), nil },
+		"RunE":       func() (*Result, error) { return mk().RunE() },
+		"RunContext": func() (*Result, error) { return mk().RunContext(context.Background()) },
+	}
+	for name, f := range variants {
+		got, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !eqVec(ref.Model.Params(), got.Model.Params()) {
+			t.Fatalf("%s: model differs from RunSubsetContext", name)
+		}
+		if !eqVec(ref.ValLossCurve, got.ValLossCurve) {
+			t.Fatalf("%s: loss curve differs from RunSubsetContext", name)
+		}
+		if ref.InitLoss != got.InitLoss || ref.FinalLoss != got.FinalLoss {
+			t.Fatalf("%s: losses differ from RunSubsetContext", name)
+		}
+	}
+
+	subset := []int{0, 2}
+	subRef, err := mk().RunSubsetContext(context.Background(), subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mk().RunSubset(subset); !eqVec(subRef.Model.Params(), got.Model.Params()) {
+		t.Fatal("RunSubset: model differs from RunSubsetContext")
+	}
+	if got, err := mk().RunSubsetE(subset); err != nil || !eqVec(subRef.ValLossCurve, got.ValLossCurve) {
+		t.Fatalf("RunSubsetE: err=%v or curve differs from RunSubsetContext", err)
+	}
+}
