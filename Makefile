@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale verify-wire verify-crash verify-engines bench-json
+.PHONY: build test bench verify verify-faults verify-net verify-adv verify-scale verify-wire verify-crash verify-engines verify-async bench-json
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,7 @@ verify:
 	$(MAKE) verify-wire
 	$(MAKE) verify-crash
 	$(MAKE) verify-engines
+	$(MAKE) verify-async
 
 # verify-faults runs the fault-injection suite: the determinism gate
 # (TestFaultScheduleDeterministic runs the full dropout/straggler/crash/
@@ -80,17 +81,34 @@ verify-wire:
 	$(GO) test -count=1 -run '^$$' -fuzz FuzzDecodePartialFrame -fuzztime 5s ./internal/fednet/
 	$(GO) test -count=1 -run '^$$' -fuzz FuzzDecodeRoundFrame -fuzztime 5s ./internal/fednet/
 
+# verify-async runs the asynchronous-federation gate: the buffered-planner
+# unit tests (K-of-N quorum cuts, staleness weights with w(0)=1 exact,
+# aged-out rejection, deterministic tie-breaks, buffer snapshot round-trip),
+# the loopback bit-identity test (async coordinator over real HTTP vs
+# AsyncLocalSource, 202-buffered and 409-too_stale wire paths exercised),
+# the mid-quorum WAL recovery test (buffered entries grafted back after a
+# crash), the composition-refusal and goroutine-leak tests, and the -exp
+# async acceptance study (at straggler rate 0.4 the async fold reaches the
+# no-fault loss target while sync-drop does not, fresh path bit-identical
+# to the streamed reference, rerun deterministic). -count=1 defeats the
+# test cache so the gates re-execute.
+verify-async:
+	$(GO) vet ./internal/hfl/ ./internal/fednet/ ./internal/experiments/ ./internal/robust/
+	$(GO) test -count=1 -run 'Async|PolyWeight|Stale|Buffered|FedProx' \
+		./internal/hfl/ ./internal/fednet/ ./internal/experiments/ ./internal/robust/
+
 # bench-json regenerates the perf-trajectory file for this revision: the
 # wire benchmark (bytes on wire, allocs per round, per codec) plus the
 # networked-runtime timings, APPENDED to $(BENCH_JSON) (entries from prior
 # revisions are preserved), then diffed against the committed copy so the
 # delta is visible before it lands.
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 bench-json:
 	$(GO) run ./cmd/digfl-bench -exp wire -json $(BENCH_JSON)
 	$(GO) run ./cmd/digfl-bench -exp net -json $(BENCH_JSON)
 	$(GO) run ./cmd/digfl-bench -exp chaos -json $(BENCH_JSON)
 	$(GO) run ./cmd/digfl-bench -exp engines -json $(BENCH_JSON)
+	$(GO) run ./cmd/digfl-bench -exp async -json $(BENCH_JSON)
 	git --no-pager diff --stat -- $(BENCH_JSON) || true
 
 # verify-engines runs the contribution-engine gate: the cross-engine

@@ -44,8 +44,12 @@
 // log through every registered contribution engine (exact, TMC, GT, GTG,
 // DPVS) and reports rank accuracy against exact Shapley next to
 // utility-evaluation cost; the extra "volatility" id reports each engine's
-// rank stability (Kendall tau spread) across sampling seeds. None is part
-// of the paper's evaluation, so -exp all includes none of them.
+// rank stability (Kendall tau spread) across sampling seeds and async
+// quorum sizes; the extra "async" id races the synchronous drop-straggler
+// policy against the asynchronous staleness-discounted fold on a
+// class-disjoint federation and reports epochs-to-target at several sticky
+// straggler rates. None is part of the paper's evaluation, so -exp all
+// includes none of them.
 package main
 
 import (
@@ -225,6 +229,22 @@ func enginesRunner() runner {
 	}
 }
 
+// asyncRunner runs the buffered-federation study: sync-drop vs
+// staleness-discounted async fold at several sticky-straggler rates, gated
+// on fresh-path bit-identity, determinism, and an epochs-to-target
+// advantage. Outside the paper's artifact set, so -exp all does not
+// include it.
+func asyncRunner() runner {
+	return runner{
+		ids:  []string{"async"},
+		desc: "async federation: sync-drop vs staleness-discounted fold (not in 'all')",
+		run: func(o experiments.Opts) []result {
+			r := experiments.Async(o)
+			return []result{{render: func(w *os.File) { r.Render(w) }, tables: r.Tables(), bench: r.Bench()}}
+		},
+	}
+}
+
 // volatilityRunner reports each engine's rank stability across sampling
 // seeds. Outside the paper's artifact set, so -exp all does not include it.
 func volatilityRunner() runner {
@@ -303,7 +323,8 @@ func main() {
 		os.Exit(2)
 	}
 	rs := append(runners(), faultsRunner(spec), netRunner(), adversarialRunner(advSpec),
-		wireRunner(), loadRunner(lspec), chaosRunner(), enginesRunner(), volatilityRunner())
+		wireRunner(), loadRunner(lspec), chaosRunner(), enginesRunner(), volatilityRunner(),
+		asyncRunner())
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-14s %s\n", join(r.ids), r.desc)
@@ -405,7 +426,7 @@ func main() {
 		for _, r := range rs {
 			if contains(r.ids, "faults") || contains(r.ids, "net") || contains(r.ids, "adversarial") ||
 				contains(r.ids, "wire") || contains(r.ids, "load") || contains(r.ids, "chaos") ||
-				contains(r.ids, "engines") || contains(r.ids, "volatility") {
+				contains(r.ids, "engines") || contains(r.ids, "volatility") || contains(r.ids, "async") {
 				continue // robustness checks are opt-in; 'all' stays the paper set
 			}
 			emit(r)

@@ -382,6 +382,19 @@ type (
 	HFLRoundSpec = hfl.RoundSpec
 	// HFLRoundResult carries one round's collected local updates.
 	HFLRoundResult = hfl.RoundResult
+	// HFLAsyncConfig is the asynchronous (FedBuff-style) commit policy:
+	// K-of-N quorum commits with staleness-discounted late folds. Attach
+	// via NetCoordinator.Async on a streamed run; the fresh path is
+	// bit-identical to the synchronous streamed fold.
+	HFLAsyncConfig = hfl.AsyncConfig
+	// HFLBufferedRuleError reports a buffered-only aggregation rule
+	// (median, trimmed mean, Krum) configured on a path that never
+	// materializes the round buffer (Stream or Async).
+	HFLBufferedRuleError = hfl.BufferedRuleError
+	// NetAsyncLocalSource is the in-process reference RoundSource for the
+	// async commit policy — what a loopback async federation is
+	// bit-identical to.
+	NetAsyncLocalSource = fednet.AsyncLocalSource
 )
 
 // Networked runtime helpers.
@@ -392,6 +405,10 @@ var (
 	// RunTreeLoopback runs a two-level cohort tree (root coordinator, edge
 	// sub-aggregators, participants) on the loopback interface.
 	RunTreeLoopback = fednet.TreeLoopback
+	// HFLPolyWeight builds the polynomial staleness decay
+	// w(s) = (1+s)^(-alpha) used by HFLAsyncConfig.Weight; w(0) is exactly
+	// 1 for every alpha.
+	HFLPolyWeight = hfl.PolyWeight
 )
 
 // Scaling runtime (internal/sampling + the streaming aggregation seam): the
@@ -503,6 +520,10 @@ const (
 	// and re-join when the instance header changed (the built-in
 	// Participant does both automatically).
 	WireRecovering = fednet.CodeRecovering
+	// WireTooStale is the 409 an async round answers a late update whose
+	// origin is past the staleness window (HFLAsyncConfig.MaxStaleness) —
+	// benign for the client, which skips forward to the open round.
+	WireTooStale = fednet.CodeTooStale
 )
 
 // Vertical model kinds.
@@ -705,6 +726,10 @@ type (
 	// weights plus permanent exclusion of persistently negative
 	// contributors.
 	Quarantine = robust.Quarantine
+	// FedProx is the proximal-term heterogeneity defense: Apply installs
+	// HFLConfig.Prox, adding μ·(w − θ) to each multi-step local gradient.
+	// μ = 0 is bit-identical to builds without the term.
+	FedProx = robust.FedProx
 )
 
 // Adversarial-defense constructors.

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAsyncStudyGates is the buffered-federation acceptance gate: the
+// rate-0 async arm must reproduce the plain streamed trainer bit for bit,
+// the study must be deterministic, and at the highest sticky-straggler
+// rate the staleness-discounted fold must reach the no-fault loss target
+// in fewer epochs than the synchronous drop (which is floored by the
+// permanently missing class-disjoint shard).
+func TestAsyncStudyGates(t *testing.T) {
+	r := Async(QuickOpts())
+	if !r.FreshIdentical {
+		t.Error("rate-0 async arm not bit-identical to the streamed reference")
+	}
+	if !r.Deterministic {
+		t.Error("async arm rerun diverged (model/curve/phi)")
+	}
+	if !r.StragglerAdvantage {
+		t.Errorf("async fold shows no epochs-to-target advantage at rate %g:\n%+v",
+			asyncRates[len(asyncRates)-1], r.Rows)
+	}
+	var folds int64
+	for _, a := range r.Rows {
+		folds += a.StaleFolds
+	}
+	if folds == 0 {
+		t.Error("no arm folded a stale update — the lag schedule never fired")
+	}
+	for _, a := range r.Rows {
+		if a.Mode == "sync-drop" && a.AsyncCommits+a.StaleFolds+a.StaleRejects != 0 {
+			t.Errorf("sync arm %+v has async counters", a)
+		}
+	}
+}
+
+// TestAsyncStudyRerunIdentical pins the report minus its wall-clock
+// columns (rows, counters, gates) as a pure function of Opts — the
+// property `make verify-async` gates on.
+func TestAsyncStudyRerunIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full study twice")
+	}
+	strip := func(r *AsyncResult) map[string][][]string {
+		tabs := r.Tables()
+		for _, row := range tabs["async_topology"] {
+			row[len(row)-2], row[len(row)-1] = "", "" // p50/p99 are wall clock
+		}
+		return tabs
+	}
+	a, b := strip(Async(QuickOpts())), strip(Async(QuickOpts()))
+	if !reflect.DeepEqual(a, b) {
+		t.Error("async study rerun produced different tables")
+	}
+}

@@ -50,6 +50,12 @@ type BenchEntry struct {
 	Engine       string  `json:"engine,omitempty"`
 	UtilityEvals int64   `json:"utility_evals,omitempty"`
 	KendallTau   float64 `json:"kendall_tau,omitempty"`
+	// Arm identifies an async-topology entry's (mode, straggler-rate)
+	// cell, e.g. "async-fold/r0.4"; EpochsToTarget is the first epoch
+	// that arm's validation loss reached the no-fault reference target
+	// (0 = never).
+	Arm            string `json:"arm,omitempty"`
+	EpochsToTarget int    `json:"epochs_to_target,omitempty"`
 }
 
 // BenchFile is the versioned on-disk form of digfl-bench -json output.

@@ -49,6 +49,16 @@ type ChaosResult struct {
 	// EdgeIdentical: the tree run whose edge died mid-round reproduced the
 	// uninterrupted tree bit for bit through direct-submission failover.
 	EdgeIdentical bool
+	// AsyncIdentical: the async (K-of-N buffered) loopback run under
+	// dropout + stragglers, killed at the same scheduled points and
+	// recovered mid-quorum from the journal, reproduced the in-process
+	// AsyncLocalSource reference bit for bit (model, curve, phi).
+	AsyncIdentical bool
+	// AsyncRestarts counts the async runs' coordinator incarnations beyond
+	// the first; AsyncStaleFolds counts their staleness-discounted commits
+	// (proof the runs exercised the buffer, not just the fresh path).
+	AsyncRestarts   int
+	AsyncStaleFolds int64
 	// WALBytes totals the journal bytes written by the uninterrupted
 	// journaled runs.
 	WALBytes int64
@@ -308,6 +318,119 @@ func chaosLoopback(model nn.Model, parts []dataset.Dataset, val dataset.Dataset,
 	return res, est, archive, restarts, nil
 }
 
+// chaosAsyncPolicy is the async leg's commit policy, and chaosAsyncFaults
+// its fault mix: dropout composes with the lag schedule, so buffered
+// entries can sit out epochs and age inside the staleness window.
+func chaosAsyncPolicy() hfl.AsyncConfig {
+	return hfl.AsyncConfig{Quorum: 2, MaxStaleness: 2}
+}
+
+func chaosAsyncFaults(seed int64) faults.Config {
+	return faults.Config{Seed: seed, Dropout: 0.15, Straggler: 0.5}
+}
+
+// chaosAsyncLocal is the async leg's uninterrupted reference: the
+// in-process AsyncLocalSource feeding a streaming trainer, with the same
+// estimator the loopback coordinator attaches.
+func chaosAsyncLocal(seed int64, o Opts, cfg hfl.Config, n int, sink obs.Sink,
+) (*hfl.Result, *core.HFLEstimator, error) {
+	model, parts, val := chaosProblem(seed, o)
+	est := core.NewHFLEstimator(n, model.NumParams(), core.ResourceSaving, nil)
+	cfg.Participants = n
+	cfg.Faults = faults.MustNew(chaosAsyncFaults(seed))
+	cfg.Runtime.Sink = sink
+	tr := &hfl.Trainer{
+		Model: model, Val: val, Cfg: cfg,
+		Rounds: &fednet.AsyncLocalSource{
+			Model: model, Parts: parts, Async: chaosAsyncPolicy(),
+			Faults: faults.MustNew(chaosAsyncFaults(seed)), Sink: sink,
+		},
+		Stream:   hfl.MeanStream{},
+		Observer: func(ep *hfl.Epoch) { est.Observe(ep) },
+	}
+	res, err := tr.RunE()
+	return res, est, err
+}
+
+// chaosAsyncLoopback runs the async commit policy over a loopback listener
+// with the WAL attached, killing the coordinator at each scheduled point —
+// including mid-quorum, with updates buffered but uncommitted — and
+// restarting it through Recover until the run completes. The async path
+// requires Stream and forbids Archive, so unlike chaosLoopback there is no
+// archive to compare; bit-identity is model + curve + estimator state.
+func chaosAsyncLoopback(seed int64, o Opts, cfg hfl.Config, n int,
+	journal *bytes.Buffer, kills []faults.CrashAt, sink obs.Sink,
+) (*hfl.Result, *core.HFLEstimator, int, error) {
+	model, parts, val := chaosProblem(seed, o)
+	front := &chaosFront{}
+	jw := &crashWriter{buf: journal, sched: kills, mid: (n + 1) / 2, onCrash: front.kill}
+	cfg.Faults = faults.MustNew(chaosAsyncFaults(seed))
+	cfg.Runtime.Sink = sink
+	ac := chaosAsyncPolicy()
+	newCoord := func() (*fednet.Coordinator, *core.HFLEstimator) {
+		est := core.NewHFLEstimator(n, model.NumParams(), core.ResourceSaving, nil)
+		c := &fednet.Coordinator{
+			N: n, Model: model, Val: val, Cfg: cfg,
+			Estimator: est,
+			Stream:    hfl.MeanStream{},
+			Async:     &ac,
+			Journal:   jw,
+		}
+		return c, est
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("experiments: chaos async listener: %w", err)
+	}
+	srv := &http.Server{Handler: front}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	coord, est := newCoord()
+	front.install(coord.Handler())
+
+	ctx := context.Background()
+	perrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		p := &fednet.Participant{
+			Index: i, Model: model, Data: parts[i], BaseURL: base,
+			Retries: 400, Base: time.Millisecond, Cap: 20 * time.Millisecond, Sink: sink,
+		}
+		wg.Add(1)
+		go func(i int, p *fednet.Participant) { defer wg.Done(); perrs[i] = p.Run(ctx) }(i, p)
+	}
+
+	restarts := 0
+	var res *hfl.Result
+	for {
+		res, err = coord.Run(ctx)
+		if err == nil {
+			break
+		}
+		restarts++
+		if restarts > len(kills)+1 {
+			return nil, nil, restarts, fmt.Errorf("experiments: chaos async coordinator (incarnation %d): %w", restarts, err)
+		}
+		coord, est = newCoord()
+		consumed, rerr := coord.Recover(bytes.NewReader(journal.Bytes()))
+		if rerr != nil {
+			return nil, nil, restarts, fmt.Errorf("experiments: chaos async recovery %d: %w", restarts, rerr)
+		}
+		journal.Truncate(int(consumed))
+		front.install(coord.Handler())
+	}
+	wg.Wait()
+	for i, perr := range perrs {
+		if perr != nil {
+			return nil, nil, restarts, fmt.Errorf("experiments: chaos async participant %d: %w", i, perr)
+		}
+	}
+	return res, est, restarts, nil
+}
+
 // chaosTreeRun runs a two-level cohort tree; killRound > 0 kills edge 0
 // immediately after it acks the first member update of that round, so one
 // member must be re-solicited by the root (grace-timer resubmission) and the
@@ -451,6 +574,7 @@ func Chaos(o Opts) *ChaosResult {
 	r := &ChaosResult{
 		Participants: n, Epochs: epochs, Seeds: seeds,
 		WALTransparent: true, CrashIdentical: true, EdgeIdentical: true,
+		AsyncIdentical: true,
 	}
 	fail := func(err error) {
 		panic(fmt.Sprintf("experiments: chaos: %v", err))
@@ -508,10 +632,28 @@ func Chaos(o Opts) *ChaosResult {
 		if !sameFed(treeRes, treeRefRes, treeEst, treeRefEst) {
 			r.EdgeIdentical = false
 		}
+
+		// Async leg: the same kill schedule against a K-of-N buffered run
+		// under dropout + stragglers, recovered mid-quorum from the WAL,
+		// vs the uninterrupted in-process reference.
+		asyncRefRes, asyncRefEst, err := chaosAsyncLocal(seed, o, cfg, n, o.Sink)
+		if err != nil {
+			fail(err)
+		}
+		asyncRes, asyncEst, asyncRestarts, err := chaosAsyncLoopback(
+			seed, o, cfg, n, &bytes.Buffer{}, kills, sink)
+		if err != nil {
+			fail(err)
+		}
+		r.AsyncRestarts += asyncRestarts
+		if !sameFed(asyncRes, asyncRefRes, asyncEst, asyncRefEst) {
+			r.AsyncIdentical = false
+		}
 	}
 
 	snap := collector.Snapshot()
 	r.Recoveries, r.Rejoins, r.Failovers = snap.Recoveries, snap.Rejoins, snap.EdgeFailovers
+	r.AsyncStaleFolds = snap.StaleFolds
 	wq := Quantiles(walDurs, 0.50, 0.99)
 	rq := Quantiles(rawDurs, 0.50, 0.99)
 	r.WalP50, r.WalP99 = wq[0], wq[1]
@@ -521,7 +663,7 @@ func Chaos(o Opts) *ChaosResult {
 
 // Passed reports whether every bit-identity gate held.
 func (r *ChaosResult) Passed() bool {
-	return r.WALTransparent && r.CrashIdentical && r.EdgeIdentical
+	return r.WALTransparent && r.CrashIdentical && r.EdgeIdentical && r.AsyncIdentical
 }
 
 // Render writes the chaos-harness summary.
@@ -531,11 +673,12 @@ func (r *ChaosResult) Render(w io.Writer) {
 	for i, kills := range r.Kills {
 		fmt.Fprintf(w, "seed %d coordinator kills: %v\n", r.Seeds[i], kills)
 	}
-	fmt.Fprintf(w, "restarts=%d recoveries=%d rejoins=%d edge-failovers=%d\n",
-		r.Restarts, r.Recoveries, r.Rejoins, r.Failovers)
+	fmt.Fprintf(w, "restarts=%d recoveries=%d rejoins=%d edge-failovers=%d async-restarts=%d async-stale-folds=%d\n",
+		r.Restarts, r.Recoveries, r.Rejoins, r.Failovers, r.AsyncRestarts, r.AsyncStaleFolds)
 	fmt.Fprintf(w, "WAL transparent (journaled == unjournaled): %v\n", r.WALTransparent)
 	fmt.Fprintf(w, "crash+recover bit-identical (model, curve, phi, archive): %v\n", r.CrashIdentical)
 	fmt.Fprintf(w, "edge-death tree bit-identical: %v\n", r.EdgeIdentical)
+	fmt.Fprintf(w, "async crash+recover bit-identical (dropout+stragglers, mid-quorum kills): %v\n", r.AsyncIdentical)
 	fmt.Fprintf(w, "journal bytes (uninterrupted): %d; round p50/p99 wal=%v/%v raw=%v/%v\n",
 		r.WALBytes, r.WalP50, r.WalP99, r.RawP50, r.RawP99)
 }
@@ -556,6 +699,9 @@ func (r *ChaosResult) Tables() map[string][][]string {
 		{"wal_transparent", strconv.FormatBool(r.WALTransparent)},
 		{"crash_identical", strconv.FormatBool(r.CrashIdentical)},
 		{"edge_identical", strconv.FormatBool(r.EdgeIdentical)},
+		{"async_identical", strconv.FormatBool(r.AsyncIdentical)},
+		{"async_restarts", strconv.Itoa(r.AsyncRestarts)},
+		{"async_stale_folds", strconv.FormatInt(r.AsyncStaleFolds, 10)},
 		{"wal_bytes", strconv.FormatInt(r.WALBytes, 10)},
 		{"wal_round_p50_ms", f(r.WalP50)},
 		{"wal_round_p99_ms", f(r.WalP99)},

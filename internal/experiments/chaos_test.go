@@ -28,4 +28,16 @@ func TestChaosHarness(t *testing.T) {
 		t.Errorf("crash-safety counters flat: recover=%d rejoin=%d failover=%d",
 			r.Recoveries, r.Rejoins, r.Failovers)
 	}
+	if !r.AsyncIdentical {
+		t.Errorf("async killed-and-recovered runs differ from AsyncLocalSource reference (kills: %v)", r.Kills)
+	}
+	if r.AsyncRestarts == 0 {
+		t.Errorf("async chaos schedule produced no coordinator restarts")
+	}
+	if r.AsyncStaleFolds == 0 {
+		t.Errorf("async chaos runs folded no stale updates — the lag schedule never fired")
+	}
+	if !r.Passed() {
+		t.Errorf("chaos harness gates did not all pass: %+v", r)
+	}
 }

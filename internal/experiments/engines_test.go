@@ -86,6 +86,16 @@ func TestVolatilityDeterministic(t *testing.T) {
 					t.Fatalf("seed %d: %s must be seed-invariant, got %+v", seed, row.Engine, row)
 				}
 			}
+			if len(row.AsyncTaus) != len(asyncQuorums) {
+				t.Fatalf("seed %d: %s: %d async taus, want one per quorum %v",
+					seed, row.Engine, len(row.AsyncTaus), asyncQuorums)
+			}
+			for k, tau := range row.AsyncTaus {
+				if tau < -1 || tau > 1 {
+					t.Fatalf("seed %d: %s: async tau k=%d out of range: %v",
+						seed, row.Engine, asyncQuorums[k], tau)
+				}
+			}
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 
+	"digfl/internal/faults"
 	"digfl/internal/hfl"
 	"digfl/internal/metrics"
 	"digfl/internal/shapley"
@@ -31,6 +32,12 @@ type VolatilityRow struct {
 	// PartMinTau/PartMeanTau/PartMaxTau summarize the pairwise-τ
 	// distribution across participation patterns.
 	PartMinTau, PartMeanTau, PartMaxTau float64
+	// AsyncTaus[k] is the engine's τ between its ranking on the pristine
+	// log and its ranking on the asyncQuorums[k]-of-N buffered view of the
+	// same log (stale updates folded discounted by the real AsyncPlanner)
+	// — how much ranking an engine loses to the async participation
+	// pattern at each quorum.
+	AsyncTaus []float64
 }
 
 // VolatilityResult is the -exp volatility report: per-engine rank
@@ -48,6 +55,57 @@ const (
 	volatilitySeeds    = 4
 	volatilityPatterns = 3
 )
+
+// asyncQuorums is the K sweep of the async participation axis: each K
+// derives a K-of-N buffered view of the shared log through the real
+// AsyncPlanner.
+var asyncQuorums = []int{2, 4, 8}
+
+// asyncLog derives the async-participation view of a full-participation
+// training log: the same lag schedule the async trainer uses decides who
+// lags each epoch, the planner cuts the K-of-N quorum, and committed stale
+// updates carry their (1+s)^(-1/2) discount — exactly the deltas an async
+// run would have folded, over the untouched broadcast trajectory. Epochs
+// whose commit set is empty are dropped (no update entered the model).
+func asyncLog(log []*hfl.Epoch, n, quorum int, seed int64) []*hfl.Epoch {
+	pl, err := hfl.NewAsyncPlanner(
+		hfl.AsyncConfig{Quorum: quorum, MaxStaleness: 2},
+		faults.MustNew(faults.Config{Seed: seed, Straggler: 0.5}), nil)
+	if err != nil {
+		panic(err)
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	type key struct{ part, origin int }
+	held := make(map[key][]float64)
+	var out []*hfl.Epoch
+	for _, ep := range log {
+		sched := pl.Schedule(ep.T, active)
+		deltas := make(map[int][]float64, len(sched.Fresh))
+		for _, i := range sched.Fresh {
+			c := append([]float64(nil), ep.Deltas[i]...)
+			held[key{i, ep.T}] = c
+			deltas[i] = c
+		}
+		ac, err := pl.Commit(ep.T, len(ep.Theta), hfl.MeanStream{}, ep.ValGrad, sched, deltas)
+		if err != nil {
+			panic(err)
+		}
+		if len(ac.Reported) == 0 {
+			continue
+		}
+		d := *ep
+		d.Reported = ac.Reported
+		d.Deltas = make([][]float64, len(ac.Committed))
+		for j, e := range ac.Committed {
+			d.Deltas[j] = held[key{e.Part, e.Origin}]
+		}
+		out = append(out, &d)
+	}
+	return out
+}
 
 // degradeLog derives a partial-participation view of a full-participation
 // training log: every epoch drops one seeded participant (Lemma-3 zero row
@@ -108,6 +166,10 @@ func Volatility(o Opts) *VolatilityResult {
 	for p := range degraded {
 		degraded[p] = degradeLog(run.Log, o.Seed+int64(100*(p+1)))
 	}
+	asyncViews := make([][]*hfl.Epoch, len(asyncQuorums))
+	for k, q := range asyncQuorums {
+		asyncViews[k] = asyncLog(run.Log, engineN, q, o.Seed)
+	}
 
 	res := &VolatilityResult{N: engineN, Epochs: epochs}
 	for _, name := range shapley.Engines() {
@@ -129,6 +191,10 @@ func Volatility(o Opts) *VolatilityResult {
 		row := VolatilityRow{Engine: name, Seeds: volatilitySeeds, Patterns: volatilityPatterns}
 		row.MinTau, row.MeanTau, row.MaxTau = tauSpread(seedTotals)
 		row.PartMinTau, row.PartMeanTau, row.PartMaxTau = tauSpread(partTotals)
+		for _, view := range asyncViews {
+			asyncTotals := feedEngine(name, mkSpec(o.Seed), view).Totals
+			row.AsyncTaus = append(row.AsyncTaus, metrics.Kendall(seedTotals[0], asyncTotals))
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res
@@ -137,28 +203,44 @@ func Volatility(o Opts) *VolatilityResult {
 // Render writes the volatility report.
 func (r *VolatilityResult) Render(w io.Writer) {
 	writeHeader(w, "Contribution engines — rank stability across sampling seeds and participation")
-	fmt.Fprintf(w, "n=%d epochs=%d seeds=%d patterns=%d graded corruption (pairwise Kendall tau of totals)\n\n",
-		r.N, r.Epochs, volatilitySeeds, volatilityPatterns)
-	fmt.Fprintf(w, "%-16s %8s %8s %8s   %8s %8s %8s\n",
+	fmt.Fprintf(w, "n=%d epochs=%d seeds=%d patterns=%d quorums=%v graded corruption (pairwise Kendall tau of totals; a.kQ = tau vs Q-of-N async buffered view)\n\n",
+		r.N, r.Epochs, volatilitySeeds, volatilityPatterns, asyncQuorums)
+	fmt.Fprintf(w, "%-16s %8s %8s %8s   %8s %8s %8s  ",
 		"engine", "min", "mean", "max", "p.min", "p.mean", "p.max")
+	for _, q := range asyncQuorums {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("a.k%d", q))
+	}
+	fmt.Fprintln(w)
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-16s %8.3f %8.3f %8.3f   %8.3f %8.3f %8.3f\n",
+		fmt.Fprintf(w, "%-16s %8.3f %8.3f %8.3f   %8.3f %8.3f %8.3f  ",
 			row.Engine, row.MinTau, row.MeanTau, row.MaxTau,
 			row.PartMinTau, row.PartMeanTau, row.PartMaxTau)
+		for _, tau := range row.AsyncTaus {
+			fmt.Fprintf(w, " %7.3f", tau)
+		}
+		fmt.Fprintln(w)
 	}
 }
 
 // Tables renders the report as CSV.
 func (r *VolatilityResult) Tables() map[string][][]string {
-	rows := [][]string{{
+	head := []string{
 		"engine", "seeds", "min_tau", "mean_tau", "max_tau",
 		"patterns", "part_min_tau", "part_mean_tau", "part_max_tau",
-	}}
+	}
+	for _, q := range asyncQuorums {
+		head = append(head, fmt.Sprintf("async_tau_k%d", q))
+	}
+	rows := [][]string{head}
 	for _, row := range r.Rows {
-		rows = append(rows, []string{
+		rec := []string{
 			row.Engine, strconv.Itoa(row.Seeds), f(row.MinTau), f(row.MeanTau), f(row.MaxTau),
 			strconv.Itoa(row.Patterns), f(row.PartMinTau), f(row.PartMeanTau), f(row.PartMaxTau),
-		})
+		}
+		for _, tau := range row.AsyncTaus {
+			rec = append(rec, f(tau))
+		}
+		rows = append(rows, rec)
 	}
 	return map[string][][]string{"engines_volatility": rows}
 }

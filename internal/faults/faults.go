@@ -59,6 +59,14 @@ type Config struct {
 	// function of (seed, round, participant, attempt), the injected loss
 	// pattern is identical across runs regardless of request interleaving.
 	NetFailure float64
+	// StickyStragglers pins the async lag schedule (Lag) to the
+	// participant alone instead of the (epoch, participant) pair: the same
+	// members lag every epoch, modeling persistently slow devices rather
+	// than transient hiccups. Under a synchronous deadline a sticky
+	// straggler's shard never reaches the model; under the async commit
+	// policy it keeps contributing at a staleness discount — the contrast
+	// the -exp async experiment measures. Only Lag consults it.
+	StickyStragglers bool
 }
 
 func (c Config) validate() error {
@@ -132,6 +140,13 @@ const (
 	DomainSecure uint64 = 3
 	// DomainNet draws per-(round, participant, attempt) request failures.
 	DomainNet uint64 = 4
+	// DomainAsyncLag draws the async commit policy's per-(epoch,
+	// participant) straggler lags (Lag): whether a fresh update lags and
+	// by how many epochs.
+	DomainAsyncLag uint64 = 5
+	// DomainAsyncTie draws the async commit policy's per-(epoch,
+	// participant, origin) quorum tie-break keys (hfl.AsyncPlanner).
+	DomainAsyncTie uint64 = 6
 	// DomainSampling draws the cohort sampler's per-(epoch, participant)
 	// keys (internal/sampling).
 	DomainSampling uint64 = 7
@@ -154,6 +169,8 @@ func Domains() map[string]uint64 {
 		"straggler":         DomainStraggler,
 		"secure":            DomainSecure,
 		"net":               DomainNet,
+		"async_lag":         DomainAsyncLag,
+		"async_tie":         DomainAsyncTie,
 		"sampling":          DomainSampling,
 		"chaos":             DomainChaos,
 		"adversary_fire":    DomainAdversaryFire,
@@ -208,6 +225,33 @@ func (in *Injector) Straggles(epoch, part int) (time.Duration, bool) {
 		return in.cfg.StragglerDelay, true
 	}
 	return 0, false
+}
+
+// Lag is the async commit policy's straggler schedule: it reports how many
+// epochs participant part's epoch-t update lags before becoming a commit
+// candidate. 0 means the update is fresh (a candidate in its own epoch); a
+// positive lag L in [1, maxLag] means the update is buffered and surfaces
+// in epoch t+L with staleness L. The fire decision reuses the Straggler
+// rate on its own hash domain, so synchronous runs (which consult
+// Straggles) and asynchronous runs (which consult Lag) draw independent
+// schedules from one config. Lags clamp to maxLag — the policy's staleness
+// window — so a scheduled lag is always admissible. With
+// Config.StickyStragglers the draw ignores the epoch: the same
+// participants lag, by the same amount, every epoch.
+func (in *Injector) Lag(epoch, part, maxLag int) int {
+	if in == nil || in.cfg.Straggler == 0 || maxLag < 1 {
+		return 0
+	}
+	e := uint64(epoch)
+	if in.cfg.StickyStragglers {
+		e = 0
+	}
+	if in.uniform(DomainAsyncLag, e, uint64(part), 0) >= in.cfg.Straggler {
+		return 0
+	}
+	// Second draw for the magnitude: uniform over [1, maxLag] (the variate
+	// is strictly below 1, so the floor never reaches maxLag itself).
+	return 1 + int(in.uniform(DomainAsyncLag, e, uint64(part), 1)*float64(maxLag))
 }
 
 // CrashesAt reports whether training crashes at the start of the given

@@ -214,3 +214,51 @@ func TestDomainsUnique(t *testing.T) {
 		t.Fatal("Domains registry is empty")
 	}
 }
+
+// TestLagScheduleProperties pins the async lag schedule: Lag is
+// deterministic, bounded by [0, maxLag], zero on a nil injector or a zero
+// straggler rate, fires at roughly the configured rate, and with
+// StickyStragglers becomes epoch-invariant.
+func TestLagScheduleProperties(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Lag(1, 0, 3) != 0 {
+		t.Error("nil injector scheduled a lag")
+	}
+	if MustNew(Config{Seed: 1}).Lag(1, 0, 3) != 0 {
+		t.Error("zero straggler rate scheduled a lag")
+	}
+	inj := MustNew(Config{Seed: 9, Straggler: 0.4})
+	if inj.Lag(1, 0, 0) != 0 {
+		t.Error("maxLag 0 must disable lags")
+	}
+	const epochs, parts, maxLag = 200, 10, 3
+	fired := 0
+	for e := 1; e <= epochs; e++ {
+		for i := 0; i < parts; i++ {
+			l := inj.Lag(e, i, maxLag)
+			if l != inj.Lag(e, i, maxLag) {
+				t.Fatal("Lag not deterministic")
+			}
+			if l < 0 || l > maxLag {
+				t.Fatalf("lag %d outside [0,%d]", l, maxLag)
+			}
+			if l > 0 {
+				fired++
+			}
+		}
+	}
+	rate := float64(fired) / float64(epochs*parts)
+	if rate < 0.3 || rate > 0.5 {
+		t.Errorf("empirical lag rate %v far from configured 0.4", rate)
+	}
+
+	sticky := MustNew(Config{Seed: 9, Straggler: 0.4, StickyStragglers: true})
+	for i := 0; i < parts; i++ {
+		want := sticky.Lag(1, i, maxLag)
+		for e := 2; e <= 20; e++ {
+			if got := sticky.Lag(e, i, maxLag); got != want {
+				t.Fatalf("sticky lag for part %d drifted: epoch %d gave %d, epoch 1 gave %d", i, e, got, want)
+			}
+		}
+	}
+}

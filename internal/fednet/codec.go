@@ -62,6 +62,12 @@ var (
 const (
 	roundFlagTheta   = 1 << 0
 	roundFlagValGrad = 1 << 1
+	// roundFlagAsync marks an asynchronous round: 8 extra header bytes
+	// (u32 quorum, u32 maxStale) follow the fixed header before the
+	// vectors. Old decoders reject the unknown flag, which is correct —
+	// an async coordinator must not be spoken to by a client that would
+	// silently ignore the commit policy.
+	roundFlagAsync = 1 << 2
 )
 
 // Codec encodes a client's bulk uploads in one of the negotiated wire
@@ -170,8 +176,9 @@ const roundHdrLen = 4 + 4 + 8 + 8 + 4 + 4 // magic, t, lr, deadline, flags, d
 // encodeRoundFrame builds the binary open-round broadcast. theta and
 // valGrad are each optional (header-only polls omit theta; only streaming
 // rounds carry a validation gradient) but must agree on d when both
-// present.
-func encodeRoundFrame(t int, lr float64, deadlineMS int64, theta, valGrad []float64) []byte {
+// present. A quorum > 0 marks the round asynchronous and appends the
+// commit-policy extension (quorum, maxStale) after the fixed header.
+func encodeRoundFrame(t int, lr float64, deadlineMS int64, theta, valGrad []float64, quorum, maxStale int) []byte {
 	d := len(theta)
 	flags := 0
 	if theta != nil {
@@ -181,7 +188,13 @@ func encodeRoundFrame(t int, lr float64, deadlineMS int64, theta, valGrad []floa
 		flags |= roundFlagValGrad
 		d = len(valGrad) // equal to len(theta) when both are present
 	}
+	if quorum > 0 {
+		flags |= roundFlagAsync
+	}
 	n := roundHdrLen
+	if flags&roundFlagAsync != 0 {
+		n += roundAsyncExtLen
+	}
 	if flags&roundFlagTheta != 0 {
 		n += 8 * d
 	}
@@ -196,6 +209,11 @@ func encodeRoundFrame(t int, lr float64, deadlineMS int64, theta, valGrad []floa
 	binary.LittleEndian.PutUint32(buf[24:], uint32(flags))
 	binary.LittleEndian.PutUint32(buf[28:], uint32(d))
 	off := roundHdrLen
+	if flags&roundFlagAsync != 0 {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(quorum))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(maxStale))
+		off += roundAsyncExtLen
+	}
 	if flags&roundFlagTheta != 0 {
 		putFrameVec(buf[off:], theta)
 		off += 8 * d
@@ -205,6 +223,9 @@ func encodeRoundFrame(t int, lr float64, deadlineMS int64, theta, valGrad []floa
 	}
 	return buf
 }
+
+// roundAsyncExtLen is the async extension's size: u32 quorum, u32 maxStale.
+const roundAsyncExtLen = 4 + 4
 
 // putFrameVec writes v's IEEE-754 bits little-endian into buf.
 func putFrameVec(buf []byte, v []float64) {
@@ -301,13 +322,16 @@ func decodeRoundFrame(b []byte) (*roundReply, error) {
 	r.DeadlineMS = int64(binary.LittleEndian.Uint64(b[16:]))
 	flags := int(binary.LittleEndian.Uint32(b[24:]))
 	d := int(binary.LittleEndian.Uint32(b[28:]))
-	if flags&^(roundFlagTheta|roundFlagValGrad) != 0 {
+	if flags&^(roundFlagTheta|roundFlagValGrad|roundFlagAsync) != 0 {
 		return nil, badFrame("round frame has unknown flags %#x", flags)
 	}
 	if d > maxFrameDim {
 		return nil, badFrame("round frame declares %d params", d)
 	}
 	want := roundHdrLen
+	if flags&roundFlagAsync != 0 {
+		want += roundAsyncExtLen
+	}
 	if flags&roundFlagTheta != 0 {
 		want += 8 * d
 	}
@@ -318,6 +342,11 @@ func decodeRoundFrame(b []byte) (*roundReply, error) {
 		return nil, badFrame("round frame has %d bytes, header implies %d", len(b), want)
 	}
 	off := roundHdrLen
+	if flags&roundFlagAsync != 0 {
+		r.Quorum = int(binary.LittleEndian.Uint32(b[off:]))
+		r.MaxStale = int(binary.LittleEndian.Uint32(b[off+4:]))
+		off += roundAsyncExtLen
+	}
 	if flags&roundFlagTheta != 0 {
 		r.Theta = decodeFrameVec(b[off:], d)
 		off += 8 * d

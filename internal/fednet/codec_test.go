@@ -96,7 +96,7 @@ func TestRoundFrameRoundTrip(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			frame := encodeRoundFrame(9, 0.3, 1500, c.theta, c.valGrad)
+			frame := encodeRoundFrame(9, 0.3, 1500, c.theta, c.valGrad, 0, 0)
 			rr, err := decodeRoundFrame(frame)
 			if err != nil {
 				t.Fatalf("decodeRoundFrame: %v", err)
@@ -349,9 +349,9 @@ func FuzzDecodePartialFrame(f *testing.F) {
 
 // FuzzDecodeRoundFrame: same contract for the broadcast decoder.
 func FuzzDecodeRoundFrame(f *testing.F) {
-	f.Add(encodeRoundFrame(1, 0.3, 0, []float64{1, 2}, nil))
-	f.Add(encodeRoundFrame(2, 0.1, 500, []float64{1}, []float64{2}))
-	f.Add(encodeRoundFrame(3, 0.1, 0, nil, []float64{2}))
+	f.Add(encodeRoundFrame(1, 0.3, 0, []float64{1, 2}, nil, 0, 0))
+	f.Add(encodeRoundFrame(2, 0.1, 500, []float64{1}, []float64{2}, 0, 0))
+	f.Add(encodeRoundFrame(3, 0.1, 0, nil, []float64{2}, 3, 4))
 	f.Add([]byte("D2RD"))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		rr, err := decodeRoundFrame(b)

@@ -138,6 +138,18 @@ type Coordinator struct {
 	// edge's segment from direct submissions (global index i belongs to
 	// edge i/EdgeWidth); 0 means ceil(N/Edges), the TreeLoopback partition.
 	EdgeWidth int
+	// Async, when non-nil (requires Stream), switches the round loop to the
+	// asynchronous buffered commit policy (hfl.AsyncConfig): each round's
+	// cohort is the planner's fresh set, a scheduled-lagged arrival buffers
+	// across epochs (acknowledged 202 buffered), a late update for an older
+	// round is admitted into the buffer while it is within MaxStaleness
+	// epochs (202 buffered) and refused with 409 too_stale beyond it, and
+	// the epoch commits the quorum's worth of candidates at a deterministic
+	// staleness discount. Async cannot compose with Edges, and a
+	// buffered-only Aggregator (median, trimmed mean, the Krum family)
+	// refuses with hfl.BufferedRuleError. Cfg.Faults supplies the lag
+	// schedule and tie-break seed.
+	Async *hfl.AsyncConfig
 
 	mu      sync.Mutex
 	changed chan struct{}
@@ -159,6 +171,11 @@ type Coordinator struct {
 	instance   int
 	recovering bool
 	archStage  *bytes.Buffer
+
+	// asyncPlan executes the Async commit policy; built by run, accessed
+	// under mu (Round's schedule/commit, ingest's late admits, journalClose's
+	// buffer snapshot).
+	asyncPlan *hfl.AsyncPlanner
 }
 
 // openRound is the coordinator's mutable view of the in-flight round.
@@ -197,6 +214,12 @@ type openRound struct {
 	direct     map[int][]float64
 	directDots map[int]float64
 	openedAt   time.Time
+
+	// Async-round state (Coordinator.Async): the epoch's arrival plan.
+	// order/slots/deltas cover only the schedule's fresh cohort; the round
+	// closes when every fresh member posted and the quorum cut happens in
+	// the planner's Commit.
+	async *hfl.AsyncSchedule
 }
 
 // streaming reports whether this round folds on arrival.
@@ -290,6 +313,26 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 			return nil, errors.New("fednet: Engine cannot compose with Journal or Recover — engine state is not journaled, so a recovery would replay a log gap")
 		}
 	}
+	if c.Async != nil {
+		if c.Stream == nil {
+			return nil, errors.New("fednet: Async requires Stream (async commits are folded on acceptance, never buffered)")
+		}
+		if c.Edges > 0 {
+			return nil, errors.New("fednet: Async cannot compose with Edges (edge partials pre-fold the cohort before the quorum cut)")
+		}
+		// The typed refusal precedes the generic Stream×Aggregator check so
+		// callers can errors.As the buffered-rule incompatibility.
+		if br, ok := c.Aggregator.(hfl.BufferedRule); ok && br.NeedsBuffer() {
+			return nil, &hfl.BufferedRuleError{Rule: fmt.Sprintf("%T", c.Aggregator), Path: "Async"}
+		}
+		pl, err := hfl.NewAsyncPlanner(*c.Async, c.Cfg.Faults, c.Cfg.Runtime.Sink)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.asyncPlan = pl
+		c.mu.Unlock()
+	}
 	if c.Journal != nil {
 		if c.Screen != nil || c.IngestScreen != nil {
 			return nil, errors.New("fednet: Journal cannot compose with Screen or IngestScreen (clipping rewrites updates after the journaled bytes)")
@@ -342,6 +385,15 @@ func (c *Coordinator) run(ctx context.Context) (*hfl.Result, error) {
 	rec := c.rec
 	if rec != nil && rec.lastClosed > 0 {
 		cfg.Resume = &hfl.Checkpoint{Epoch: rec.lastClosed, Theta: rec.theta, ValLossCurve: rec.curve}
+	}
+	if c.asyncPlan != nil && rec != nil && len(rec.buffered) > 0 {
+		// Reinstall the journaled carry-over buffer before the grafted round
+		// re-derives its schedule: the buffer decides who is in flight.
+		entries := make([]*hfl.AsyncEntry, 0, len(rec.buffered))
+		for i, b := range rec.buffered {
+			entries = append(entries, &hfl.AsyncEntry{Part: i, Origin: b.origin, Due: b.due, Delta: b.delta})
+		}
+		c.asyncPlan.SetBuffer(entries)
 	}
 	if c.wal != nil {
 		// Journal every closed epoch before the next opens: the checkpoint
@@ -539,6 +591,15 @@ func (c *Coordinator) journalClose(ck *hfl.Checkpoint) error {
 	if c.Quarantine != nil {
 		rec.Quarantine = toWalQuar(c.Quarantine.State())
 	}
+	if c.asyncPlan != nil {
+		// Snapshot the post-commit carry-over buffer: replay resolves each
+		// entry's delta from the round's journaled frames, so the checkpoint
+		// stays metadata-sized. The buffer is stable here — late admits are
+		// gated on an open round, and the next round has not opened yet.
+		for _, e := range c.asyncPlan.Buffer() {
+			rec.Buffered = append(rec.Buffered, walBufEntry{Part: e.Part, Origin: e.Origin, Due: e.Due})
+		}
+	}
 	c.mu.Unlock()
 	if err := c.wal.appendJSON(rec); err != nil {
 		return err
@@ -597,7 +658,14 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 	for k, i := range spec.Active {
 		r.slots[i] = k
 	}
-	if c.Stream != nil && spec.ValGrad != nil {
+	switch {
+	case c.Async != nil:
+		// Async round: the cohort, slots, and arrival buffer derive from the
+		// planner's schedule under the lock below (the carry-over buffer
+		// decides who is in flight). Arrivals buffer like a plain round; the
+		// quorum cut and discounted fold happen at close in the planner.
+		r.valGrad = spec.ValGrad
+	case c.Stream != nil && spec.ValGrad != nil:
 		// Streaming round: fold on arrival instead of buffering. In edge
 		// mode the fold is per-edge on the edge aggregators; the root only
 		// merges the partial sums.
@@ -614,19 +682,40 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 			r.fold = c.Stream.NewFold(len(spec.Theta), len(spec.Active), spec.ValGrad)
 			r.norms = make([]float64, 0, len(spec.Active))
 		}
-	} else {
+	default:
 		r.deltas = make([][]float64, len(spec.Active))
 	}
+	roundDeadline := c.RoundDeadline
+	if c.Async != nil && c.Async.Deadline > 0 {
+		// The async deadline is a real-failure safety valve only: a
+		// deterministic run closes every round by arrival count, never by
+		// timer (the schedule's every fresh member posts during its round).
+		roundDeadline = c.Async.Deadline
+	}
 	var deadlineCh <-chan time.Time
-	if c.RoundDeadline > 0 {
-		r.deadline = time.Now().Add(c.RoundDeadline)
-		timer := time.NewTimer(c.RoundDeadline)
+	if roundDeadline > 0 {
+		r.deadline = time.Now().Add(roundDeadline)
+		timer := time.NewTimer(roundDeadline)
 		defer timer.Stop()
 		deadlineCh = timer.C
 	}
 
 	c.mu.Lock()
 	c.initLocked()
+	if c.asyncPlan != nil {
+		// Plan the epoch's arrivals. Schedule is a pure read of (buffer,
+		// seed), so a grafted round re-derives the exact pre-crash plan —
+		// the journaled epoch_open carries the full active set, and the
+		// carry-over buffer was reinstalled before Run's first Round call.
+		sched := c.asyncPlan.Schedule(spec.T, spec.Active)
+		r.async = sched
+		r.order = sched.Fresh
+		r.slots = make(map[int]int, len(sched.Fresh))
+		for k, i := range sched.Fresh {
+			r.slots[i] = k
+		}
+		r.deltas = make([][]float64, len(sched.Fresh))
+	}
 	// WAL: a fresh round journals its open before it is visible to any
 	// client; a recovered round (the previous incarnation already journaled
 	// this open and some commits) grafts the replayed commits instead.
@@ -642,7 +731,11 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 		}
 	}
 	if grafted {
-		c.graftLocked(r, rec, spec)
+		if r.async != nil {
+			c.graftAsyncLocked(r, rec)
+		} else {
+			c.graftLocked(r, rec, spec)
+		}
 	}
 	// Recovery complete: the rejoin barrier refilled and the round is
 	// republishing, so stop 503ing round traffic.
@@ -705,6 +798,27 @@ func (c *Coordinator) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 	var missed []int
 	nAgg := 0
 	switch {
+	case r.async != nil:
+		// Async close: hand the physical arrivals to the planner, which cuts
+		// the quorum over them plus the due buffered entries, folds the
+		// commit set at its staleness discounts, and re-buffers (or rejects)
+		// the rest. A fresh member missing an arrival is possible only when
+		// a real deadline fired.
+		arrivals := make(map[int][]float64, r.got)
+		for k, i := range r.order {
+			if r.deltas[k] != nil {
+				arrivals[i] = r.deltas[k]
+			} else {
+				missed = append(missed, i)
+			}
+		}
+		ac, err := c.asyncPlan.Commit(spec.T, len(r.theta), c.Stream, r.valGrad, r.async, arrivals)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("fednet: round %d: async commit: %w", spec.T, err)
+		}
+		res.Reported, res.Agg, res.Dots = ac.Reported, ac.Agg, ac.Dots
+		nAgg = len(ac.Reported)
 	case r.parts != nil:
 		// Edge mode: merge the edge partials in edge order — exactly the
 		// segment-flush order of hfl.MeanStream with Seg = edge width — and
@@ -893,6 +1007,24 @@ func (c *Coordinator) graftLocked(r *openRound, rec *walReplay, spec *hfl.RoundS
 	}
 }
 
+// graftAsyncLocked reinstalls a replayed journal's open async round: the
+// round's late admits re-enter the planner's buffer (after Schedule, which
+// must see the pre-admit buffer the epoch opened with), and the journaled
+// fresh arrivals graft into their slots. The close-time Commit is a pure
+// function of (buffer, arrivals, seed), so the recovered round commits
+// bit-identically to an uninterrupted one. Callers hold mu.
+func (c *Coordinator) graftAsyncLocked(r *openRound, rec *walReplay) {
+	for i, la := range rec.lateAdmits {
+		c.asyncPlan.Admit(i, la.origin, r.t, la.delta)
+	}
+	for i, delta := range rec.updates {
+		if k, active := r.slots[i]; active && r.deltas[k] == nil {
+			r.deltas[k] = delta
+			r.got++
+		}
+	}
+}
+
 // reconstructSegments groups an edge-mode round's direct submissions into
 // their dead edge's segment, rebuilding the partial the edge would have
 // folded: member deltas summed in ascending slot order from a zero
@@ -1035,7 +1167,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, req *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, joinReply{
 		Protocol: Protocol, N: c.N, Epochs: c.Cfg.Epochs, LocalSteps: steps,
-		Codec: codec, Instance: inst,
+		Codec: codec, Instance: inst, Prox: c.Cfg.Prox,
 	})
 }
 
@@ -1099,6 +1231,10 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 				}
 			}
 			reply := roundReply{State: StateOpen, T: r.t, LR: jsonf.F64(r.lr)}
+			if c.Async != nil {
+				reply.Quorum = c.Async.Quorum
+				reply.MaxStale = c.Async.MaxStaleness
+			}
 			if !headerOnly {
 				reply.Theta = r.theta
 			}
@@ -1117,7 +1253,7 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, req *http.Request) {
 			c.mu.Unlock()
 			if bulk := reply.Theta != nil || reply.ValGrad != nil; bulk && wantV2 {
 				frame := encodeRoundFrame(reply.T, float64(reply.LR), reply.DeadlineMS,
-					reply.Theta, reply.ValGrad)
+					reply.Theta, reply.ValGrad, reply.Quorum, reply.MaxStale)
 				obs.Emit(sink, obs.Event{Kind: obs.KindCodecV2Frame, T: reply.T, N: 1})
 				writeBinary(w, frame)
 				return
@@ -1230,6 +1366,14 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 		return
 	}
 	r := c.round
+	if c.asyncPlan != nil && r != nil && r.async != nil && !r.closed && t < r.t {
+		// Async late path: an update for an older round reached an open
+		// later one. Within the staleness window it is admitted into the
+		// planner's buffer (202 buffered) and folds at a discount when due;
+		// beyond the window it is refused as too stale.
+		c.ingestLateLocked(w, r, t, index, decode)
+		return
+	}
 	if r == nil || r.t != t || r.closed {
 		// The round is gone — the participant straggled past the deadline
 		// (or submitted for a round that is not open). Benign for a
@@ -1249,7 +1393,7 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 		// duplicate payload. On an edge-mode round this also covers a
 		// failover resubmission whose slot the edge's partial already
 		// folded: exactly-once either way.
-		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		c.ackUpdateLocked(w, r, index)
 		return
 	}
 	delta, err := decode()
@@ -1330,8 +1474,9 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 		c.bcastLocked()
 		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
 	default:
-		// Buffered round: the epoch retains the delta (estimator, archive,
-		// screens), so it stays off the pool.
+		// Buffered round (including async arrivals): the epoch retains the
+		// delta (estimator, archive, screens, quorum cut), so it stays off
+		// the pool.
 		if err := c.journalUpdate(t, index, delta); err != nil {
 			tensor.PutVec(delta)
 			c.bcastLocked()
@@ -1340,8 +1485,74 @@ func (c *Coordinator) ingestUpdate(w http.ResponseWriter, t, index int, frameKin
 		r.deltas[k] = delta
 		r.got++
 		c.bcastLocked()
-		writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+		c.ackUpdateLocked(w, r, index)
 	}
+}
+
+// ackUpdateLocked acknowledges an accepted (or idempotently retried) update:
+// 200 on a commit-candidate arrival, 202 buffered when the async schedule
+// lags the participant's update into a later epoch. Callers hold mu.
+func (c *Coordinator) ackUpdateLocked(w http.ResponseWriter, r *openRound, index int) {
+	if r.async != nil && r.async.Lag[index] > 0 {
+		writeJSON(w, http.StatusAccepted, updateReply{Accepted: true, Reason: "buffered"})
+		return
+	}
+	writeJSON(w, http.StatusOK, updateReply{Accepted: true})
+}
+
+// ingestLateLocked admits (or refuses) an async late update: one computed
+// against closed round origin that physically arrived while round r.t is
+// open. The delta is journaled as a D2UP frame at t = r.t followed by a
+// stale_admit control record, so replay can tell it apart from the open
+// round's fresh arrivals. Callers hold mu.
+func (c *Coordinator) ingestLateLocked(w http.ResponseWriter, r *openRound, origin, index int, decode func() ([]float64, error)) {
+	sink := c.Cfg.Runtime.Sink
+	if s := r.t - origin; s > c.Async.MaxStaleness {
+		obs.Emit(sink, obs.Event{Kind: obs.KindStaleReject, T: r.t, Part: index, N: int64(s)})
+		writeCodedError(w, http.StatusConflict, CodeTooStale,
+			"update for round %d is %d epochs stale (window %d)", origin, s, c.Async.MaxStaleness)
+		return
+	}
+	if c.asyncPlan.InFlight(index) {
+		// Idempotent: a retried admission (the first 202 was lost) — or a
+		// second stale update racing the buffered one — leaves the buffer
+		// untouched.
+		writeJSON(w, http.StatusAccepted, updateReply{Accepted: true, Reason: "buffered"})
+		return
+	}
+	delta, err := decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding delta: %v", err)
+		return
+	}
+	switch {
+	case len(delta) != len(r.theta):
+		tensor.PutVec(delta)
+		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: r.t, Part: index})
+		writeCodedError(w, http.StatusUnprocessableEntity, CodeBadShape,
+			"delta has %d params, model has %d", len(delta), len(r.theta))
+		return
+	case !finiteVec(delta):
+		tensor.PutVec(delta)
+		obs.Emit(sink, obs.Event{Kind: obs.KindUpdateRejected, T: r.t, Part: index})
+		writeCodedError(w, http.StatusUnprocessableEntity, CodeNonFinite,
+			"delta carries non-finite values")
+		return
+	}
+	if err := c.journalUpdate(r.t, index, delta); err != nil {
+		tensor.PutVec(delta)
+		c.bcastLocked()
+		panic(http.ErrAbortHandler)
+	}
+	if c.wal != nil {
+		if err := c.wal.appendJSON(walRecord{Kind: walKindStaleAdmit,
+			T: r.t, Part: index, Origin: origin}); err != nil {
+			c.bcastLocked()
+			panic(http.ErrAbortHandler)
+		}
+	}
+	c.asyncPlan.Admit(index, origin, r.t, delta)
+	writeJSON(w, http.StatusAccepted, updateReply{Accepted: true, Reason: "buffered"})
 }
 
 // handlePartial ingests one edge sub-aggregator's cohort partial on an

@@ -38,7 +38,7 @@ func (s *LocalSource) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 			continue
 		}
 		res.Reported = append(res.Reported, i)
-		res.Deltas = append(res.Deltas, s.update(spec.Theta, spec.LR, spec.LocalSteps, i))
+		res.Deltas = append(res.Deltas, s.update(spec, i))
 	}
 	if !degraded {
 		res.Reported = nil
@@ -46,10 +46,16 @@ func (s *LocalSource) Round(ctx context.Context, spec *hfl.RoundSpec) (*hfl.Roun
 	return res, nil
 }
 
-func (s *LocalSource) update(theta []float64, lr float64, steps, i int) []float64 {
-	model := s.Model.Clone()
+func (s *LocalSource) update(spec *hfl.RoundSpec, i int) []float64 {
+	return localDelta(s.Model, s.Parts[i], spec.Theta, spec.LR, spec.LocalSteps, spec.Prox)
+}
+
+// localDelta computes one participant's update with exactly the trainer's
+// arithmetic (including the FedProx proximal term), so source-computed and
+// in-process updates are bit-identical.
+func localDelta(proto nn.Model, part dataset.Dataset, theta []float64, lr float64, steps int, mu float64) []float64 {
+	model := proto.Clone()
 	model.SetParams(tensor.Clone(theta))
-	part := s.Parts[i]
 	if steps <= 1 {
 		g := model.Grad(part.X, part.Y)
 		tensor.Scale(lr, g)
@@ -57,7 +63,9 @@ func (s *LocalSource) update(theta []float64, lr float64, steps, i int) []float6
 	}
 	local := model.Clone()
 	for st := 0; st < steps; st++ {
-		tensor.AXPY(-lr, local.Grad(part.X, part.Y), local.Params())
+		g := local.Grad(part.X, part.Y)
+		hfl.ProxAdd(mu, g, local.Params(), model.Params())
+		tensor.AXPY(-lr, g, local.Params())
 	}
 	return tensor.Sub(model.Params(), local.Params())
 }

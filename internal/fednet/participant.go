@@ -131,7 +131,9 @@ func (p *Participant) do(ctx context.Context, round, retries int, build func() (
 		}
 		err = func() error {
 			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
+			// Any 2xx is an acceptance: 200 for a commit-candidate update,
+			// 202 for one the async coordinator buffered.
+			if resp.StatusCode < 200 || resp.StatusCode > 299 {
 				var er errorReply
 				_ = readJSON(resp.Body, &er)
 				return &WireError{Status: resp.StatusCode, Code: er.Code,
@@ -152,7 +154,7 @@ func (p *Participant) do(ctx context.Context, round, retries int, build func() (
 			}
 			// Any other non-2xx is a protocol rejection, not a transport
 			// flake; the coordinator will refuse the retry identically.
-			if resp.StatusCode != http.StatusOK {
+			if resp.StatusCode < 200 || resp.StatusCode > 299 {
 				return err
 			}
 			lastErr = err
@@ -304,7 +306,7 @@ func (p *Participant) Run(ctx context.Context) error {
 		if p.Delay != nil {
 			p.Delay(round.T)
 		}
-		delta := p.localUpdate(round.Theta, float64(round.LR), join.LocalSteps)
+		delta := p.localUpdate(round.Theta, float64(round.LR), join.LocalSteps, join.Prox)
 		if p.Tamper != nil {
 			p.Tamper(round.T, delta)
 		}
@@ -344,11 +346,13 @@ func (p *Participant) Run(ctx context.Context) error {
 		}
 		if err != nil {
 			// A stale-round rejection means we straggled past the deadline
-			// and the epoch proceeded with the survivors — the protocol
-			// working, not an error. Every other wire rejection (bad shape,
-			// non-finite payload) is fatal and unretryable.
+			// and the epoch proceeded with the survivors; a too-stale one
+			// means an async coordinator refused work beyond its staleness
+			// window. Both are the protocol working, not an error. Every
+			// other wire rejection (bad shape, non-finite payload) is fatal
+			// and unretryable.
 			var we *WireError
-			if errors.As(err, &we) && we.Code == CodeStaleRound {
+			if errors.As(err, &we) && (we.Code == CodeStaleRound || we.Code == CodeTooStale) {
 				next = round.T + 1
 				continue
 			}
@@ -361,19 +365,9 @@ func (p *Participant) Run(ctx context.Context) error {
 }
 
 // localUpdate computes δ_{t,i} with the trainer's exact arithmetic — the
-// single-step Grad+Scale or the multi-step local-drift form — so a
-// loopback run is bit-identical to the in-process one.
-func (p *Participant) localUpdate(theta []float64, lr float64, steps int) []float64 {
-	model := p.Model.Clone()
-	model.SetParams(tensor.Clone(theta))
-	if steps <= 1 {
-		g := model.Grad(p.Data.X, p.Data.Y)
-		tensor.Scale(lr, g)
-		return g
-	}
-	local := model.Clone()
-	for s := 0; s < steps; s++ {
-		tensor.AXPY(-lr, local.Grad(p.Data.X, p.Data.Y), local.Params())
-	}
-	return tensor.Sub(model.Params(), local.Params())
+// single-step Grad+Scale or the multi-step local-drift form, with the
+// join-negotiated FedProx proximal term — so a loopback run is bit-identical
+// to the in-process one.
+func (p *Participant) localUpdate(theta []float64, lr float64, steps int, mu float64) []float64 {
+	return localDelta(p.Model, p.Data, theta, lr, steps, mu)
 }

@@ -110,6 +110,11 @@ const (
 	walKindEpochOpen  = "epoch_open"
 	walKindEpochClose = "epoch_close"
 	walKindRunClose   = "run_close"
+	// walKindStaleAdmit marks the immediately preceding D2UP frame (which
+	// is journaled with t = the open round) as an async late admit: it
+	// belongs to the staleness buffer with the recorded origin round, not
+	// to the open round's commit set.
+	walKindStaleAdmit = "stale_admit"
 )
 
 // walRecord is the JSON control record. One shape serves all four kinds;
@@ -135,6 +140,24 @@ type walRecord struct {
 	Curve      jsonf.Vec     `json:"curve,omitempty"`
 	Estimator  *walEstState  `json:"estimator,omitempty"`
 	Quarantine *walQuarState `json:"quarantine,omitempty"`
+	// epoch_close (async runs): the planner's carry-over buffer after the
+	// commit. Each entry's delta bytes are resolved at replay from this
+	// round's journaled D2UP frames or an earlier close's carry-over, so
+	// the checkpoint never re-journals a vector.
+	Buffered []walBufEntry `json:"buffered,omitempty"`
+	// stale_admit: the admitted participant and the round its update was
+	// computed against.
+	Part   int `json:"part,omitempty"`
+	Origin int `json:"origin,omitempty"`
+}
+
+// walBufEntry is one async buffered update's metadata inside an epoch_close
+// record; Due is the round the entry folds into (Due − Origin is its
+// staleness at that fold).
+type walBufEntry struct {
+	Part   int `json:"part"`
+	Origin int `json:"origin"`
+	Due    int `json:"due"`
 }
 
 // walEstState mirrors core.EstimatorState with the jsonf non-finite-safe
@@ -245,8 +268,27 @@ type walReplay struct {
 	updates  map[int][]float64 // committed updates by global participant index
 	partials map[int]walPartial
 
+	// Async buffer state. buffered is the planner carry-over at the last
+	// epoch_close; lateAdmits holds the open round's admitted-late updates
+	// (moved out of updates by stale_admit records so a grafted round can
+	// re-Admit them instead of mistaking them for fresh arrivals).
+	buffered   map[int]walBufUpdate
+	lateAdmits map[int]walLateAdmit
+
 	consumed int64 // bytes of complete, valid records
 	records  int
+}
+
+// walBufUpdate is a replayed carry-over buffer entry with its resolved delta.
+type walBufUpdate struct {
+	origin, due int
+	delta       []float64
+}
+
+// walLateAdmit is a replayed open-round late admit.
+type walLateAdmit struct {
+	origin int
+	delta  []float64
 }
 
 // replayWAL decodes a journal. A torn final record (the crash artifact) is
@@ -257,8 +299,9 @@ type walReplay struct {
 // ordering — fails the replay: the journal cannot be trusted.
 func replayWAL(r io.Reader) (*walReplay, error) {
 	rep := &walReplay{
-		updates:  make(map[int][]float64),
-		partials: make(map[int]walPartial),
+		updates:    make(map[int][]float64),
+		partials:   make(map[int]walPartial),
+		lateAdmits: make(map[int]walLateAdmit),
 	}
 	hdr := make([]byte, walHdrLen)
 	for {
@@ -350,14 +393,50 @@ func (rep *walReplay) applyControl(rec *walRecord) error {
 			return fmt.Errorf("fednet: WAL epoch_close %d carries a %d-param model, want %d",
 				rec.T, len(rec.Theta), rep.params)
 		}
+		// Resolve the async carry-over buffer before the round's commits
+		// are discarded: a buffered delta was journaled as this round's
+		// D2UP frame (fresh lagged arrival), moved aside by a stale_admit
+		// (late arrival), or carried over from an earlier close.
+		var buffered map[int]walBufUpdate
+		if len(rec.Buffered) > 0 {
+			buffered = make(map[int]walBufUpdate, len(rec.Buffered))
+			for _, e := range rec.Buffered {
+				var delta []float64
+				switch {
+				case rep.updates[e.Part] != nil:
+					delta = rep.updates[e.Part]
+				case rep.lateAdmits[e.Part].delta != nil:
+					delta = rep.lateAdmits[e.Part].delta
+				case rep.buffered[e.Part].delta != nil:
+					delta = rep.buffered[e.Part].delta
+				default:
+					return fmt.Errorf("fednet: WAL epoch_close %d buffers participant %d with no journaled update",
+						rec.T, e.Part)
+				}
+				buffered[e.Part] = walBufUpdate{origin: e.Origin, due: e.Due, delta: delta}
+			}
+		}
 		rep.lastClosed = rec.T
 		rep.theta = []float64(rec.Theta)
 		rep.curve = []float64(rec.Curve)
 		rep.est = rec.Estimator.state()
 		rep.quar = rec.Quarantine.state()
+		rep.buffered = buffered
 		rep.openT, rep.active = 0, nil
 		clear(rep.updates)
 		clear(rep.partials)
+		clear(rep.lateAdmits)
+	case walKindStaleAdmit:
+		if rep.openT == 0 || rec.T != rep.openT {
+			return fmt.Errorf("fednet: WAL stale_admit for round %d journaled while round %d is open",
+				rec.T, rep.openT)
+		}
+		delta, ok := rep.updates[rec.Part]
+		if !ok {
+			return fmt.Errorf("fednet: WAL stale_admit for participant %d has no journaled update", rec.Part)
+		}
+		delete(rep.updates, rec.Part)
+		rep.lateAdmits[rec.Part] = walLateAdmit{origin: rec.Origin, delta: delta}
 	case walKindRunClose:
 		rep.runClosed = true
 	default:

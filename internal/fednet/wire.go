@@ -76,6 +76,10 @@ type joinReply struct {
 	// before continuing, because a restarted coordinator forgot its join
 	// barrier. Additive: old coordinators send 0.
 	Instance int `json:"instance,omitempty"`
+	// Prox is the FedProx proximal coefficient μ the run trains with; the
+	// participant adds μ·(w − θ_{t-1}) to every multi-step local gradient.
+	// Additive: absent means 0 (plain FedSGD/FedAvg local update).
+	Prox float64 `json:"prox,omitempty"`
 }
 
 // roundReply is the /v1/round long-poll response: the open round's
@@ -105,6 +109,14 @@ type roundReply struct {
 	// edge acknowledged. Served only on ?i= polls whose slot is unfolded
 	// after the failover grace expires. Additive.
 	Resubmit bool `json:"resubmit,omitempty"`
+	// Quorum is the async commit policy's K: the round commits as soon as
+	// K admissible updates are buffered. Served only on async rounds;
+	// absent (0) means the round is synchronous. Additive.
+	Quorum int `json:"quorum,omitempty"`
+	// MaxStale is the async staleness window in epochs: an update whose
+	// origin round is more than MaxStale behind the open round is rejected
+	// with CodeTooStale. Served only on async rounds. Additive.
+	MaxStale int `json:"max_stale,omitempty"`
 
 	// binary records, client-side only, that this reply arrived as a
 	// digfl-fednet/2 frame — the signal an edge uses to pick its uplink
@@ -229,6 +241,11 @@ const (
 	// Retryable: the client re-joins (the restarted coordinator forgot its
 	// join barrier) and retries with backoff until recovery completes.
 	CodeRecovering = "recovering"
+	// CodeTooStale (409) rejects an async late update whose origin round is
+	// beyond the coordinator's staleness window (MaxStale epochs behind the
+	// open round). Benign for the client: it discards the stale local work
+	// and rejoins the current round, exactly like CodeStaleRound.
+	CodeTooStale = "too_stale"
 )
 
 // instanceHeader carries the coordinator incarnation number on every

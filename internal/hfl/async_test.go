@@ -1,0 +1,355 @@
+package hfl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"digfl/internal/faults"
+	"digfl/internal/obs"
+	"digfl/internal/tensor"
+)
+
+func TestPolyWeightFreshIsOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.25, 0.5, 1, 2} {
+		w := PolyWeight(alpha)
+		if w(0) != 1 {
+			t.Fatalf("alpha %v: w(0) = %v, want exactly 1", alpha, w(0))
+		}
+		if alpha > 0 {
+			prev := w(0)
+			for s := 1; s <= 5; s++ {
+				if w(s) >= prev {
+					t.Fatalf("alpha %v: w(%d)=%v not strictly below w(%d)=%v", alpha, s, w(s), s-1, prev)
+				}
+				prev = w(s)
+			}
+			want := math.Pow(1+2, -alpha)
+			if w(2) != want {
+				t.Fatalf("alpha %v: w(2) = %v, want %v", alpha, w(2), want)
+			}
+		}
+	}
+}
+
+func TestAsyncConfigValidation(t *testing.T) {
+	if _, err := NewAsyncPlanner(AsyncConfig{Quorum: 0, MaxStaleness: 2}, nil, nil); err == nil || !strings.Contains(err.Error(), "Quorum") {
+		t.Fatalf("quorum 0 accepted: %v", err)
+	}
+	if _, err := NewAsyncPlanner(AsyncConfig{Quorum: 2, MaxStaleness: 0}, nil, nil); err == nil || !strings.Contains(err.Error(), "MaxStaleness") {
+		t.Fatalf("staleness 0 accepted: %v", err)
+	}
+	pl, err := NewAsyncPlanner(AsyncConfig{Quorum: 2, MaxStaleness: 2}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := pl.Config().Weight; w == nil || w(0) != 1 {
+		t.Fatal("default Weight not installed or w(0) != 1")
+	}
+}
+
+// driveAsync runs the planner for epochs epochs over n always-active
+// participants with deterministic unit deltas, and returns every commit.
+// It is the shared harness for the property and determinism tests below.
+func driveAsync(t *testing.T, cfg AsyncConfig, inj *faults.Injector, n, epochs, p int) []*AsyncCommit {
+	t.Helper()
+	pl, err := NewAsyncPlanner(cfg, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	valGrad := make([]float64, p)
+	for j := range valGrad {
+		valGrad[j] = 1
+	}
+	var out []*AsyncCommit
+	for ep := 1; ep <= epochs; ep++ {
+		sched := pl.Schedule(ep, active)
+		deltas := make(map[int][]float64, len(sched.Fresh))
+		for _, i := range sched.Fresh {
+			d := make([]float64, p)
+			for j := range d {
+				// Distinct per (epoch, participant) so a wrong fold shows up
+				// in the aggregate, not just the attribution.
+				d[j] = float64(ep*100+i) + float64(j)
+			}
+			deltas[i] = d
+		}
+		ac, err := pl.Commit(ep, p, MeanStream{}, valGrad, sched, deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ac)
+	}
+	return out
+}
+
+// TestAsyncPlannerStalenessProperty drives the planner through a lag-heavy
+// schedule and checks the policy invariants: no committed update exceeds the
+// staleness window, no participant commits twice in one epoch, every commit
+// set is ascending, and no (part, origin) update commits twice across the
+// run.
+func TestAsyncPlannerStalenessProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		inj := faults.MustNew(faults.Config{Seed: seed, Straggler: 0.6})
+		cfg := AsyncConfig{Quorum: 3, MaxStaleness: 2}
+		commits := driveAsync(t, cfg, inj, 6, 15, 4)
+		seen := map[string]bool{}
+		for ep, ac := range commits {
+			epoch := ep + 1
+			inEpoch := map[int]bool{}
+			for j, e := range ac.Committed {
+				if s := epoch - e.Origin; s < 0 || s > cfg.MaxStaleness {
+					t.Fatalf("seed %d epoch %d: committed staleness %d outside [0,%d]", seed, epoch, s, cfg.MaxStaleness)
+				}
+				if inEpoch[e.Part] {
+					t.Fatalf("seed %d epoch %d: participant %d committed twice in one epoch", seed, epoch, e.Part)
+				}
+				inEpoch[e.Part] = true
+				key := fmt.Sprintf("%d@%d", e.Part, e.Origin)
+				if seen[key] {
+					t.Fatalf("seed %d: update %s committed twice across the run", seed, key)
+				}
+				seen[key] = true
+				if j > 0 && ac.Reported[j] <= ac.Reported[j-1] {
+					t.Fatalf("seed %d epoch %d: Reported not ascending: %v", seed, epoch, ac.Reported)
+				}
+			}
+			if len(ac.Reported) > cfg.Quorum {
+				t.Fatalf("seed %d epoch %d: %d commits exceed quorum %d", seed, epoch, len(ac.Reported), cfg.Quorum)
+			}
+			for _, e := range ac.Buffered {
+				if e.Due-e.Origin > cfg.MaxStaleness {
+					t.Fatalf("seed %d epoch %d: buffered entry part %d due %d origin %d outside window", seed, epoch, e.Part, e.Due, e.Origin)
+				}
+			}
+		}
+		if len(seen) == 0 {
+			t.Fatalf("seed %d: no commits at all", seed)
+		}
+	}
+}
+
+// TestAsyncPlannerDeterministic re-runs the same schedule and requires
+// bit-identical commits: same participants, same aggregates, same dots,
+// same buffers.
+func TestAsyncPlannerDeterministic(t *testing.T) {
+	cfg := AsyncConfig{Quorum: 2, MaxStaleness: 3}
+	inj := faults.MustNew(faults.Config{Seed: 7, Straggler: 0.5})
+	a := driveAsync(t, cfg, inj, 5, 12, 3)
+	b := driveAsync(t, cfg, inj, 5, 12, 3)
+	if len(a) != len(b) {
+		t.Fatal("commit counts differ")
+	}
+	for ep := range a {
+		ca, cb := a[ep], b[ep]
+		if fmt.Sprint(ca.Reported) != fmt.Sprint(cb.Reported) {
+			t.Fatalf("epoch %d: reported %v vs %v", ep+1, ca.Reported, cb.Reported)
+		}
+		for j := range ca.Agg {
+			if ca.Agg[j] != cb.Agg[j] {
+				t.Fatalf("epoch %d: aggregates differ at %d", ep+1, j)
+			}
+		}
+		for j := range ca.Dots {
+			if ca.Dots[j] != cb.Dots[j] {
+				t.Fatalf("epoch %d: dots differ at %d", ep+1, j)
+			}
+		}
+		if fmt.Sprint(ca.Buffered) != fmt.Sprint(cb.Buffered) {
+			t.Fatalf("epoch %d: buffers differ", ep+1)
+		}
+	}
+}
+
+// TestAsyncFreshCommitMatchesSyncFold: with no straggler schedule and quorum
+// = n every epoch commits the full fresh cohort at weight 1, bit-identical
+// to the synchronous streamed fold of the same deltas.
+func TestAsyncFreshCommitMatchesSyncFold(t *testing.T) {
+	const n, p = 4, 3
+	pl, err := NewAsyncPlanner(AsyncConfig{Quorum: n, MaxStaleness: 1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := []int{0, 1, 2, 3}
+	valGrad := []float64{1, -2, 0.5}
+	deltas := map[int][]float64{}
+	for _, i := range active {
+		d := make([]float64, p)
+		for j := range d {
+			d[j] = 0.1*float64(i+1) + float64(j)
+		}
+		deltas[i] = d
+	}
+	sched := pl.Schedule(1, active)
+	if len(sched.Fresh) != n || len(sched.InFlight) != 0 {
+		t.Fatalf("unexpected schedule %+v", sched)
+	}
+	ac, err := pl.Commit(1, p, MeanStream{}, valGrad, sched, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the trainer's streamed fold over the same slots.
+	fold := MeanStream{}.NewFold(p, n, valGrad)
+	for k, i := range active {
+		d := make([]float64, p)
+		for j := range d {
+			d[j] = 0.1*float64(i+1) + float64(j)
+		}
+		if err := fold.Add(k, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr, err := fold.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range fr.Sum {
+		if ac.Agg[j] != fr.Sum[j] {
+			t.Fatalf("agg[%d] = %v, want %v", j, ac.Agg[j], fr.Sum[j])
+		}
+	}
+	for j := range fr.Dots {
+		if ac.Dots[j] != fr.Dots[j] {
+			t.Fatalf("dots[%d] = %v, want %v", j, ac.Dots[j], fr.Dots[j])
+		}
+	}
+	if len(ac.Buffered) != 0 {
+		t.Fatalf("fresh commit left a buffer: %+v", ac.Buffered)
+	}
+}
+
+// TestAsyncStaleFoldDiscounts: a buffered update folds at the polynomial
+// discount, and the planner emits stale_fold/async_commit events for it.
+func TestAsyncStaleFoldDiscounts(t *testing.T) {
+	const p = 2
+	col := &obs.Collector{}
+	pl, err := NewAsyncPlanner(AsyncConfig{Quorum: 2, MaxStaleness: 2}, nil, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valGrad := []float64{1, 1}
+	if !pl.Admit(1, 1, 2, []float64{2, 4}) {
+		t.Fatal("admit refused")
+	}
+	if pl.Admit(1, 1, 2, []float64{9, 9}) {
+		t.Fatal("double admit accepted")
+	}
+	if !pl.InFlight(1) {
+		t.Fatal("entry not in flight")
+	}
+	sched := pl.Schedule(2, []int{0, 1})
+	if len(sched.InFlight) != 1 || sched.InFlight[0] != 1 {
+		t.Fatalf("participant 1 not excluded: %+v", sched)
+	}
+	ac, err := pl.Commit(2, p, MeanStream{}, valGrad, sched, map[int][]float64{0: {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ac.Reported) != "[0 1]" {
+		t.Fatalf("reported %v", ac.Reported)
+	}
+	w := PolyWeight(0.5)(1)
+	// Mean of fresh {1,1} at weight 1 and stale {2,4} at weight w.
+	want0 := (1 + 2*w) / 2
+	want1 := (1 + 4*w) / 2
+	if math.Abs(ac.Agg[0]-want0) > 1e-15 || math.Abs(ac.Agg[1]-want1) > 1e-15 {
+		t.Fatalf("agg %v, want [%v %v]", ac.Agg, want0, want1)
+	}
+	// Dots[1] = w·(valGrad·δ) = w·6.
+	if math.Abs(ac.Dots[1]-6*w) > 1e-15 {
+		t.Fatalf("stale dot %v, want %v", ac.Dots[1], 6*w)
+	}
+	snap := col.Snapshot()
+	if snap.StaleFolds != 1 || snap.AsyncCommits != 1 {
+		t.Fatalf("events: folds=%d commits=%d", snap.StaleFolds, snap.StaleRejects)
+	}
+}
+
+// TestAsyncBufferRoundTrip: Buffer/SetBuffer reproduce the planner state
+// bit for bit — the WAL recovery seam.
+func TestAsyncBufferRoundTrip(t *testing.T) {
+	cfg := AsyncConfig{Quorum: 2, MaxStaleness: 3}
+	inj := faults.MustNew(faults.Config{Seed: 11, Straggler: 0.5})
+	pl, err := NewAsyncPlanner(cfg, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := []int{0, 1, 2, 3, 4}
+	valGrad := []float64{1, 1}
+	run := func(pl *AsyncPlanner, from, to int) []*AsyncCommit {
+		var out []*AsyncCommit
+		for ep := from; ep <= to; ep++ {
+			sched := pl.Schedule(ep, active)
+			deltas := map[int][]float64{}
+			for _, i := range sched.Fresh {
+				deltas[i] = []float64{float64(ep), float64(i)}
+			}
+			ac, err := pl.Commit(ep, 2, MeanStream{}, valGrad, sched, deltas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ac)
+		}
+		return out
+	}
+	first := run(pl, 1, 3)
+
+	// Clone the buffer into a fresh planner and continue both; they must
+	// stay bit-identical.
+	buf := pl.Buffer()
+	entries := make([]*AsyncEntry, len(buf))
+	for i, e := range buf {
+		c := *e
+		c.Delta = tensor.Clone(e.Delta)
+		entries[i] = &c
+	}
+	pl2, err := NewAsyncPlanner(cfg, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2.SetBuffer(entries)
+	contA := run(pl, 4, 7)
+	contB := run(pl2, 4, 7)
+	_ = first
+	for ep := range contA {
+		if fmt.Sprint(contA[ep].Reported) != fmt.Sprint(contB[ep].Reported) {
+			t.Fatalf("epoch %d: reported diverged after SetBuffer", ep+4)
+		}
+		for j := range contA[ep].Agg {
+			if contA[ep].Agg[j] != contB[ep].Agg[j] {
+				t.Fatalf("epoch %d: agg diverged after SetBuffer", ep+4)
+			}
+		}
+	}
+}
+
+type bufRule struct{}
+
+func (bufRule) Aggregate(*Epoch) ([]float64, error) { return nil, nil }
+func (bufRule) NeedsBuffer() bool                   { return true }
+
+// TestStreamBufferedRuleTypedError: a buffered-only rule on the Stream path
+// surfaces the typed BufferedRuleError (errors.As-able), not just a string.
+func TestStreamBufferedRuleTypedError(t *testing.T) {
+	tr, _ := setup(t, 5)
+	tr.Stream = MeanStream{}
+	tr.Aggregator = bufRule{}
+	_, err := tr.RunE()
+	var bre *BufferedRuleError
+	if !errors.As(err, &bre) {
+		t.Fatalf("want BufferedRuleError, got %v", err)
+	}
+	if bre.Path != "Stream" {
+		t.Fatalf("path %q, want Stream", bre.Path)
+	}
+	if !strings.Contains(bre.Error(), "Stream") {
+		t.Fatalf("error text must name the path: %v", bre)
+	}
+}

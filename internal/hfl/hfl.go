@@ -53,6 +53,14 @@ type Config struct {
 	// model"). 0 or 1 is classic one-step FedSGD; larger values give
 	// FedAvg-style local training, where non-IID client drift appears.
 	LocalSteps int
+	// Prox is the FedProx proximal coefficient μ: each local gradient step
+	// adds μ·(w − θ_{t-1}) to the gradient, penalizing drift from the
+	// broadcast model — the standard heterogeneity defense for multi-step
+	// local training (robust.FedProx installs it). 0 disables the term and
+	// is bit-identical to builds without it. With LocalSteps ≤ 1 the local
+	// model never leaves θ_{t-1}, the term is identically zero, and the
+	// single-step fast path is untouched.
+	Prox float64
 	// KeepLog retains the per-epoch training log in the result. Retraining
 	// sweeps (actual Shapley) disable it to save memory.
 	KeepLog bool
@@ -171,6 +179,9 @@ func (c Config) validate(n int) error {
 	if n == 0 {
 		return fmt.Errorf("hfl: no participants")
 	}
+	if c.Prox < 0 {
+		return fmt.Errorf("hfl: Prox must be non-negative, got %v", c.Prox)
+	}
 	return nil
 }
 
@@ -284,6 +295,9 @@ type RoundSpec struct {
 	Active []int
 	// LocalSteps is the number of local gradient steps per round.
 	LocalSteps int
+	// Prox is the FedProx proximal coefficient μ applied during multi-step
+	// local training (see Config.Prox); 0 disables the term.
+	Prox float64
 	// ValGrad, when non-nil, is ∇loss^v(θ_{T-1}) and signals a streaming
 	// round: the trainer wants the source to fold updates on arrival and
 	// return the aggregate plus per-update validation dot products instead
@@ -469,6 +483,14 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 	if err := tr.Cfg.validate(tr.participants()); err != nil {
 		return nil, err
 	}
+	if tr.Stream != nil && tr.Aggregator != nil {
+		if br, ok := tr.Aggregator.(BufferedRule); ok && br.NeedsBuffer() {
+			// The rule itself declares it cannot fold on arrival; surface the
+			// typed refusal so callers can distinguish "this rule can never
+			// stream" from a generic composition error.
+			return nil, &BufferedRuleError{Rule: fmt.Sprintf("%T", tr.Aggregator), Path: "Stream"}
+		}
+	}
 	if tr.Stream != nil && (tr.Aggregator != nil || tr.Reweighter != nil || tr.Screen != nil) {
 		// Buffered plugins consume the materialized round buffer that
 		// streaming exists to avoid; refuse the combination instead of
@@ -547,7 +569,7 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 		if tr.Rounds != nil {
 			rr, err := tr.Rounds.Round(ctx, &RoundSpec{
 				T: t, LR: lr, Theta: theta, Active: active, LocalSteps: steps,
-				ValGrad: valGrad,
+				Prox: tr.Cfg.Prox, ValGrad: valGrad,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("hfl: epoch %d: round source: %w", t, err)
@@ -604,7 +626,9 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 					// Multi-step local training: δ_{t,i} = θ_{t-1} − θ_{t-1,i}.
 					local := model.Clone()
 					for s := 0; s < steps; s++ {
-						tensor.AXPY(-lr, local.Grad(part.X, part.Y), local.Params())
+						g := local.Grad(part.X, part.Y)
+						ProxAdd(tr.Cfg.Prox, g, local.Params(), theta)
+						tensor.AXPY(-lr, g, local.Params())
 					}
 					deltas[k] = tensor.Sub(theta, local.Params())
 				}
@@ -768,6 +792,21 @@ func (tr *Trainer) RunSubsetContext(ctx context.Context, subset []int) (*Result,
 	}
 	res.FinalLoss = res.ValLossCurve[len(res.ValLossCurve)-1]
 	return res, nil
+}
+
+// ProxAdd adds the FedProx proximal gradient μ·(w − θ) to g in place, where
+// w is the drifting local model and θ the round's broadcast model. Every
+// local-update site (the in-process trainer, fednet's participant and local
+// sources) calls this one helper with the same operand order, so networked
+// and in-process FedProx runs stay bit-identical. μ = 0 returns without
+// touching g.
+func ProxAdd(mu float64, g, w, theta []float64) {
+	if mu == 0 {
+		return
+	}
+	for j := range g {
+		g[j] += mu * (w[j] - theta[j])
+	}
 }
 
 // Utility is the coalition utility function V(S) (Eq. 2) computed by full

@@ -129,6 +129,16 @@ const (
 	// its round-T update directly to the root after its edge aggregator
 	// died mid-round.
 	KindEdgeFailover
+	// KindAsyncCommit marks asynchronous round T committing its quorum cut;
+	// N is the number of updates in the commit set.
+	KindAsyncCommit
+	// KindStaleFold marks participant Part's stale update folding into
+	// round T at a staleness discount; N is the staleness in epochs.
+	KindStaleFold
+	// KindStaleReject marks participant Part's buffered update being
+	// rejected at round T for exceeding the staleness window; N is the
+	// staleness it had reached.
+	KindStaleReject
 
 	numKinds
 )
@@ -167,6 +177,9 @@ var kindNames = [numKinds]string{
 	KindRecover:          "recover",
 	KindRejoin:           "rejoin",
 	KindEdgeFailover:     "edge_failover",
+	KindAsyncCommit:      "async_commit",
+	KindStaleFold:        "stale_fold",
+	KindStaleReject:      "stale_reject",
 }
 
 func (k Kind) String() string {

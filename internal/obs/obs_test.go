@@ -250,6 +250,8 @@ func TestKindString(t *testing.T) {
 		KindCodecV1Frame: "codec_v1_frame", KindCodecV2Frame: "codec_v2_frame",
 		KindWALAppend: "wal_append", KindRecover: "recover",
 		KindRejoin: "rejoin", KindEdgeFailover: "edge_failover",
+		KindAsyncCommit: "async_commit", KindStaleFold: "stale_fold",
+		KindStaleReject: "stale_reject",
 	}
 	got := map[Kind]string{}
 	for k := Kind(0); k < numKinds; k++ {

@@ -57,6 +57,11 @@ type Snapshot struct {
 	// died mid-round.
 	WALAppends, WALBytes               int64
 	Recoveries, Rejoins, EdgeFailovers int64
+	// AsyncCommits, StaleFolds and StaleRejects count the asynchronous
+	// commit policy's events: epoch quorum cuts, stale updates folded at a
+	// staleness discount, and buffered updates rejected for exceeding the
+	// staleness window.
+	AsyncCommits, StaleFolds, StaleRejects int64
 	// AttacksInjected, UpdatesRejected, UpdatesClipped and Quarantines
 	// count adversarial-robustness events: simulated update corruptions,
 	// updates dropped by screening or wire validation, updates norm-clipped
@@ -104,6 +109,10 @@ func (s Snapshot) String() string {
 		out += fmt.Sprintf(" crash[wal=%d (%dB) recover=%d rejoin=%d failover=%d]",
 			s.WALAppends, s.WALBytes, s.Recoveries, s.Rejoins, s.EdgeFailovers)
 	}
+	if s.AsyncCommits+s.StaleFolds+s.StaleRejects > 0 {
+		out += fmt.Sprintf(" async[commits=%d folds=%d rejects=%d]",
+			s.AsyncCommits, s.StaleFolds, s.StaleRejects)
+	}
 	if s.AttacksInjected+s.UpdatesRejected+s.UpdatesClipped+s.Quarantines > 0 {
 		out += fmt.Sprintf(" adv[attacks=%d rejected=%d clipped=%d quarantined=%d]",
 			s.AttacksInjected, s.UpdatesRejected, s.UpdatesClipped, s.Quarantines)
@@ -129,6 +138,7 @@ type Collector struct {
 	codecV1Frames, codecV2Frames                            atomic.Int64
 	walAppends, walBytes                                    atomic.Int64
 	recoveries, rejoins, edgeFailovers                      atomic.Int64
+	asyncCommits, staleFolds, staleRejects                  atomic.Int64
 }
 
 // Emit implements Sink.
@@ -211,6 +221,12 @@ func (c *Collector) Emit(e Event) {
 		c.rejoins.Add(1)
 	case KindEdgeFailover:
 		c.edgeFailovers.Add(1)
+	case KindAsyncCommit:
+		c.asyncCommits.Add(1)
+	case KindStaleFold:
+		c.staleFolds.Add(1)
+	case KindStaleReject:
+		c.staleRejects.Add(1)
 	}
 }
 
@@ -249,6 +265,9 @@ func (c *Collector) Snapshot() Snapshot {
 		Recoveries:       c.recoveries.Load(),
 		Rejoins:          c.rejoins.Load(),
 		EdgeFailovers:    c.edgeFailovers.Load(),
+		AsyncCommits:     c.asyncCommits.Load(),
+		StaleFolds:       c.staleFolds.Load(),
+		StaleRejects:     c.staleRejects.Load(),
 		AttacksInjected:  c.attacksInjected.Load(),
 		UpdatesRejected:  c.updatesRejected.Load(),
 		UpdatesClipped:   c.updatesClipped.Load(),

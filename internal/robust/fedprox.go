@@ -1,0 +1,28 @@
+package robust
+
+import "digfl/internal/hfl"
+
+// FedProx is the proximal-term heterogeneity defense for multi-step local
+// training. Unlike the other rules in this package, FedProx is not a
+// server-side Aggregator — the defense lives in the client update, where
+// each local gradient step adds μ·(w − θ_{t-1}), penalizing drift of the
+// local model w from the broadcast model θ_{t-1}. That makes slow or
+// heterogeneous (non-IID) clients first-class: their multi-step updates stay
+// anchored to the global trajectory instead of wandering — exactly the
+// regime the asynchronous commit policy folds them back into.
+//
+// Because the term vanishes at μ = 0 (and identically when LocalSteps ≤ 1,
+// where the local model never leaves θ), FedProx at μ = 0 is bit-identical
+// to the undefended run — asserted by TestFedProxZeroMuBitIdentical.
+type FedProx struct {
+	// Mu is the proximal coefficient μ ≥ 0; 0 disables the defense.
+	Mu float64
+}
+
+// Apply returns a copy of cfg with the proximal coefficient installed. The
+// trainer broadcasts it through RoundSpec.Prox (and fednet through the join
+// reply), so in-process and networked clients apply the identical term.
+func (f FedProx) Apply(cfg hfl.Config) hfl.Config {
+	cfg.Prox = f.Mu
+	return cfg
+}
